@@ -1,0 +1,22 @@
+module MC = Grid_check.Mcheck.Make (Grid_services.Counter)
+module Counter = Grid_services.Counter
+open Grid_paxos.Types
+
+let mc_requests =
+  [ (1, Write, Counter.encode_op (Counter.Add 5));
+    (2, Write, Counter.encode_op (Counter.Add 7));
+    (1, Read, Counter.encode_op Counter.Get);
+    (2, Write, Counter.encode_op (Counter.Add 1));
+    (3, Read, Counter.encode_op Counter.Get) ]
+
+let () =
+  let o = MC.run ~seed:34 ~steps:2000 ~crash_prob:0.0 ~requests:mc_requests () in
+  List.iter
+    (fun (r : reply) ->
+      Printf.printf "client %d seq %d -> %d\n"
+        (Grid_util.Ids.Client_id.to_int r.req.client)
+        r.req.seq
+        (Counter.decode_result r.payload))
+    o.replies;
+  Printf.printf "committed: %s\n"
+    (String.concat ";" (Array.to_list (Array.map string_of_int o.committed)))
