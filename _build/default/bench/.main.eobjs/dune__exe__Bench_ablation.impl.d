@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Experiment Float Grid_codec Grid_paxos Grid_runtime Grid_services Grid_sim Grid_util List Printf

@@ -1,0 +1,1 @@
+bench/bench_messages.ml: Experiment Float Grid_codec Grid_paxos Grid_runtime Grid_services Grid_util List

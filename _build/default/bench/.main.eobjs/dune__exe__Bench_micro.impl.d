@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Experiment Grid_codec Grid_paxos Grid_util Hashtbl Instance Int List Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_openloop.ml: Array Experiment Float Grid_paxos Grid_runtime Grid_services Grid_util List Printf

@@ -1,0 +1,1 @@
+bench/bench_semi_passive.ml: Array Experiment Float Fun Grid_paxos Grid_runtime Grid_services Grid_sim Grid_util List

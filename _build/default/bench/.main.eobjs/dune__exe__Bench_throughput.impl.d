@@ -1,0 +1,1 @@
+bench/bench_throughput.ml: Experiment Grid_paxos Grid_runtime Grid_util List Printf

@@ -1,0 +1,1 @@
+bench/bench_txn.ml: Experiment Grid_runtime Grid_util List Printf

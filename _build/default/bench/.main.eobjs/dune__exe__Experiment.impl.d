@@ -1,0 +1,1 @@
+bench/experiment.ml: Array Float Fun Grid_codec Grid_paxos Grid_runtime Grid_services Grid_util Int List Printf Stdlib

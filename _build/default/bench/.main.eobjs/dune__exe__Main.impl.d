@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_ablation Bench_messages Bench_micro Bench_openloop Bench_rrt Bench_semi_passive Bench_throughput Bench_txn Cmd Cmdliner List Printf Term

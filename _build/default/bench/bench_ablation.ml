@@ -1,0 +1,227 @@
+(* Ablations for the design points the paper discusses but does not plot:
+     abl-leader-switch — §3.6: X-Paxos and T-Paxos need longer leader
+       stability than the basic protocol;
+     abl-state-size   — §3.3: shipping full state vs delta vs witness as
+       the service state grows;
+     abl-t2           — §4.3: tolerating t=2 failures (5 replicas) and the
+       effect of WAN latency variance on X-Paxos reads. *)
+
+module Scenario = Grid_runtime.Scenario
+module Stats = Grid_util.Stats
+module T = Grid_util.Text_table
+module Network = Grid_sim.Network
+module Engine = Grid_sim.Engine
+module Noop = Grid_services.Noop
+module Wire = Grid_codec.Wire
+open Grid_paxos.Types
+module RT = Experiment.RT
+
+(* ------------------------------------------------------------------ *)
+(* Leader-switch sensitivity (§3.6). Force a leader crash (30 ms outage)
+   every [period] ms during a fixed workload; compare how the three
+   request classes weather the churn. *)
+
+let churn_trial ~rtype ~period ~seed =
+  let cfg =
+    { (Grid_paxos.Config.default ~n:3) with
+      suspicion_ms = 20.0;
+      stability_ms = 5.0;
+      hb_period_ms = 5.0;
+      client_retry_ms = 60.0;
+      accept_retry_ms = 20.0 }
+  in
+  let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  ignore (RT.await_leader t);
+  (if period < infinity then
+     let eng = RT.engine t in
+     let rec arm () =
+       ignore
+         (Engine.schedule eng ~delay:period (fun () ->
+              (match RT.leader t with
+              | Some l ->
+                RT.crash_replica t l;
+                ignore (Engine.schedule eng ~delay:30.0 (fun () -> RT.recover_replica t l))
+              | None -> ());
+              arm ()))
+     in
+     arm ());
+  let total = 2_000 in
+  let results =
+    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients:4
+      ~requests_per_client:(total / 4) ~gen:(fun ~client:_ () ->
+        Some (rtype, Experiment.noop_payload rtype))
+  in
+  RT.throughput_rps results
+
+let txn_churn_trial ~period ~seed =
+  let cfg =
+    { (Grid_paxos.Config.default ~n:3) with
+      suspicion_ms = 20.0;
+      stability_ms = 5.0;
+      hb_period_ms = 5.0;
+      client_retry_ms = 60.0;
+      accept_retry_ms = 20.0 }
+  in
+  let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  ignore (RT.await_leader t);
+  (if period < infinity then
+     let eng = RT.engine t in
+     let rec arm () =
+       ignore
+         (Engine.schedule eng ~delay:period (fun () ->
+              (match RT.leader t with
+              | Some l ->
+                RT.crash_replica t l;
+                ignore (Engine.schedule eng ~delay:30.0 (fun () -> RT.recover_replica t l))
+              | None -> ());
+              arm ()))
+     in
+     arm ());
+  let txns = 400 in
+  let reqs_per_txn = 3 in
+  let results =
+    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients:2
+      ~requests_per_client:(txns / 2 * (reqs_per_txn + 1))
+      ~gen:(Experiment.txn_gen Experiment.Optimized ~reqs_per_txn ~txns:(txns / 2))
+  in
+  (* Commit outcomes: aborted commits are the §3.6 cost of churn. *)
+  let commits, aborted =
+    List.fold_left
+      (fun (c, a) r ->
+        match r.RT.rec_rtype with
+        | Txn_commit _ -> (c + 1, if r.RT.rec_status = Ok then a else a + 1)
+        | _ -> (c, a))
+      (0, 0) results.records
+  in
+  if commits = 0 then 0.0 else Float.of_int aborted /. Float.of_int commits
+
+let run_leader_switch ~quick () =
+  let trials = if quick then 3 else 8 in
+  (* Periods stay above the election time (~25 ms here); below it the
+     system cannot complete a single round between switches — the extreme
+     form of §3.6's stability requirement. *)
+  let periods =
+    [ (infinity, "none"); (200.0, "200"); (80.0, "80"); (40.0, "40") ]
+  in
+  let table =
+    T.create
+      ~columns:
+        [ ("Switch period (ms)", T.Right); ("Write (req/s)", T.Right);
+          ("Read (req/s)", T.Right); ("Txn aborts (%)", T.Right) ]
+  in
+  List.iter
+    (fun (period, label) ->
+      let tput rtype =
+        let acc = Stats.create () in
+        for seed = 1 to trials do
+          Stats.add acc (churn_trial ~rtype ~period ~seed)
+        done;
+        acc
+      in
+      let aborts = Stats.create () in
+      for seed = 1 to trials do
+        Stats.add aborts (txn_churn_trial ~period ~seed)
+      done;
+      T.add_row table
+        [ label; Experiment.pp_tput (tput Write); Experiment.pp_tput (tput Read);
+          T.cell_f ~decimals:1 (Stats.mean aborts *. 100.0) ])
+    periods;
+  print_string (T.render table);
+  print_endline
+    "Expected shape (§3.6): throughput of every class degrades with churn, and\n\
+     T-Paxos additionally aborts the transactions cut by a switch — it needs\n\
+     the longest stable-leader window, X-Paxos the next longest."
+
+(* ------------------------------------------------------------------ *)
+(* State-size ablation (§3.3): write RRT as the service state grows,
+   under full-state, delta and witness shipping, over a 1 Gb/s LAN. *)
+
+let state_size_trial ~ship ~size ~seed =
+  let cfg = { (Grid_paxos.Config.default ~n:3) with ship } in
+  let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  Network.set_sizer (RT.network t) msg_size;
+  Network.set_bandwidth (RT.network t) 125_000.0 (* 1 Gb/s in bytes/ms *);
+  let payload = Noop.encode_op (Noop.Noop_sized_write size) in
+  let results =
+    RT.run_closed_loop t ~clients:1 ~requests_per_client:20 ~gen:(fun ~client:_ () ->
+        Some (Write, payload))
+  in
+  let lats = RT.latencies results in
+  (* Skip the first write: it legitimately ships the newly-grown padding
+     under every mode. *)
+  let tail = Array.sub lats 1 (Array.length lats - 1) in
+  Array.fold_left ( +. ) 0.0 tail /. Float.of_int (Array.length tail)
+
+let run_state_size ~quick () =
+  let trials = if quick then 4 else 15 in
+  let sizes = [ 16; 1024; 16_384; 131_072 ] in
+  let table =
+    T.create
+      ~columns:
+        [ ("State size (B)", T.Right); ("Full (ms)", T.Right); ("Delta (ms)", T.Right);
+          ("Witness (ms)", T.Right) ]
+  in
+  List.iter
+    (fun size ->
+      let mean ship =
+        let acc = Stats.create () in
+        for seed = 1 to trials do
+          Stats.add acc (state_size_trial ~ship ~size ~seed)
+        done;
+        Stats.mean acc
+      in
+      T.add_row table
+        [ string_of_int size; T.cell_f (mean `Full); T.cell_f (mean `Delta);
+          T.cell_f (mean `Witness) ])
+    sizes;
+  print_string (T.render table);
+  print_endline
+    "Expected shape (§3.3): full-state shipping degrades with state size; the\n\
+     delta and witness encodings keep the write RRT flat — 'the overhead of\n\
+     transferring service state can usually be made small'."
+
+(* ------------------------------------------------------------------ *)
+(* t = 2 and latency variance (§4.3): with 5 replicas on the WAN, write
+   latency barely moves (the leader still waits for the fastest majority)
+   while X-Paxos reads degrade as client-link variance grows, because a
+   read needs confirms routed through more distant replicas. *)
+
+let run_t2 ~quick () =
+  let trials = if quick then 6 else 20 in
+  let reqs = 20 in
+  let table =
+    T.create
+      ~columns:
+        [ ("Replicas", T.Right); ("Link cv", T.Right); ("Read (ms)", T.Right);
+          ("Write (ms)", T.Right); ("Original (ms)", T.Right) ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun cv ->
+          let scenario = Scenario.with_cv (Scenario.with_n Scenario.wan n) cv in
+          let mean rtype =
+            Stats.mean (Experiment.rrt ~scenario ~rtype ~trials ~reqs ())
+          in
+          T.add_row table
+            [ string_of_int n; Printf.sprintf "%.2f" cv; T.cell_f (mean Read);
+              T.cell_f (mean Write); T.cell_f (mean Original) ])
+        [ 0.02; 0.10; 0.25 ];
+      T.add_rule table)
+    [ 3; 5 ];
+  print_string (T.render table);
+  print_endline
+    "Expected shape (§4.3): going from t=1 to t=2 barely moves the basic\n\
+     protocol's write latency, while X-Paxos reads worsen with replica count\n\
+     and variance — the client must reach a larger confirm majority."
+
+let run ~quick ~only =
+  let maybe id title f =
+    if only = None || only = Some id then begin
+      Experiment.section (Printf.sprintf "%s — %s" id title);
+      f ()
+    end
+  in
+  maybe "abl-leader-switch" "leader-switch sensitivity (§3.6)" (run_leader_switch ~quick);
+  maybe "abl-state-size" "state-size and shipping mode (§3.3)" (run_state_size ~quick);
+  maybe "abl-t2" "t=2 and WAN latency variance (§4.3)" (run_t2 ~quick)

@@ -1,0 +1,122 @@
+(* Bechamel microbenchmarks of the protocol-critical data paths: wire
+   codec, CRC, heap, log append, snapshot encoding. These are ours (the
+   paper has no microbenchmarks); they guard the constant factors the
+   simulator's CPU-cost model abstracts. *)
+
+open Bechamel
+open Toolkit
+module Wire = Grid_codec.Wire
+module Plog = Grid_paxos.Plog
+module Types = Grid_paxos.Types
+module Ids = Grid_util.Ids
+
+let sample_request : Types.request =
+  {
+    id = Ids.Request_id.make ~client:(Ids.Client_id.of_int 3) ~seq:17;
+    rtype = Types.Write;
+    payload = String.make 64 'p';
+  }
+
+let sample_proposal : Types.proposal =
+  {
+    requests = [ sample_request ];
+    update = Types.Delta (String.make 128 's');
+    replies = [ { req = sample_request.id; status = Types.Ok; payload = "r" } ];
+  }
+
+let encoded_proposal = Wire.encode (fun e -> Types.encode_proposal e sample_proposal)
+let crc_payload = String.make 1024 'x'
+
+let test_encode_proposal =
+  Test.make ~name:"codec: encode proposal"
+    (Staged.stage (fun () ->
+         ignore (Wire.encode (fun e -> Types.encode_proposal e sample_proposal))))
+
+let test_decode_proposal =
+  Test.make ~name:"codec: decode proposal"
+    (Staged.stage (fun () -> ignore (Wire.decode encoded_proposal Types.decode_proposal)))
+
+let test_crc =
+  Test.make ~name:"codec: crc32 1KiB"
+    (Staged.stage (fun () -> ignore (Wire.crc32 crc_payload)))
+
+module Int_heap = Grid_util.Heap.Make (Int)
+
+let test_heap =
+  Test.make ~name:"heap: 64 push + drain"
+    (Staged.stage (fun () ->
+         let h = Int_heap.create () in
+         for i = 63 downto 0 do
+           Int_heap.add h i
+         done;
+         while Int_heap.pop_min h <> None do
+           ()
+         done))
+
+let test_plog_append =
+  Test.make ~name:"plog: 64 accept + commit"
+    (Staged.stage (fun () ->
+         let log = Plog.create () in
+         let ballot = Types.Ballot.make ~round:1 ~holder:0 in
+         for i = 1 to 64 do
+           ignore (Plog.accept log ~instance:i ~ballot sample_proposal);
+           ignore (Plog.commit log ~instance:i)
+         done))
+
+let test_snapshot =
+  Test.make ~name:"snapshot: encode+decode"
+    (Staged.stage
+       (let snap =
+          {
+            Grid_paxos.Snapshot.commit_point = 100;
+            state = String.make 256 's';
+            dedup =
+              List.init 16 (fun c ->
+                  ( c,
+                    { Types.req = Ids.Request_id.make ~client:(Ids.Client_id.of_int c) ~seq:9;
+                      status = Types.Ok;
+                      payload = "ok" } ));
+          }
+        in
+        fun () ->
+          ignore (Grid_paxos.Snapshot.decode (Grid_paxos.Snapshot.encode snap))))
+
+let benchmark test =
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance raw
+  in
+  results
+
+let run ~quick:_ ~only =
+  if only = None || only = Some "micro" then begin
+    Experiment.section "micro — data-structure microbenchmarks (bechamel)";
+    let table =
+      Grid_util.Text_table.create
+        ~columns:[ ("Benchmark", Grid_util.Text_table.Left); ("ns/op", Grid_util.Text_table.Right) ]
+    in
+    List.iter
+      (fun test ->
+        let results = benchmark test in
+        Hashtbl.iter
+          (fun name ols ->
+            let estimate =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> Printf.sprintf "%.1f" e
+              | _ -> "n/a"
+            in
+            Grid_util.Text_table.add_row table [ name; estimate ])
+          results)
+      [
+        test_encode_proposal;
+        test_decode_proposal;
+        test_crc;
+        test_heap;
+        test_plog_append;
+        test_snapshot;
+      ];
+    print_string (Grid_util.Text_table.render table)
+  end

@@ -1,0 +1,60 @@
+(* Request response time on the three configurations (§4.1 text).
+
+   Paper targets:
+     Sysnet:    original 0.181 ms   read 0.263 ms   write 0.338 ms
+     Princeton: original 91.85 ms   read 92.79 ms   write 93.13 ms
+     WAN:       original 70.82 ms   read 75.49 ms   write 106.73 ms *)
+
+module Scenario = Grid_runtime.Scenario
+module Stats = Grid_util.Stats
+module T = Grid_util.Text_table
+open Grid_paxos.Types
+
+let paper_numbers = function
+  | "sysnet" -> (0.181, 0.263, 0.338)
+  | "berkeley-to-princeton" -> (91.85, 92.79, 93.13)
+  | "wan" -> (70.82, 75.49, 106.73)
+  | _ -> (nan, nan, nan)
+
+let run_one ~quick (scenario : Scenario.t) =
+  let trials = if quick then 8 else 40 in
+  let reqs = 20 in
+  let measure rtype = Experiment.rrt ~scenario ~rtype ~trials ~reqs () in
+  let original = measure Original in
+  let read = measure Read in
+  let write = measure Write in
+  let p_orig, p_read, p_write = paper_numbers scenario.name in
+  let table =
+    T.create
+      ~columns:
+        [ ("Request", T.Left); ("Avg. RRT (ms)", T.Right); ("99% CI (ms)", T.Right);
+          ("Paper (ms)", T.Right) ]
+  in
+  let row name acc paper =
+    T.add_row table
+      [ name; T.cell_f (Stats.mean acc);
+        T.cell_ci (Stats.confidence_interval ~confidence:0.99 acc); T.cell_f paper ]
+  in
+  row "original" original p_orig;
+  row "read (X-Paxos)" read p_read;
+  row "write (basic)" write p_write;
+  print_string (T.render table);
+  let reduction = (Stats.mean write -. Stats.mean read) /. Stats.mean write *. 100.0 in
+  Printf.printf "X-Paxos RRT reduction vs basic protocol: %.1f%% (paper: %.0f%%)\n%!"
+    reduction
+    ((p_write -. p_read) /. p_write *. 100.0)
+
+let run ~quick ~only =
+  let cases =
+    [ ("rrt-sysnet", Scenario.sysnet); ("rrt-princeton", Scenario.princeton);
+      ("rrt-wan", Scenario.wan) ]
+  in
+  List.iter
+    (fun (id, scenario) ->
+      if only = None || only = Some id then begin
+        Experiment.section
+          (Printf.sprintf "%s — request response time (§4.1), scenario %s" id
+             scenario.Scenario.name);
+        run_one ~quick scenario
+      end)
+    cases

@@ -1,0 +1,189 @@
+(* Shared experiment drivers for the benchmark harness: every table and
+   figure runs the Noop evaluation service (the paper's empty method)
+   through the simulator under one of the calibrated scenarios, repeating
+   each measurement across seeds and reporting mean ± 99% CI exactly as
+   the paper does. *)
+
+module Config = Grid_paxos.Config
+module Scenario = Grid_runtime.Scenario
+module Stats = Grid_util.Stats
+module Noop = Grid_services.Noop
+module Wire = Grid_codec.Wire
+open Grid_paxos.Types
+
+module RT = Grid_runtime.Runtime.Make (Noop)
+
+let noop_payload rtype =
+  match rtype with
+  | Read -> Noop.encode_op Noop.Noop_read
+  | _ -> Noop.encode_op Noop.Noop_write
+
+(* One runtime per trial; the seed varies so trials see independent
+   latency draws, like the paper's repeated samples. *)
+let make_runtime ?(cfg_tweak = Fun.id) ~scenario ~seed () =
+  let cfg = cfg_tweak (Config.default ~n:3) in
+  RT.create ~cfg ~scenario ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Response time: one client, [reqs] requests per trial; the trial's
+   sample is the mean RRT (the paper's "20 requests in one sample"). *)
+
+let rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed () =
+  let t = make_runtime ?cfg_tweak ~scenario ~seed () in
+  let results =
+    RT.run_closed_loop t ~clients:1 ~requests_per_client:reqs ~gen:(fun ~client:_ () ->
+        Some (rtype, noop_payload rtype))
+  in
+  let lats = RT.latencies results in
+  Array.fold_left ( +. ) 0.0 lats /. Float.of_int (Array.length lats)
+
+let rrt ?cfg_tweak ~scenario ~rtype ~trials ~reqs () =
+  let acc = Stats.create () in
+  for seed = 1 to trials do
+    Stats.add acc (rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed ())
+  done;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Throughput: [clients] closed-loop clients, [total] requests split
+   evenly (the paper's 1000/c); the sample is requests per second. *)
+
+let throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed () =
+  let t = make_runtime ?cfg_tweak ~scenario ~seed () in
+  let per_client = Stdlib.max 1 (total / clients) in
+  let results =
+    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients ~requests_per_client:per_client
+      ~gen:(fun ~client:_ () -> Some (rtype, noop_payload rtype))
+  in
+  RT.throughput_rps results
+
+let throughput ?cfg_tweak ~scenario ~rtype ~clients ~total ~trials () =
+  let acc = Stats.create () in
+  for seed = 1 to trials do
+    Stats.add acc (throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed ())
+  done;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Transactions (§4.2). Three modes on the Sysnet cluster:
+   - [`Read_write k]: unoptimized; (k-1)/3*... the paper's mixes are
+     3-request = 2 reads + 1 write and 5-request = 3 reads + 2 writes,
+     each followed by a commit coordinated with the basic protocol;
+   - [`Write_only k]: k writes + commit, all basic protocol;
+   - [`Optimized k]: k T-Paxos ops + T-Paxos commit. *)
+
+type txn_mode = Read_write | Write_only | Optimized
+
+let txn_requests mode ~reqs_per_txn ~txn_index =
+  match mode with
+  | Read_write ->
+    let writes = reqs_per_txn / 2 in
+    let reads = reqs_per_txn - writes in
+    List.init reads (fun _ -> (Read, noop_payload Read))
+    @ List.init writes (fun _ -> (Write, noop_payload Write))
+    @ [ (Write, noop_payload Write) ]  (* the commit coordinates too *)
+  | Write_only ->
+    List.init reqs_per_txn (fun _ -> (Write, noop_payload Write))
+    @ [ (Write, noop_payload Write) ]
+  | Optimized ->
+    let tid = txn_index + 1 in
+    List.init reqs_per_txn (fun _ -> (Txn_op tid, noop_payload Write))
+    @ [ (Txn_commit tid, Wire.encode (fun e -> Wire.Encoder.uint e reqs_per_txn)) ]
+
+(* A client session of [txns] back-to-back transactions. *)
+let txn_gen mode ~reqs_per_txn ~txns ~client:_ =
+  let txn = ref 0 and step = ref 0 in
+  let current = ref (txn_requests mode ~reqs_per_txn ~txn_index:0) in
+  fun () ->
+    if !txn >= txns then None
+    else begin
+      match !current with
+      | item :: rest ->
+        current := rest;
+        incr step;
+        Some item
+      | [] ->
+        incr txn;
+        if !txn >= txns then None
+        else begin
+          current := txn_requests mode ~reqs_per_txn ~txn_index:!txn;
+          match !current with
+          | item :: rest ->
+            current := rest;
+            Some item
+          | [] -> None
+        end
+    end
+
+(* Transaction response time: latency from first-op submission to commit
+   reply = the sum of the group's request latencies (closed loop). *)
+let txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed () =
+  let t = make_runtime ?cfg_tweak ~scenario ~seed () in
+  let group = reqs_per_txn + 1 in
+  let results =
+    RT.run_closed_loop t ~clients:1 ~requests_per_client:(txns * group)
+      ~gen:(txn_gen mode ~reqs_per_txn ~txns)
+  in
+  (* Group per-client-ordered latencies into transactions. *)
+  let ordered =
+    List.filter (fun r -> r.RT.rec_client = 0) results.records
+    |> List.sort (fun a b -> Int.compare a.RT.rec_seq b.RT.rec_seq)
+  in
+  let acc = Stats.create () in
+  let rec group_sums = function
+    | [] -> ()
+    | records ->
+      let txn_records = List.filteri (fun i _ -> i < group) records in
+      let rest = List.filteri (fun i _ -> i >= group) records in
+      if List.length txn_records = group then
+        Stats.add acc
+          (List.fold_left (fun s r -> s +. r.RT.rec_latency) 0.0 txn_records);
+      group_sums rest
+  in
+  group_sums ordered;
+  Stats.mean acc
+
+let txn_rrt ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~trials () =
+  let acc = Stats.create () in
+  for seed = 1 to trials do
+    Stats.add acc (txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed ())
+  done;
+  acc
+
+(* Transaction throughput: committed transactions per second. *)
+let txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
+    ~seed () =
+  let t = make_runtime ?cfg_tweak ~scenario ~seed () in
+  let group = reqs_per_txn + 1 in
+  let txns = Stdlib.max 1 (txns_total / clients) in
+  let results =
+    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients
+      ~requests_per_client:(txns * group)
+      ~gen:(txn_gen mode ~reqs_per_txn ~txns)
+  in
+  let dur_ms = results.finished_at -. results.started_at in
+  Float.of_int (clients * txns) /. dur_ms *. 1000.0
+
+let txn_throughput ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total ~trials
+    () =
+  let acc = Stats.create () in
+  for seed = 1 to trials do
+    Stats.add acc
+      (txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
+         ~seed ())
+  done;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers *)
+
+let pp_mean_ci acc =
+  Printf.sprintf "%.3f \xc2\xb1%.3f" (Stats.mean acc)
+    (Stats.confidence_interval ~confidence:0.99 acc)
+
+let pp_tput acc =
+  Printf.sprintf "%.0f \xc2\xb1%.0f" (Stats.mean acc)
+    (Stats.confidence_interval ~confidence:0.99 acc)
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title

@@ -1,0 +1,1 @@
+bin/client.ml: Arg Cmd Cmdliner Format Grid_net Grid_paxos Grid_services Grid_util Printf Service_select Stdlib Term Unix

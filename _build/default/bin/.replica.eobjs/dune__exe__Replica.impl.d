@@ -1,0 +1,1 @@
+bin/replica.ml: Arg Cmd Cmdliner Grid_net Grid_paxos Grid_services List Option Printf Service_select Term Thread Unix

@@ -1,0 +1,1 @@
+bin/service_select.ml: Array Cmdliner Format List Printf String Unix

@@ -1,0 +1,1 @@
+bin/simrun.ml: Arg Cmd Cmdliner Format Grid_paxos Grid_runtime Grid_services Grid_sim Grid_util Printf Stdlib Term

@@ -1,0 +1,55 @@
+(* Shared CLI plumbing: the services a binary can host, and address-list
+   parsing ("host:port,host:port,...", replica ids assigned in order). *)
+
+type service = Counter | Kv | Noop
+
+let service_conv =
+  let parse = function
+    | "counter" -> Ok Counter
+    | "kv" -> Ok Kv
+    | "noop" -> Ok Noop
+    | s -> Error (`Msg (Printf.sprintf "unknown service %S (counter|kv|noop)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with Counter -> "counter" | Kv -> "kv" | Noop -> "noop")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg (Printf.sprintf "bad address %S (expected host:port)" s))
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | None -> Error (`Msg (Printf.sprintf "bad port in %S" s))
+    | Some port -> (
+      try
+        let inet =
+          if host = "" || host = "localhost" then Unix.inet_addr_loopback
+          else Unix.inet_addr_of_string host
+        in
+        Ok (Unix.ADDR_INET (inet, port))
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { h_addr_list = [||]; _ } -> Error (`Msg (Printf.sprintf "cannot resolve %S" host))
+        | { h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+        | exception Not_found -> Error (`Msg (Printf.sprintf "cannot resolve %S" host)))))
+
+let parse_cluster s =
+  let parts = String.split_on_char ',' s in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+      match parse_addr (String.trim part) with
+      | Ok addr -> go (i + 1) ((i, addr) :: acc) rest
+      | Error e -> Error e)
+  in
+  go 0 [] parts
+
+let cluster_conv =
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map (fun _ -> "host:port") l))
+  in
+  Cmdliner.Arg.conv (parse_cluster, print)

@@ -1,0 +1,82 @@
+(* Run a named simulation scenario from the command line and print RRT
+   and throughput summaries — a CLI front end to the same machinery the
+   benchmark harness uses.
+
+     dune exec bin/simrun.exe -- --scenario wan --rtype read --clients 4 \
+       --requests 250 *)
+
+open Cmdliner
+module Scenario = Grid_runtime.Scenario
+module Stats = Grid_util.Stats
+module Noop = Grid_services.Noop
+open Grid_paxos.Types
+module RT = Grid_runtime.Runtime.Make (Noop)
+
+let scenario_conv =
+  let parse = function
+    | "sysnet" -> Stdlib.Ok Scenario.sysnet
+    | "princeton" -> Stdlib.Ok Scenario.princeton
+    | "wan" -> Stdlib.Ok Scenario.wan
+    | "uniform" -> Stdlib.Ok (Scenario.uniform ())
+    | s -> Error (`Msg (Printf.sprintf "unknown scenario %S (sysnet|princeton|wan|uniform)" s))
+  in
+  let print ppf (s : Scenario.t) = Format.pp_print_string ppf s.name in
+  Arg.conv (parse, print)
+
+let rtype_conv =
+  let parse = function
+    | "read" -> Stdlib.Ok Read
+    | "write" -> Stdlib.Ok Write
+    | "original" -> Stdlib.Ok Original
+    | s -> Error (`Msg (Printf.sprintf "unknown request type %S" s))
+  in
+  Arg.conv (parse, fun ppf r -> pp_rtype ppf r)
+
+let run scenario rtype clients requests seed trace =
+  let cfg = Grid_paxos.Config.default ~n:3 in
+  let t = RT.create ~cfg ~scenario ~seed ~trace () in
+  let payload =
+    Noop.encode_op (match rtype with Read -> Noop.Noop_read | _ -> Noop.Noop_write)
+  in
+  let results =
+    RT.run_closed_loop t ~clients ~requests_per_client:(Stdlib.max 1 (requests / clients))
+      ~gen:(fun ~client:_ () -> Some (rtype, payload))
+  in
+  let lats = RT.latencies results in
+  let summary = Stats.summarize lats in
+  Printf.printf "scenario %s, %s requests, %d clients, seed %d\n" scenario.Scenario.name
+    (Format.asprintf "%a" pp_rtype rtype)
+    clients seed;
+  Printf.printf "  completed:  %d in %.2f simulated ms\n" results.total_completed
+    (results.finished_at -. results.started_at);
+  Printf.printf "  throughput: %.1f req/s\n" (RT.throughput_rps results);
+  Printf.printf "  RRT:        %s\n" (Format.asprintf "%a" Stats.pp_summary summary);
+  if trace then Format.printf "trace:@.%a@." Grid_sim.Trace.pp (RT.trace t)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv Scenario.sysnet
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"sysnet|princeton|wan|uniform.")
+
+let rtype_arg =
+  Arg.(value & opt rtype_conv Write & info [ "rtype" ] ~docv:"KIND" ~doc:"read|write|original.")
+
+let clients_arg =
+  Arg.(value & opt int 1 & info [ "clients" ] ~docv:"C" ~doc:"Concurrent closed-loop clients.")
+
+let requests_arg =
+  Arg.(value & opt int 100 & info [ "requests" ] ~docv:"N" ~doc:"Total requests.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Simulation seed.")
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the protocol trace.")
+
+let cmd =
+  let doc = "Run a simulation scenario and print latency/throughput" in
+  Cmd.v
+    (Cmd.info "grid-simrun" ~doc)
+    Term.(
+      const run $ scenario_arg $ rtype_arg $ clients_arg $ requests_arg $ seed_arg
+      $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

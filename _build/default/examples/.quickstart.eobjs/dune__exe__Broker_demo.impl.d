@@ -1,0 +1,1 @@
+examples/broker_demo.ml: Array Grid_paxos Grid_runtime Grid_services List Printf String

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Array Format Grid_check Grid_paxos Grid_runtime Grid_services Grid_sim List Option Printf

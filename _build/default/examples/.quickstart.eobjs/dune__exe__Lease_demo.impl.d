@@ -1,0 +1,1 @@
+examples/lease_demo.ml: Grid_paxos Grid_runtime Grid_services Option Printf

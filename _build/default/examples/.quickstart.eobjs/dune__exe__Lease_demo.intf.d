@@ -1,0 +1,1 @@
+examples/lease_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Grid_paxos Grid_runtime Grid_services List Option Printf

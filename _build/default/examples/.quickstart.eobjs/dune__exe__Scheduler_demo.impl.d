@@ -1,0 +1,1 @@
+examples/scheduler_demo.ml: Grid_paxos Grid_runtime Grid_services Grid_util List Printf String

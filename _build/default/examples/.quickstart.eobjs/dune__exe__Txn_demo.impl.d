@@ -1,0 +1,1 @@
+examples/txn_demo.ml: Format Grid_codec Grid_paxos Grid_runtime Grid_services List Option Printf

@@ -1,0 +1,59 @@
+(* Replicated resource leases: clock-dependent grant/expiry decisions are
+   made once by the leader and replicated, so the lease table survives a
+   leader switch — where an unreplicated lease manager loses every lease
+   with its host.
+
+     dune exec examples/lease_demo.exe *)
+
+module Lease = Grid_services.Lease_manager
+module RT = Grid_runtime.Runtime.Make (Lease)
+open Grid_paxos.Types
+
+let show = function
+  | Lease.Granted { until } -> Printf.sprintf "granted (until t=%.0f)" until
+  | Lease.Denied { holder; until } ->
+    Printf.sprintf "denied (held by site %d until t=%.0f)" holder until
+  | Lease.Renewed { until } -> Printf.sprintf "renewed (until t=%.0f)" until
+  | Lease.Released -> "released"
+  | Lease.Not_holder -> "not the holder"
+  | Lease.Holder (Some (h, until)) -> Printf.sprintf "held by site %d until t=%.0f" h until
+  | Lease.Holder None -> "free"
+  | Lease.Count n -> Printf.sprintf "%d active" n
+
+let () =
+  let cfg = Grid_paxos.Config.default ~n:3 in
+  let t = RT.create ~cfg ~scenario:(Grid_runtime.Scenario.uniform ()) () in
+  ignore (RT.await_leader t);
+  let last = ref Lease.Released in
+  let client = RT.add_client t ~id:1 ~on_reply:(fun r ->
+      last := Lease.decode_result r.payload) () in
+  let call rtype op =
+    RT.submit t client rtype ~payload:(Lease.encode_op op);
+    RT.run_until t (RT.now t +. 50.0);
+    !last
+  in
+
+  Printf.printf "t=%6.0f site 1 acquires the tape silo for 60 s: %s\n" (RT.now t)
+    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
+  Printf.printf "t=%6.0f site 2 tries to grab it:              %s\n" (RT.now t)
+    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
+
+  let leader = Option.get (RT.leader t) in
+  Printf.printf "t=%6.0f *** leader (replica %d) crashes ***\n" (RT.now t) leader;
+  RT.crash_replica t leader;
+  RT.run_until t (RT.now t +. 1_000.0);
+  Printf.printf "t=%6.0f new leader: replica %d\n" (RT.now t) (Option.get (RT.leader t));
+
+  Printf.printf "t=%6.0f lease after failover:                 %s\n" (RT.now t)
+    (show (call Read (Lease.Holder_of "tape-silo")));
+  Printf.printf "t=%6.0f site 2 still denied:                  %s\n" (RT.now t)
+    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
+  Printf.printf "t=%6.0f site 1 renews through the NEW leader: %s\n" (RT.now t)
+    (show (call Write (Lease.Renew { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
+
+  print_endline
+    "\nThe grant deadline was computed from the ORIGINAL leader's clock and\n\
+     shipped inside the decided <request, state> tuple, so every replica —\n\
+     including the new leader — enforces the exact same expiry instant.\n\
+     An unreplicated lease service (or one replicated by re-execution)\n\
+     would have lost or re-dated the lease."

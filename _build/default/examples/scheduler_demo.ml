@@ -1,0 +1,99 @@
+(* The grid scheduling service of §2 (after the NILE Global Planner):
+   FCFS order overridden by priorities, with the examination-time race
+   the paper describes — and how replication with state shipping makes
+   the replicas agree on every scheduling decision.
+
+     dune exec examples/scheduler_demo.exe *)
+
+module Sched = Grid_services.Grid_scheduler
+module Rng = Grid_util.Rng
+module RT = Grid_runtime.Runtime.Make (Sched)
+open Grid_paxos.Types
+
+(* Part 1: the unreplicated race (§2). Job A arrives at t1; job B, with
+   higher priority, at t2 > t1. A fast scheduler that examines the queue
+   between t1 and t2 picks A; a slow one picks B. *)
+let race_demo () =
+  print_endline "Part 1 — the Job-A/Job-B examination race on ONE scheduler:";
+  let rng = Rng.of_int 1 in
+  let base =
+    List.fold_left
+      (fun st m -> (Sched.apply ~rng ~now:0.0 st (Sched.Add_machine m)).state)
+      (Sched.initial ()) [ 1; 2 ]
+  in
+  let pick label examine_between =
+    let st = (Sched.apply ~rng ~now:1.0 base (Sched.Submit { job = 1; priority = 0 })).state in
+    let st, first =
+      if examine_between then begin
+        let o = Sched.apply ~rng ~now:1.5 st Sched.Examine in
+        (o.state, o.result)
+      end
+      else (st, Sched.Scheduled None)
+    in
+    let st = (Sched.apply ~rng ~now:2.0 st (Sched.Submit { job = 2; priority = 9 })).state in
+    let o =
+      if examine_between then (first, st)
+      else
+        let o = Sched.apply ~rng ~now:2.5 st Sched.Examine in
+        (o.result, o.state)
+    in
+    (match fst o with
+    | Sched.Scheduled (Some (job, machine)) ->
+      Printf.printf "  %s scheduler picked job %d (machine %d)\n" label job machine
+    | _ -> Printf.printf "  %s scheduler picked nothing\n" label)
+  in
+  pick "fast" true;
+  pick "slow" false;
+  print_endline
+    "  Same submissions, different decisions — the service is nondeterministic\n\
+     even though its developer never intended it to be (§2).\n"
+
+(* Part 2: three replicas running the paper's protocol agree on every
+   decision, including the leader's observed arrival clocks and its
+   random machine choices, because decisions ship as state. *)
+let replicated_demo () =
+  print_endline "Part 2 — the same service actively replicated (3 replicas):";
+  let cfg = { (Grid_paxos.Config.default ~n:3) with record_history = true } in
+  let t = RT.create ~cfg ~scenario:(Grid_runtime.Scenario.uniform ()) () in
+  let ops =
+    List.concat
+      [
+        List.init 3 (fun m -> Sched.Add_machine m);
+        List.concat
+          (List.init 6 (fun j ->
+               [ Sched.Submit { job = j; priority = (if j = 4 then 9 else 0) };
+                 Sched.Examine ]));
+      ]
+  in
+  let remaining = ref ops in
+  let _ =
+    RT.run_closed_loop t ~clients:1 ~requests_per_client:(List.length ops)
+      ~gen:(fun ~client:_ () ->
+        match !remaining with
+        | [] -> None
+        | op :: rest ->
+          remaining := rest;
+          Some (Write, Sched.encode_op op))
+  in
+  RT.run_until t (RT.now t +. 200.0);
+  let st0 = RT.R.state (RT.replica t 0) in
+  Printf.printf "  schedule decided by the replicated service:\n";
+  List.iter
+    (fun (job, machine) -> Printf.printf "    job %d -> machine %d\n" job machine)
+    (Sched.assignments st0);
+  let identical =
+    List.for_all
+      (fun i ->
+        String.equal
+          (Sched.encode_state (RT.R.state (RT.replica t i)))
+          (Sched.encode_state st0))
+      [ 1; 2 ]
+  in
+  Printf.printf "  all replicas agree on the schedule: %b\n" identical;
+  print_endline
+    "  (Job 4 jumped the FCFS queue thanks to its priority, and every replica\n\
+     records the same machine for every job, despite randomized placement.)"
+
+let () =
+  race_demo ();
+  replicated_demo ()

@@ -1,0 +1,1 @@
+lib/check/agreement.ml: Array Format Grid_paxos Grid_util Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/check/agreement.mli: Format Grid_paxos

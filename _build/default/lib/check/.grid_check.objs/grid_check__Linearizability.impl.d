@@ -1,0 +1,1 @@
+lib/check/linearizability.ml: Float Int List Map Option String

@@ -1,0 +1,1 @@
+lib/check/linearizability.mli: Map

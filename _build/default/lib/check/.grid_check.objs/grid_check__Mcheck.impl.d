@@ -1,0 +1,1 @@
+lib/check/mcheck.ml: Agreement Array Float Grid_paxos Grid_util Hashtbl List Option Queue

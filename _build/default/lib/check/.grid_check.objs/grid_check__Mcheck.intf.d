@@ -1,0 +1,1 @@
+lib/check/mcheck.mli: Agreement Grid_paxos

@@ -1,0 +1,28 @@
+(** Safety checker for the core agreement property of the protocol
+    (§3.3): for every consensus instance, all replicas that learn a
+    decision learn the {e same} ⟨request batch, state⟩ tuple, and each
+    replica applies decisions in increasing instance order.
+
+    Works on the [committed_updates] histories that replicas record when
+    {!Grid_paxos.Config.t.record_history} is set. Holes in a single
+    replica's history are legal — they correspond to prefixes learned via
+    snapshot installation. *)
+
+type violation =
+  | Value_mismatch of { instance : int; replica_a : int; replica_b : int }
+      (** two replicas committed different request batches for one
+          instance *)
+  | State_mismatch of { instance : int; replica_a : int; replica_b : int }
+      (** same requests but diverged states — the failure mode of classic
+          Multi-Paxos under nondeterminism *)
+  | Order of { replica : int; instance : int }
+      (** a replica applied commits out of instance order *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  (int * Grid_paxos.Types.request list * string) list array -> violation list
+(** [check histories] where [histories.(r)] is replica [r]'s
+    [committed_updates]: per committed instance, the request batch and
+    the encoded service state after applying it. Returns all violations
+    found (empty = the histories agree). *)

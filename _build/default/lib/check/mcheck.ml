@@ -1,0 +1,260 @@
+(** Randomized-schedule state-space exploration for the protocol engines.
+
+    Because the replica and client engines are pure step machines, a
+    scheduler that owns the message pool and timer set can drive them
+    through interleavings far more adversarial than the latency-ordered
+    ones the simulator produces: reordering across pairs (FIFO per pair
+    is preserved, as with TCP), arbitrarily late timer firings, crashes
+    and recoveries at any step.
+
+    Each run uses one seed, so a failing schedule replays exactly. The
+    test suite runs thousands of seeds and asserts the agreement
+    invariant after every run. *)
+
+module Rng = Grid_util.Rng
+open Grid_paxos.Types
+
+type outcome = {
+  replies : reply list;
+  violations : Agreement.violation list;
+  committed : int array;  (** commit point per replica at the end *)
+  delivered : int;
+  timer_fires : int;
+  all_replied : bool;
+}
+
+module Make (S : Grid_paxos.Service_intf.S) = struct
+  module R = Grid_paxos.Replica.Make (S)
+
+  type sched = {
+    rng : Rng.t;
+    cfg : Grid_paxos.Config.t;
+    replicas : R.t array;
+    down : bool array;
+    (* FIFO queue per directed pair, keyed (src, dst). *)
+    channels : (int * int, msg Queue.t) Hashtbl.t;
+    mutable timers : (int * timer * float) list;
+    mutable vnow : float;
+    mutable replies : reply list;
+    mutable delivered : int;
+    mutable timer_fires : int;
+  }
+
+  let enqueue sched ~src ~dst msg =
+    let q =
+      match Hashtbl.find_opt sched.channels (src, dst) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace sched.channels (src, dst) q;
+        q
+    in
+    Queue.add msg q
+
+  let exec_actions sched i actions =
+    List.iter
+      (function
+        | Send { dst; msg } ->
+          if node_is_client dst then begin
+            match msg with
+            | Reply_msg r -> sched.replies <- r :: sched.replies
+            | _ -> ()
+          end
+          else enqueue sched ~src:i ~dst msg
+        | After { delay; timer } ->
+          sched.timers <- (i, timer, sched.vnow +. delay) :: sched.timers
+        | Note _ -> ())
+      actions
+
+  let dispatch sched i input =
+    if not sched.down.(i) then
+      exec_actions sched i (R.handle sched.replicas.(i) ~now:sched.vnow input)
+
+  let deliverable_pairs sched =
+    Hashtbl.fold
+      (fun (src, dst) q acc ->
+        if (not (Queue.is_empty q)) && not sched.down.(dst) then (src, dst) :: acc
+        else acc)
+      sched.channels []
+    |> List.sort compare
+
+  (* One scheduling step. Weights bias toward message delivery so runs
+     make progress; crash/recovery are rare events. *)
+  let step sched ~crash_prob ~max_down =
+    let pairs = deliverable_pairs sched in
+    let timers = sched.timers in
+    let down_count = Array.fold_left (fun n d -> if d then n + 1 else n) 0 sched.down in
+    let roll = Rng.float sched.rng 1.0 in
+    if roll < crash_prob && down_count < max_down then begin
+      (* Crash a random live replica. *)
+      let live =
+        List.filter (fun i -> not sched.down.(i)) (Grid_paxos.Config.replica_ids sched.cfg)
+      in
+      match live with
+      | [] -> false
+      | _ ->
+        let victim = Rng.pick_list sched.rng live in
+        sched.down.(victim) <- true;
+        (* Its in-flight timers die with it. *)
+        sched.timers <- List.filter (fun (i, _, _) -> i <> victim) sched.timers;
+        true
+    end
+    else if roll < 2.0 *. crash_prob && down_count > 0 then begin
+      (* Recover a random crashed replica. *)
+      let dead =
+        List.filter (fun i -> sched.down.(i)) (Grid_paxos.Config.replica_ids sched.cfg)
+      in
+      match dead with
+      | [] -> false
+      | _ ->
+        let back = Rng.pick_list sched.rng dead in
+        sched.down.(back) <- false;
+        (* Messages queued toward it while down are lost (TCP reset). *)
+        Hashtbl.iter
+          (fun (_, dst) q -> if dst = back then Queue.clear q)
+          sched.channels;
+        exec_actions sched back (R.restart sched.replicas.(back) ~now:sched.vnow);
+        true
+    end
+    else begin
+      (* Prefer delivering a message 3:1 over firing a timer. *)
+      let deliver () =
+        match pairs with
+        | [] -> false
+        | _ ->
+          let src, dst = Rng.pick_list sched.rng pairs in
+          let q = Hashtbl.find sched.channels (src, dst) in
+          let msg = Queue.take q in
+          sched.delivered <- sched.delivered + 1;
+          dispatch sched dst (Receive { src; msg });
+          true
+      in
+      let fire () =
+        let live = List.filter (fun (i, _, _) -> not sched.down.(i)) timers in
+        match live with
+        | [] -> false
+        | _ ->
+          let ((i, timer, due) as chosen) = Rng.pick_list sched.rng live in
+          sched.timers <- List.filter (fun t -> t != chosen) sched.timers;
+          sched.vnow <- Float.max sched.vnow due;
+          sched.timer_fires <- sched.timer_fires + 1;
+          dispatch sched i (Timer timer);
+          true
+      in
+      if pairs <> [] && (timers = [] || Rng.int sched.rng 4 < 3) then deliver ()
+      else if fire () then true
+      else deliver ()
+    end
+
+  (** [run ~requests ()] explores one random schedule. [requests] are
+      (client id, rtype, payload) triples. Like the real client protocol,
+      every request is broadcast to all replicas and retransmitted until
+      answered (retransmission points are scheduling choices), which both
+      exercises deduplication and gives benign schedules a liveness
+      guarantee. Returns the outcome with agreement violations, if any. *)
+  let run ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
+      ?(requests = []) () =
+    let rng = Rng.of_int seed in
+    let cfg =
+      { (Grid_paxos.Config.default ~n:3) with record_history = true }
+    in
+    let sched =
+      {
+        rng;
+        cfg;
+        replicas = Array.init cfg.n (fun i -> R.create ~cfg ~id:i ~seed:(seed + i) ());
+        down = Array.make cfg.n false;
+        channels = Hashtbl.create 32;
+        timers = [];
+        vnow = 0.0;
+        replies = [];
+        delivered = 0;
+        timer_fires = 0;
+      }
+    in
+    Array.iteri (fun i r -> exec_actions sched i (R.bootstrap r)) sched.replicas;
+    (* Clients are closed-loop: each client's requests carry increasing
+       sequence numbers and the next is only injected after the previous
+       one was answered (deduplication assumes exactly this). Injection
+       and retransmission points are scheduling choices. *)
+    let per_client : (int, request Queue.t) Hashtbl.t = Hashtbl.create 8 in
+    let seq_counters : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (client, rtype, payload) ->
+        let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt seq_counters client) in
+        Hashtbl.replace seq_counters client seq;
+        let id =
+          Grid_util.Ids.Request_id.make
+            ~client:(Grid_util.Ids.Client_id.of_int client)
+            ~seq
+        in
+        let q =
+          match Hashtbl.find_opt per_client client with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace per_client client q;
+            q
+        in
+        Queue.add { id; rtype; payload } q)
+      requests;
+    let absorb_replies () =
+      List.iter
+        (fun (r : reply) ->
+          match Hashtbl.find_opt per_client (Grid_util.Ids.Client_id.to_int r.req.client) with
+          | Some q when not (Queue.is_empty q) ->
+            let head = Queue.peek q in
+            if head.id.seq = r.req.seq then ignore (Queue.take q)
+          | _ -> ())
+        sched.replies
+    in
+    let pending_count () =
+      absorb_replies ();
+      Hashtbl.fold (fun _ q acc -> acc + Queue.length q) per_client 0
+    in
+    let inject () =
+      absorb_replies ();
+      let heads =
+        Hashtbl.fold
+          (fun _ q acc -> if Queue.is_empty q then acc else Queue.peek q :: acc)
+          per_client []
+      in
+      match heads with
+      | [] -> false
+      | _ ->
+        let r = Rng.pick_list sched.rng heads in
+        for i = 0 to cfg.n - 1 do
+          dispatch sched i (Receive { src = client_node r.id.client; msg = Client_req r })
+        done;
+        true
+    in
+    for _ = 1 to steps do
+      if pending_count () > 0 && Rng.int sched.rng 10 = 0 then ignore (inject ())
+      else ignore (step sched ~crash_prob ~max_down)
+    done;
+    (* Drain: no more crashes; recover everyone; keep injecting unanswered
+       requests and scheduling until all are answered or the budget runs
+       out. *)
+    for i = 0 to cfg.n - 1 do
+      if sched.down.(i) then begin
+        sched.down.(i) <- false;
+        exec_actions sched i (R.restart sched.replicas.(i) ~now:sched.vnow)
+      end
+    done;
+    let budget = ref (steps * 10) in
+    while !budget > 0 && pending_count () > 0 do
+      decr budget;
+      if Rng.int sched.rng 20 = 0 then ignore (inject ())
+      else ignore (step sched ~crash_prob:0.0 ~max_down)
+    done;
+    let all_replied = pending_count () = 0 in
+    let histories = Array.map R.committed_updates sched.replicas in
+    {
+      replies = List.rev sched.replies;
+      violations = Agreement.check histories;
+      committed = Array.map R.commit_point sched.replicas;
+      delivered = sched.delivered;
+      timer_fires = sched.timer_fires;
+      all_replied;
+    }
+end

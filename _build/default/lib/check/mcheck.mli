@@ -1,0 +1,41 @@
+(** Randomized-schedule state-space exploration of the protocol engines.
+
+    A scheduler owns the message pool (FIFO per directed pair, as with
+    TCP) and the timer set, and drives the replicas through interleavings
+    far more adversarial than latency-ordered simulation: cross-pair
+    reordering, arbitrarily late timer firings, crashes and recoveries at
+    any step. Clients are modeled closed-loop with retransmission, so
+    benign schedules also give a liveness check.
+
+    Each run is fully determined by its seed: a failing schedule replays
+    exactly. *)
+
+type outcome = {
+  replies : Grid_paxos.Types.reply list;
+  violations : Agreement.violation list;
+  committed : int array;  (** commit point per replica at the end *)
+  delivered : int;
+  timer_fires : int;
+  all_replied : bool;
+      (** every injected request got a reply by the end of the drain *)
+}
+
+module Make (S : Grid_paxos.Service_intf.S) : sig
+  module R : module type of Grid_paxos.Replica.Make (S)
+
+  val run :
+    ?seed:int ->
+    ?steps:int ->
+    ?crash_prob:float ->
+    ?max_down:int ->
+    ?requests:(int * Grid_paxos.Types.rtype * string) list ->
+    unit ->
+    outcome
+  (** Explore one schedule over a 3-replica group. [requests] are
+      (client id, rtype, payload) triples; each client's requests are
+      injected in order (closed loop) and retransmitted until answered.
+      After [steps] scheduling choices, crashes stop, every replica is
+      recovered, and the system is drained so liveness can be asserted.
+      Defaults: seed 1, 5000 steps, no crashes, at most one replica down
+      at a time. *)
+end

@@ -1,0 +1,1 @@
+lib/codec/wire.ml: Array Buffer Char Int32 Int64 Lazy List Printf String Sys

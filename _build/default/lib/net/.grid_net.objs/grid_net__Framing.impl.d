@@ -1,0 +1,1 @@
+lib/net/framing.ml: Bytes Char Grid_codec Grid_paxos Printf String Unix

@@ -1,0 +1,1 @@
+lib/net/framing.mli: Grid_paxos Unix

@@ -1,0 +1,1 @@
+lib/net/tcp_node.ml: Bytes Condition Float Framing Fun Grid_codec Grid_paxos Grid_util List Mutex Option Queue Thread Unix

@@ -1,0 +1,1 @@
+lib/net/tcp_node.mli: Grid_paxos Unix

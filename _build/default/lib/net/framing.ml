@@ -1,0 +1,57 @@
+module Wire = Grid_codec.Wire
+
+exception Closed
+
+let max_frame = 16 * 1024 * 1024
+
+let really_write fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.write_substring fd s !pos (len - !pos) in
+    if n = 0 then raise Closed;
+    pos := !pos + n
+  done
+
+let really_read fd n =
+  let buf = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = Unix.read fd buf !pos (n - !pos) in
+    if k = 0 then raise Closed;
+    pos := !pos + k
+  done;
+  Bytes.unsafe_to_string buf
+
+let write_frame fd payload =
+  let framed = Wire.with_crc payload in
+  let len = String.length framed in
+  if len > max_frame then invalid_arg "Framing.write_frame: frame too large";
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr (len land 0xFF));
+  Bytes.set hdr 1 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set hdr 2 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set hdr 3 (Char.chr ((len lsr 24) land 0xFF));
+  really_write fd (Bytes.unsafe_to_string hdr ^ framed)
+
+let read_frame fd =
+  let hdr = really_read fd 4 in
+  let len =
+    Char.code hdr.[0]
+    lor (Char.code hdr.[1] lsl 8)
+    lor (Char.code hdr.[2] lsl 16)
+    lor (Char.code hdr.[3] lsl 24)
+  in
+  if len < 4 || len > max_frame then
+    raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad frame length %d" len });
+  Wire.check_crc (really_read fd len)
+
+let write_msg fd msg =
+  write_frame fd (Wire.encode (fun e -> Grid_paxos.Types.encode_msg e msg))
+
+let read_msg fd = Wire.decode (read_frame fd) Grid_paxos.Types.decode_msg
+
+let write_hello fd ~node_id =
+  write_frame fd (Wire.encode (fun e -> Wire.Encoder.uint e node_id))
+
+let read_hello fd = Wire.decode (read_frame fd) Wire.Decoder.uint

@@ -1,0 +1,27 @@
+(** Length-prefixed, CRC-protected message framing over file descriptors.
+
+    Frame layout: 4-byte little-endian payload length, then the payload
+    with the 4-byte CRC32 trailer of {!Grid_codec.Wire.with_crc}. The
+    maximum frame size guards against corrupt length headers. *)
+
+exception Closed
+(** Raised on EOF or a closed peer. *)
+
+val max_frame : int
+(** 16 MiB. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (payload without CRC; the trailer is added here).
+    Raises [Unix.Unix_error] on socket errors. *)
+
+val read_frame : Unix.file_descr -> string
+(** Read one frame, verify the CRC, and return the payload. Raises
+    {!Closed} on EOF, {!Grid_codec.Wire.Decode_error} on corruption. *)
+
+val write_msg : Unix.file_descr -> Grid_paxos.Types.msg -> unit
+val read_msg : Unix.file_descr -> Grid_paxos.Types.msg
+
+val write_hello : Unix.file_descr -> node_id:int -> unit
+(** Connection handshake: the dialing side announces its node id. *)
+
+val read_hello : Unix.file_descr -> int

@@ -1,0 +1,291 @@
+open Grid_paxos.Types
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* ------------------------------------------------------------------ *)
+(* Generic event loop: an inbox fed by reader threads, a timer queue, and
+   a self-pipe so the main loop can sleep in [select] yet wake on either
+   a message or a due timer. *)
+
+type core = {
+  node_id : int;
+  mutex : Mutex.t;
+  inbox : (int * msg) Queue.t;
+  thunks : (unit -> unit) Queue.t;  (* injected work, run on the loop thread *)
+  mutable timers : (float * timer) list;  (* sorted by due time *)
+  mutable conns : (int * Unix.file_descr) list;
+  mutable stop : bool;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  addresses : (int * Unix.sockaddr) list;
+}
+
+let create_core ~node_id ~addresses =
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  {
+    node_id;
+    mutex = Mutex.create ();
+    inbox = Queue.create ();
+    thunks = Queue.create ();
+    timers = [];
+    conns = [];
+    stop = false;
+    pipe_r;
+    pipe_w;
+    addresses;
+  }
+
+let wake core = try ignore (Unix.write_substring core.pipe_w "x" 0 1) with _ -> ()
+
+let with_lock core f =
+  Mutex.lock core.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock core.mutex) f
+
+let enqueue_msg core src msg =
+  with_lock core (fun () -> Queue.add (src, msg) core.inbox);
+  wake core
+
+let inject core thunk =
+  with_lock core (fun () -> Queue.add thunk core.thunks);
+  wake core
+
+let register_conn core peer fd =
+  with_lock core (fun () ->
+      core.conns <- (peer, fd) :: List.remove_assoc peer core.conns)
+
+let drop_conn core peer =
+  with_lock core (fun () -> core.conns <- List.remove_assoc peer core.conns)
+
+(* Reader thread: handshake already done; pump messages into the inbox. *)
+let reader_thread core peer fd =
+  (try
+     while not core.stop do
+       let msg = Framing.read_msg fd in
+       enqueue_msg core peer msg
+     done
+   with Framing.Closed | Unix.Unix_error _ | Grid_codec.Wire.Decode_error _ -> ());
+  drop_conn core peer;
+  try Unix.close fd with _ -> ()
+
+(* Get (or dial) the connection to [peer]; None if unreachable. *)
+let connection core peer =
+  match with_lock core (fun () -> List.assoc_opt peer core.conns) with
+  | Some fd -> Some fd
+  | None -> (
+    match List.assoc_opt peer core.addresses with
+    | None -> None
+    | Some addr -> (
+      try
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.setsockopt fd TCP_NODELAY true;
+        Unix.connect fd addr;
+        Framing.write_hello fd ~node_id:core.node_id;
+        register_conn core peer fd;
+        ignore (Thread.create (fun () -> reader_thread core peer fd) ());
+        Some fd
+      with Unix.Unix_error _ -> None))
+
+let send_msg core ~dst msg =
+  match connection core dst with
+  | None -> ()  (* unreachable peer: retransmission recovers *)
+  | Some fd -> (
+    try Framing.write_msg fd msg
+    with Framing.Closed | Unix.Unix_error _ -> drop_conn core dst)
+
+let arm_timer core ~due timer =
+  with_lock core (fun () ->
+      core.timers <-
+        List.merge
+          (fun (a, _) (b, _) -> Float.compare a b)
+          core.timers [ (due, timer) ])
+
+let run_actions core actions =
+  List.iter
+    (function
+      | Send { dst; msg } -> send_msg core ~dst msg
+      | After { delay; timer } -> arm_timer core ~due:(now_ms () +. delay) timer
+      | Note _ -> ())
+    actions
+
+(* The main loop: [handle] processes one input and returns actions. *)
+let event_loop core handle =
+  let drain_pipe () =
+    let buf = Bytes.create 64 in
+    try
+      while Unix.read core.pipe_r buf 0 64 > 0 do
+        ()
+      done
+    with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  in
+  while not core.stop do
+    (* Pull work under the lock. *)
+    let inputs, thunks, timeout =
+      with_lock core (fun () ->
+          let msgs = Queue.fold (fun acc x -> x :: acc) [] core.inbox in
+          Queue.clear core.inbox;
+          let thunks = Queue.fold (fun acc x -> x :: acc) [] core.thunks in
+          Queue.clear core.thunks;
+          let now = now_ms () in
+          let due, later = List.partition (fun (d, _) -> d <= now) core.timers in
+          core.timers <- later;
+          let timeout =
+            match later with
+            | [] -> 0.1 (* s *)
+            | (d, _) :: _ -> Float.max 0.0 ((d -. now) /. 1000.0)
+          in
+          ( List.rev_map (fun (src, msg) -> Receive { src; msg }) msgs
+            @ List.map (fun (_, timer) -> Timer timer) due,
+            List.rev thunks,
+            timeout ))
+    in
+    List.iter (fun thunk -> thunk ()) thunks;
+    List.iter (fun input -> run_actions core (handle ~now:(now_ms ()) input)) inputs;
+    if inputs = [] && thunks = [] then begin
+      (match Unix.select [ core.pipe_r ] [] [] timeout with
+      | [ _ ], _, _ -> drain_pipe ()
+      | _ -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> ())
+    end
+  done
+
+let shutdown core =
+  core.stop <- true;
+  wake core;
+  with_lock core (fun () ->
+      List.iter (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ()) core.conns)
+
+(* ------------------------------------------------------------------ *)
+
+module Make (S : Grid_paxos.Service_intf.S) = struct
+  module R = Grid_paxos.Replica.Make (S)
+  module Client = Grid_paxos.Client
+
+  type replica_handle = {
+    r_core : core;
+    replica : R.t;
+    r_loop : Thread.t;
+    r_accept : Thread.t;
+    listener : Unix.file_descr;
+  }
+
+  let acceptor core listener =
+    try
+      while not core.stop do
+        let fd, _ = Unix.accept listener in
+        Unix.setsockopt fd TCP_NODELAY true;
+        match Framing.read_hello fd with
+        | peer ->
+          register_conn core peer fd;
+          ignore (Thread.create (fun () -> reader_thread core peer fd) ())
+        | exception (Framing.Closed | Grid_codec.Wire.Decode_error _) -> (
+          try Unix.close fd with _ -> ())
+      done
+    with Unix.Unix_error _ -> ()
+
+  let start_replica ~cfg ~id ~port ~peers ?storage () =
+    let core = create_core ~node_id:id ~addresses:peers in
+    let replica = R.create ~cfg ~id ?storage () in
+    let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt listener SO_REUSEADDR true;
+    Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen listener 64;
+    (* Engine access is confined to the loop thread; bootstrap through an
+       injected thunk. *)
+    inject core (fun () -> run_actions core (R.bootstrap replica));
+    let handle ~now input = R.handle replica ~now input in
+    let r_loop = Thread.create (fun () -> event_loop core handle) () in
+    let r_accept = Thread.create (fun () -> acceptor core listener) () in
+    { r_core = core; replica; r_loop; r_accept; listener }
+
+  (* Engine introspection must also run on the loop thread. *)
+  let on_loop h f =
+    let result = ref None in
+    let m = Mutex.create () and c = Condition.create () in
+    inject h.r_core (fun () ->
+        Mutex.lock m;
+        result := Some (f ());
+        Condition.signal c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    while !result = None do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    Option.get !result
+
+  let replica_is_leader h = on_loop h (fun () -> R.is_leader h.replica)
+  let replica_commit_point h = on_loop h (fun () -> R.commit_point h.replica)
+  let replica_state h = on_loop h (fun () -> R.state h.replica)
+
+  let stop_replica h =
+    shutdown h.r_core;
+    (try Unix.shutdown h.listener SHUTDOWN_ALL with _ -> ());
+    (try Unix.close h.listener with _ -> ());
+    (try Thread.join h.r_loop with _ -> ());
+    try Thread.join h.r_accept with _ -> ()
+
+  type client_handle = {
+    c_core : core;
+    client : Client.t;
+    c_loop : Thread.t;
+    c_mutex : Mutex.t;
+    c_cond : Condition.t;
+    c_reply : reply option ref;
+  }
+
+  let start_client ~id ~replicas ?(retry_ms = 200.0) () =
+    let cid = Grid_util.Ids.Client_id.of_int id in
+    let client =
+      Client.create ~id:cid ~replicas:(List.map fst replicas) ~retry_ms ()
+    in
+    let core = create_core ~node_id:(client_node cid) ~addresses:replicas in
+    let c_mutex = Mutex.create () in
+    let c_cond = Condition.create () in
+    let c_reply = ref None in
+    let handle ~now input =
+      let actions, reply = Client.handle client ~now input in
+      (match reply with
+      | Some r ->
+        Mutex.lock c_mutex;
+        c_reply := Some r;
+        Condition.signal c_cond;
+        Mutex.unlock c_mutex
+      | None -> ());
+      actions
+    in
+    let c_loop = Thread.create (fun () -> event_loop core handle) () in
+    { c_core = core; client; c_loop; c_mutex; c_cond; c_reply }
+
+  let call h rtype ~payload ~timeout_s =
+    Mutex.lock h.c_mutex;
+    h.c_reply := None;
+    Mutex.unlock h.c_mutex;
+    inject h.c_core (fun () ->
+        run_actions h.c_core (Client.submit h.client rtype ~payload));
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    Mutex.lock h.c_mutex;
+    let rec wait () =
+      match !(h.c_reply) with
+      | Some r ->
+        Mutex.unlock h.c_mutex;
+        Some r
+      | None ->
+        if Unix.gettimeofday () > deadline then begin
+          Mutex.unlock h.c_mutex;
+          None
+        end
+        else begin
+          (* Condition has no timed wait in the stdlib: poll briefly. *)
+          Mutex.unlock h.c_mutex;
+          Thread.delay 0.002;
+          Mutex.lock h.c_mutex;
+          wait ()
+        end
+    in
+    wait ()
+
+  let stop_client h =
+    shutdown h.c_core;
+    try Thread.join h.c_loop with _ -> ()
+end

@@ -1,0 +1,54 @@
+(** TCP runtime: hosts the same pure protocol engines that run on the
+    simulator over real sockets and threads.
+
+    Each node runs one event loop (a [select] on a self-pipe, the inbox
+    and the timer queue). Peer connections are dialed lazily and
+    deduplicated by the handshake's node id; replies to clients travel
+    back over the connection the client dialed in on.
+
+    This is the backend for [bin/replica.exe] and [bin/client.exe], and
+    for the loopback integration tests. The evaluation itself uses the
+    simulator (DESIGN.md §2) — this module demonstrates that the engines
+    are transport-agnostic. *)
+
+module Make (S : Grid_paxos.Service_intf.S) : sig
+  module R : module type of Grid_paxos.Replica.Make (S)
+
+  type replica_handle
+
+  val start_replica :
+    cfg:Grid_paxos.Config.t ->
+    id:int ->
+    port:int ->
+    peers:(int * Unix.sockaddr) list ->
+    ?storage:Grid_paxos.Storage.t ->
+    unit ->
+    replica_handle
+  (** Bind [port], bootstrap the replica engine, and serve until
+      {!stop_replica}. [peers] maps the other replica ids to their
+      addresses. *)
+
+  val replica_is_leader : replica_handle -> bool
+  val replica_commit_point : replica_handle -> int
+  val replica_state : replica_handle -> S.state
+  val stop_replica : replica_handle -> unit
+
+  type client_handle
+
+  val start_client :
+    id:int -> replicas:(int * Unix.sockaddr) list -> ?retry_ms:float -> unit -> client_handle
+  (** Connect to every replica. The client keeps no listening socket;
+      replies arrive on the dialed connections. *)
+
+  val call :
+    client_handle ->
+    Grid_paxos.Types.rtype ->
+    payload:string ->
+    timeout_s:float ->
+    Grid_paxos.Types.reply option
+  (** Synchronous request: broadcast to all replicas, wait for the
+      leader's reply (with protocol-level retransmission), [None] on
+      timeout. *)
+
+  val stop_client : client_handle -> unit
+end

@@ -1,0 +1,1 @@
+lib/paxos/client.ml: Format Grid_util List Types

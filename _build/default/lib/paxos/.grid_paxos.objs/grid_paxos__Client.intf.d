@@ -1,0 +1,1 @@
+lib/paxos/client.mli: Grid_util Types

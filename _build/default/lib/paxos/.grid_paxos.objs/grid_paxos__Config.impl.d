@@ -1,0 +1,1 @@
+lib/paxos/config.ml: Fun List

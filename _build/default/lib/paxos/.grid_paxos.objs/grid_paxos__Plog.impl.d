@@ -1,0 +1,1 @@
+lib/paxos/plog.ml: Hashtbl Int List Types

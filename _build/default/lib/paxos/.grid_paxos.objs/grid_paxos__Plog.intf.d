@@ -1,0 +1,1 @@
+lib/paxos/plog.mli: Types

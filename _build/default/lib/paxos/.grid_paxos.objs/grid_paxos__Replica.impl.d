@@ -1,0 +1,1 @@
+lib/paxos/replica.ml: Array Ballot Config Float Format Grid_codec Grid_util Hashtbl Int List Plog Queue Service_intf Snapshot Stdlib Storage Types

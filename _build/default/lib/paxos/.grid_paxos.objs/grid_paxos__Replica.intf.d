@@ -1,0 +1,1 @@
+lib/paxos/replica.mli: Config Service_intf Storage Types

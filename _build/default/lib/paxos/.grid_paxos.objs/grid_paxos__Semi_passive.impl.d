@@ -1,0 +1,1 @@
+lib/paxos/semi_passive.ml: Config Float Grid_util Hashtbl List Queue Service_intf Stdlib Types

@@ -1,0 +1,1 @@
+lib/paxos/semi_passive.mli: Config Service_intf Types

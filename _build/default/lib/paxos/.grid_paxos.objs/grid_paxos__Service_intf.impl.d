@@ -1,0 +1,1 @@
+lib/paxos/service_intf.ml: Grid_util

@@ -1,0 +1,1 @@
+lib/paxos/snapshot.ml: Grid_codec Grid_util Types

@@ -1,0 +1,1 @@
+lib/paxos/storage.ml: Bytes Char Grid_codec Hashtbl List Printf String Sys Types

@@ -1,0 +1,1 @@
+lib/paxos/storage.mli: Types

@@ -1,0 +1,1 @@
+lib/paxos/types.ml: Format Grid_codec Grid_util Int List Printf String

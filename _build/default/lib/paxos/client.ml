@@ -1,0 +1,73 @@
+open Types
+module Ids = Grid_util.Ids
+module Rng = Grid_util.Rng
+
+type t = {
+  cid : Ids.Client_id.t;
+  replicas : int list;
+  retry_ms : float;
+  rng : Rng.t;
+  mutable seq : int;
+  mutable pending : request option;
+  mutable sent : int;
+  mutable retries : int;
+}
+
+let create ~id ~replicas ?(retry_ms = 500.0) ?seed () =
+  if replicas = [] then invalid_arg "Client.create: no replicas";
+  let seed = match seed with Some s -> s | None -> 0xC11E47 + Ids.Client_id.to_int id in
+  {
+    cid = id;
+    replicas;
+    retry_ms;
+    rng = Rng.of_int seed;
+    seq = 0;
+    pending = None;
+    sent = 0;
+    retries = 0;
+  }
+
+(* Retransmission intervals are jittered ±25% so retries cannot phase-lock
+   with a periodic failure pattern. *)
+let retry_delay t = t.retry_ms *. (0.75 +. Rng.float t.rng 0.5)
+
+let id t = t.cid
+let node t = client_node t.cid
+let outstanding t = t.pending
+let sent_count t = t.sent
+let retry_count t = t.retries
+
+let broadcast t (r : request) =
+  List.map (fun dst -> send ~dst (Client_req r)) t.replicas
+
+let submit t rtype ~payload =
+  (match t.pending with
+  | Some r ->
+    invalid_arg
+      (Format.asprintf "Client.submit: request %a still outstanding" Ids.Request_id.pp
+         r.id)
+  | None -> ());
+  t.seq <- t.seq + 1;
+  let r =
+    { id = Ids.Request_id.make ~client:t.cid ~seq:t.seq; rtype; payload }
+  in
+  t.pending <- Some r;
+  t.sent <- t.sent + 1;
+  broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry t.seq) ]
+
+let handle t ~now:_ input =
+  match input with
+  | Timer (Client_retry seq) -> (
+    match t.pending with
+    | Some r when r.id.seq = seq ->
+      t.retries <- t.retries + 1;
+      (broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry seq) ], None)
+    | _ -> ([], None))
+  | Timer _ -> ([], None)
+  | Receive { msg = Reply_msg reply; _ } -> (
+    match t.pending with
+    | Some r when Ids.Request_id.equal r.id reply.req ->
+      t.pending <- None;
+      ([], Some reply)
+    | _ -> ([], None) (* duplicate or stale reply *))
+  | Receive _ -> ([], None)

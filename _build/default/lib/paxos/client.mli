@@ -1,0 +1,39 @@
+(** The client protocol (§3.3): each request is sent to {e all} replicas
+    — so clients need not know which replica currently leads — and only
+    the leader answers. The client retransmits on timeout and matches
+    replies by request id, dropping duplicates.
+
+    Like the replica, the client is a pure step machine: [submit] and
+    [handle] return actions for the driver, and [handle] additionally
+    surfaces a fresh (non-duplicate) reply for the workload layer. *)
+
+type t
+
+val create :
+  id:Grid_util.Ids.Client_id.t ->
+  replicas:int list ->
+  ?retry_ms:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** [retry_ms] defaults to 500; actual retransmission delays are jittered
+    ±25% (seeded by [seed], default derived from [id]) so that retries
+    cannot phase-lock with periodic failures. *)
+
+val id : t -> Grid_util.Ids.Client_id.t
+val node : t -> int
+(** The node id this client occupies (see {!Types.client_node}). *)
+
+val submit : t -> Types.rtype -> payload:string -> Types.action list
+(** Issue the next request (closed loop: at most one outstanding; raises
+    [Invalid_argument] if one is pending). Returns the broadcast and the
+    retransmission timer. *)
+
+val handle : t -> now:float -> Types.input -> Types.action list * Types.reply option
+(** Feed a reply or timer. The returned reply is [Some] exactly when it
+    answers the outstanding request (retransmitted duplicates are
+    absorbed). *)
+
+val outstanding : t -> Types.request option
+val sent_count : t -> int
+val retry_count : t -> int

@@ -1,0 +1,73 @@
+(** Static replica-group configuration and protocol timeouts.
+
+    All durations are milliseconds of (simulated or real) time. The
+    defaults suit the LAN scenario; WAN scenarios scale the election
+    timeouts up via {!with_wan_timeouts}. *)
+
+type t = {
+  n : int;  (** number of replicas; ids are [0 .. n-1] *)
+  execution_cost_ms : float;
+      (** the paper's E: service execution time per request *)
+  accept_retry_ms : float;  (** leader retransmission of Accept *)
+  prepare_retry_ms : float;  (** candidate retransmission of Prepare *)
+  hb_period_ms : float;  (** heartbeat broadcast period *)
+  suspicion_ms : float;  (** silence after which a replica is suspected *)
+  stability_ms : float;
+      (** candidate hold-down before starting a takeover (leader
+          stability, §3.6) *)
+  client_retry_ms : float;  (** client retransmission timeout *)
+  record_history : bool;
+      (** keep the full committed-request history in memory (for the
+          linearizability and agreement checkers; off for benchmarks) *)
+  ship : [ `Full | `Delta | `Witness ];
+      (** how accepted proposals carry the new state (§3.3): full encoded
+          state, service-provided delta, or a determinization witness the
+          followers replay. [`Delta] and [`Witness] fall back to [`Full]
+          when the service cannot provide them. *)
+  snapshot_interval : int;
+      (** persist a snapshot and prune the log every this many commits *)
+  max_batch : int;
+      (** largest write batch the leader folds into one instance *)
+  coordination : [ `State_shipping | `Request_shipping ];
+      (** [`State_shipping] is the paper's protocol: instances decide on
+          ⟨request, state⟩ and followers adopt the shipped state.
+          [`Request_shipping] is classic Multi-Paxos (replicated state
+          machines, §3.3 ¶1): instances decide on the request only and
+          every replica re-executes it locally — correct only for
+          deterministic services, and included as the baseline whose
+          divergence on nondeterministic services motivates the paper. *)
+}
+
+let default ~n =
+  if n < 1 then invalid_arg "Config.default: need at least one replica";
+  {
+    n;
+    execution_cost_ms = 0.0;
+    accept_retry_ms = 50.0;
+    prepare_retry_ms = 50.0;
+    hb_period_ms = 20.0;
+    suspicion_ms = 100.0;
+    stability_ms = 30.0;
+    client_retry_ms = 500.0;
+    record_history = false;
+    ship = `Delta;
+    snapshot_interval = 64;
+    max_batch = 6;
+    coordination = `State_shipping;
+  }
+
+let with_wan_timeouts t =
+  {
+    t with
+    accept_retry_ms = 500.0;
+    prepare_retry_ms = 500.0;
+    hb_period_ms = 200.0;
+    suspicion_ms = 1000.0;
+    stability_ms = 300.0;
+    client_retry_ms = 3000.0;
+  }
+
+let quorum t = (t.n / 2) + 1
+(** Majority size: ⌈(n+1)/2⌉, tolerating ⌊(n−1)/2⌋ crashed replicas. *)
+
+let replica_ids t = List.init t.n Fun.id

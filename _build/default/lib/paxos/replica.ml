@@ -1,0 +1,1044 @@
+open Types
+module Rng = Grid_util.Rng
+module Bitset = Grid_util.Bitset
+module Ids = Grid_util.Ids
+
+module Make (S : Service_intf.S) = struct
+  type work = W_write of request | W_txn_commit of request
+
+  (* Work deferred behind the execution-cost timer (the paper's E). *)
+  type exec_work =
+    | Exec_batch of work list  (* writes and txn commits, one instance *)
+    | Exec_read of request
+    | Exec_original of request
+    | Exec_txn_op of request
+
+  type pending_read = {
+    pr_request : request;
+    pr_confirms : Bitset.t;
+    mutable pr_exec_done : bool;
+    mutable pr_result : string;
+  }
+
+  (* A leader-local transaction branch (T-Paxos). [tx_ops] and
+     [tx_replies] are kept reversed. *)
+  type txn = {
+    mutable tx_state : S.state;
+    tx_base : int;  (* commit point at branch time *)
+    mutable tx_ops : (request * string option) list;  (* with witnesses *)
+    mutable tx_replies : reply list;
+    tx_footprint : (string, unit) Hashtbl.t;
+  }
+
+  type inflight = {
+    fl_instance : int;
+    fl_proposal : proposal;
+    fl_acks : Bitset.t;
+    fl_post_state : S.state;
+    fl_to_send : reply list;  (* replies released at commit time *)
+  }
+
+  type phase =
+    | Ph_exec  (* waiting on an Exec_done for the current work item *)
+    | Ph_prop of inflight
+
+  type leadership = {
+    l_ballot : Ballot.t;
+    l_queue : work Queue.t;
+    mutable l_phase : phase option;
+    mutable l_repropose : (int * proposal) list;  (* ascending instances *)
+    l_reads : (Ids.Request_id.t, pending_read) Hashtbl.t;
+    l_txns : (int * int, txn) Hashtbl.t;  (* (client, txn id) *)
+    l_queued_ids : (Ids.Request_id.t, unit) Hashtbl.t;
+  }
+
+  type candidacy = {
+    c_ballot : Ballot.t;
+    c_acks : Bitset.t;
+    c_merged : (int, Ballot.t * proposal) Hashtbl.t;
+    mutable c_snapshot : Snapshot.t option;
+  }
+
+  type role = Follower | Candidate of candidacy | Leader of leadership
+
+  type t = {
+    cfg : Config.t;
+    rid : int;
+    mutable now : float;  (* driver time of the input being handled *)
+    rng : Rng.t;
+    storage : Storage.t;
+    log : Plog.t;
+    mutable promised : Ballot.t;
+    mutable role : role;
+    mutable app_state : S.state;  (* latest committed service state *)
+    dedup : (int, reply) Hashtbl.t;  (* client id -> last committed reply *)
+    (* election *)
+    last_heard : float array;
+    mutable round_seen : int;
+    mutable candidate_since : float option;
+    (* X-Paxos confirms that arrived before the client request *)
+    pre_confirms : (Ids.Request_id.t, Bitset.t) Hashtbl.t;
+    (* execution-cost deferral *)
+    exec_table : (int, exec_work) Hashtbl.t;
+    mutable exec_next : int;
+    (* T-Paxos conflict window: footprints of recently committed instances *)
+    recent_footprints : (int, string list) Hashtbl.t;
+    (* checker support *)
+    mutable history : (int * request list * string) list;  (* reversed *)
+    mutable commits_seen : int;
+  }
+
+  let create ~cfg ~id ?(storage = Storage.null ()) ?seed () =
+    let seed = match seed with Some s -> s | None -> 0x5eed + id in
+    {
+      cfg;
+      rid = id;
+      now = 0.0;
+      rng = Rng.of_int seed;
+      storage;
+      log = Plog.create ();
+      promised = Ballot.zero;
+      role = Follower;
+      app_state = S.initial ();
+      dedup = Hashtbl.create 32;
+      last_heard = Array.make cfg.n neg_infinity;
+      round_seen = 0;
+      candidate_since = None;
+      pre_confirms = Hashtbl.create 16;
+      exec_table = Hashtbl.create 16;
+      exec_next = 0;
+      recent_footprints = Hashtbl.create 64;
+      history = [];
+      commits_seen = 0;
+    }
+
+  let id t = t.rid
+  let promised t = t.promised
+  let commit_point t = Plog.commit_point t.log
+  let state t = t.app_state
+  let is_leader t = match t.role with Leader _ -> true | _ -> false
+
+  let ballot t =
+    match t.role with
+    | Leader l -> l.l_ballot
+    | Candidate c -> c.c_ballot
+    | Follower -> t.promised
+
+  let leader_view t =
+    if Ballot.equal t.promised Ballot.zero then None else Some t.promised.holder
+
+  let committed_requests t =
+    List.rev t.history |> List.concat_map (fun (_, reqs, _) -> reqs)
+
+  let committed_updates t = List.rev t.history
+  let stats_commits t = t.commits_seen
+  let others t = List.filter (fun r -> r <> t.rid) (Config.replica_ids t.cfg)
+  let quorum t = Config.quorum t.cfg
+
+  let note fmt = Format.kasprintf (fun s -> Note s) fmt
+
+  let observe_round t round = if round > t.round_seen then t.round_seen <- round
+  let heard t ~from ~now = if from >= 0 && from < t.cfg.n then t.last_heard.(from) <- now
+
+  (* ------------------------------------------------------------------ *)
+  (* Snapshots, dedup, commit bookkeeping                                *)
+
+  let current_snapshot t =
+    {
+      Snapshot.commit_point = Plog.commit_point t.log;
+      state = S.encode_state t.app_state;
+      dedup = Hashtbl.fold (fun c r acc -> (c, r) :: acc) t.dedup [];
+    }
+
+  let dedup_update t (r : reply) =
+    let c = Ids.Client_id.to_int r.req.client in
+    match Hashtbl.find_opt t.dedup c with
+    | Some prev when prev.req.seq >= r.req.seq -> ()
+    | _ -> Hashtbl.replace t.dedup c r
+
+  let dedup_lookup t (req : request) =
+    match Hashtbl.find_opt t.dedup (Ids.Client_id.to_int req.id.client) with
+    | Some prev when prev.req.seq = req.id.seq -> `Resend prev
+    | Some prev when prev.req.seq > req.id.seq -> `Stale
+    | _ -> `Fresh
+
+  let record_commit_bookkeeping t ~instance (p : proposal) =
+    List.iter (dedup_update t) p.replies;
+    (* Footprints for T-Paxos conflict detection: derived from the ops. *)
+    let footprint =
+      List.concat_map
+        (fun (r : request) ->
+          match r.rtype with
+          | Read | Txn_commit _ | Txn_abort _ -> []
+          | Write | Original | Txn_op _ -> (
+            try S.footprint (S.decode_op r.payload) with _ -> [ "*" ]))
+        p.requests
+    in
+    Hashtbl.replace t.recent_footprints instance footprint;
+    (* Bound the window. *)
+    if Hashtbl.length t.recent_footprints > 2048 then begin
+      let cp = Plog.commit_point t.log in
+      Hashtbl.filter_map_inplace
+        (fun i v -> if i < cp - 1024 then None else Some v)
+        t.recent_footprints
+    end;
+    if t.cfg.record_history then
+      t.history <- (instance, p.requests, S.encode_state t.app_state) :: t.history;
+    t.commits_seen <- t.commits_seen + 1;
+    if t.commits_seen mod t.cfg.snapshot_interval = 0 then begin
+      t.storage.persist_snapshot (Snapshot.encode (current_snapshot t));
+      Plog.prune_below t.log (Plog.commit_point t.log)
+    end
+
+  let install_snapshot t (snap : Snapshot.t) =
+    if snap.commit_point > Plog.commit_point t.log then begin
+      t.app_state <- S.decode_state snap.state;
+      List.iter (fun (_, r) -> dedup_update t r) snap.dedup;
+      Plog.install_commit_point t.log snap.commit_point;
+      t.storage.persist_commit snap.commit_point;
+      t.storage.persist_snapshot (Snapshot.encode snap)
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* State-update construction and application                           *)
+
+  let make_update t ~old_state ~new_state ~witness =
+    let full () = Full (S.encode_state new_state) in
+    let delta () =
+      match S.diff ~old_state new_state with Some d -> Delta d | None -> full ()
+    in
+    match t.cfg.coordination with
+    | `Request_shipping ->
+      (* Classic Multi-Paxos ships no state; followers re-execute. *)
+      Delta ""
+    | `State_shipping -> (
+      match t.cfg.ship with
+      | `Full -> full ()
+      | `Delta -> delta ()
+      | `Witness -> ( match witness with Some w -> Witness w | None -> delta ()))
+
+  (* Apply a committed entry's update to the follower's state. *)
+  let apply_update t (p : proposal) =
+    match t.cfg.coordination with
+    | `Request_shipping ->
+      (* Replicated state machine: re-execute with the local RNG and
+         clock. Deterministic services stay consistent; nondeterministic
+         ones diverge — which is the point of the baseline. *)
+      List.iter
+        (fun (r : request) ->
+          match r.rtype with
+          | Read -> ()
+          | _ ->
+            let op = S.decode_op r.payload in
+            t.app_state <- (S.apply ~rng:t.rng ~now:t.now t.app_state op).state)
+        p.requests
+    | `State_shipping -> (
+      match p.update with
+    | Full s -> t.app_state <- S.decode_state s
+    | Delta d -> t.app_state <- S.patch t.app_state d
+    | Witness w -> (
+      match p.requests with
+      | [ r ] ->
+        let op = S.decode_op r.payload in
+        let st, _ = S.replay t.app_state op ~witness:w in
+        t.app_state <- st
+      | _ ->
+        (* Witness shipping is only produced for singleton proposals;
+           treat anything else as corrupt input. *)
+        invalid_arg "Replica: witness update with non-singleton batch"))
+
+  (* ------------------------------------------------------------------ *)
+  (* Stepping down                                                       *)
+
+  let step_down t =
+    (match t.role with
+    | Leader l ->
+      (* Pending reads get no reply (clients retry at the new leader);
+         transactions are lost, so their commits will abort (§3.6). *)
+      Hashtbl.reset l.l_reads;
+      Hashtbl.reset l.l_txns;
+      Queue.clear l.l_queue;
+      Hashtbl.reset l.l_queued_ids;
+      l.l_phase <- None;
+      t.role <- Follower
+    | Candidate _ -> t.role <- Follower
+    | Follower -> ());
+    t.candidate_since <- None;
+    Hashtbl.reset t.exec_table
+
+  (* ------------------------------------------------------------------ *)
+  (* Leader: proposing                                                   *)
+
+  let broadcast t msg = List.map (fun dst -> send ~dst msg) (others t)
+
+  let start_accept t (l : leadership) ~instance ~proposal ~post_state ~to_send =
+    let acks = Bitset.create t.cfg.n in
+    Bitset.set acks t.rid;
+    ignore (Plog.accept t.log ~instance ~ballot:l.l_ballot proposal);
+    t.storage.persist_entry ~instance ~ballot:l.l_ballot proposal;
+    l.l_phase <-
+      Some
+        (Ph_prop
+           {
+             fl_instance = instance;
+             fl_proposal = proposal;
+             fl_acks = acks;
+             fl_post_state = post_state;
+             fl_to_send = to_send;
+           });
+    broadcast t (Accept { ballot = l.l_ballot; instance; proposal })
+    @ [ after ~delay:t.cfg.accept_retry_ms (Accept_retry instance) ]
+
+  let reply_actions replies =
+    List.map (fun (r : reply) -> send ~dst:(client_node r.req.client) (Reply_msg r)) replies
+
+  (* Commit the in-flight instance (majority of accept-acks reached). *)
+  let rec do_commit t (l : leadership) (fl : inflight) =
+    ignore (Plog.commit t.log ~instance:fl.fl_instance);
+    t.storage.persist_commit (Plog.commit_point t.log);
+    t.app_state <- fl.fl_post_state;
+    record_commit_bookkeeping t ~instance:fl.fl_instance fl.fl_proposal;
+    List.iter
+      (fun (r : request) -> Hashtbl.remove l.l_queued_ids r.id)
+      fl.fl_proposal.requests;
+    l.l_phase <- None;
+    broadcast t (Commit { ballot = l.l_ballot; instance = fl.fl_instance })
+    @ reply_actions fl.fl_to_send
+    @ pump t
+
+  (* Drive the leader pipeline: re-proposals first, then queued work. *)
+  and pump t =
+    match t.role with
+    | Leader ({ l_phase = None; _ } as l) -> (
+      match l.l_repropose with
+      | (instance, proposal) :: rest ->
+        l.l_repropose <- rest;
+        if instance <> Plog.commit_point t.log + 1 then
+          (* A hole in the recovered sequence cannot correspond to any
+             chosen instance (the old leader proposed sequentially); drop
+             the tail defensively. *)
+          (l.l_repropose <- [];
+           note "dropped non-contiguous recovered entries from %d" instance :: pump t)
+        else begin
+          (* Re-propose under our ballot. The post-state comes from the
+             recovered update itself. *)
+          let post_state =
+            match proposal.update with
+            | Full s -> S.decode_state s
+            | Delta d -> S.patch t.app_state d
+            | Witness w -> (
+              match proposal.requests with
+              | [ r ] -> fst (S.replay t.app_state (S.decode_op r.payload) ~witness:w)
+              | _ -> t.app_state)
+          in
+          let acts =
+            start_accept t l ~instance ~proposal ~post_state
+              ~to_send:proposal.replies
+          in
+          (if quorum t <= 1 then
+             match l.l_phase with
+             | Some (Ph_prop fl) -> acts @ do_commit t l fl
+             | _ -> acts
+           else acts)
+        end
+      | [] -> (
+        match Queue.take_opt l.l_queue with
+        | None -> []
+        | Some first ->
+          (* Batch every queued work item — writes and transaction
+             commits — into one instance: the decided value is
+             ⟨batch, state-after-batch⟩, which preserves the no-gap rule
+             while letting throughput scale with the number of
+             closed-loop clients (cf. Figures 5–6 and 9). Requests that
+             committed while queued (e.g. via a re-proposal) are filtered
+             here and answered from the dedup cache. *)
+          let batch = ref [ first ] in
+          let continue_batch = ref true in
+          while !continue_batch do
+            match Queue.peek_opt l.l_queue with
+            | Some w when List.length !batch < t.cfg.max_batch ->
+              ignore (Queue.take l.l_queue);
+              batch := w :: !batch
+            | _ -> continue_batch := false
+          done;
+          let stale_replies = ref [] in
+          let fresh =
+            List.filter
+              (fun w ->
+                let r = match w with W_write r | W_txn_commit r -> r in
+                match dedup_lookup t r with
+                | `Fresh -> true
+                | `Resend reply ->
+                  Hashtbl.remove l.l_queued_ids r.id;
+                  stale_replies := reply :: !stale_replies;
+                  false
+                | `Stale ->
+                  Hashtbl.remove l.l_queued_ids r.id;
+                  false)
+              (List.rev !batch)
+          in
+          let resend = reply_actions !stale_replies in
+          if fresh = [] then resend @ pump t
+          else resend @ begin_execution t l (Exec_batch fresh)))
+    | _ -> []
+
+  (* Defer work behind the execution cost E, or run it inline if E = 0. *)
+  and begin_execution t (_l : leadership) work =
+    if t.cfg.execution_cost_ms > 0.0 then begin
+      let tok = t.exec_next in
+      t.exec_next <- t.exec_next + 1;
+      Hashtbl.replace t.exec_table tok work;
+      let cost =
+        match work with
+        | Exec_batch batch ->
+          (match t.role with Leader l -> l.l_phase <- Some Ph_exec | _ -> ());
+          (* Transaction ops already paid E when they executed; only the
+             fresh writes in the batch consume execution time now. *)
+          let writes =
+            List.length (List.filter (function W_write _ -> true | _ -> false) batch)
+          in
+          t.cfg.execution_cost_ms *. Float.of_int (Stdlib.max 1 writes)
+        | _ -> t.cfg.execution_cost_ms
+      in
+      [ after ~delay:cost (Exec_done tok) ]
+    end
+    else
+      match t.role with
+      | Leader l -> finish_execution t l work
+      | _ -> []
+
+  (* The service's [apply] reads the leader's local clock from [t.now],
+     which [handle] refreshes on every input. *)
+  and finish_execution t (l : leadership) work =
+    match work with
+    | Exec_batch batch ->
+      (* Execute the batch in arrival order on the committed state; the
+         instance decides the whole batch plus the final state. Writes
+         execute here; transaction commits are conflict-checked and
+         rebased onto the running batch state. Aborts and conflicts need
+         no consensus: their replies go out immediately. *)
+      let batch_state = ref t.app_state in
+      let batch_fps : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let requests = ref [] and replies = ref [] and to_send = ref [] in
+      let instant = ref [] in
+      let last_witness = ref None in
+      let conflicts_with_batch txn =
+        let star = Hashtbl.mem txn.tx_footprint "*" in
+        Hashtbl.length batch_fps > 0
+        && (star || Hashtbl.mem batch_fps "*"
+           || Hashtbl.fold
+                (fun k () acc -> acc || Hashtbl.mem batch_fps k)
+                txn.tx_footprint false)
+      in
+      let conflicts_with_window txn =
+        let cp = Plog.commit_point t.log in
+        let star = Hashtbl.mem txn.tx_footprint "*" in
+        let rec scan i =
+          if i > cp then false
+          else
+            match Hashtbl.find_opt t.recent_footprints i with
+            | None -> true (* window evicted: be conservative *)
+            | Some fps ->
+              if
+                fps <> []
+                && (star
+                   || List.exists (Hashtbl.mem txn.tx_footprint) fps
+                   || List.mem "*" fps)
+              then true
+              else scan (i + 1)
+        in
+        scan (txn.tx_base + 1)
+      in
+      List.iter
+        (function
+          | W_write r ->
+            let op = S.decode_op r.payload in
+            let outcome = S.apply ~rng:t.rng ~now:t.now !batch_state op in
+            batch_state := outcome.state;
+            last_witness := outcome.witness;
+            let reply =
+              { req = r.id; status = Ok; payload = S.encode_result outcome.result }
+            in
+            requests := r :: !requests;
+            replies := reply :: !replies;
+            to_send := reply :: !to_send;
+            List.iter (fun k -> Hashtbl.replace batch_fps k ()) (S.footprint op)
+          | W_txn_commit r -> (
+            let tid = match r.rtype with Txn_commit tid -> tid | _ -> -1 in
+            let key = (Ids.Client_id.to_int r.id.client, tid) in
+            let abort () =
+              Hashtbl.remove l.l_queued_ids r.id;
+              instant := { req = r.id; status = Txn_aborted; payload = "" } :: !instant
+            in
+            match Hashtbl.find_opt l.l_txns key with
+            | None ->
+              (* Unknown transaction: ops lost to a leader switch (§3.6). *)
+              abort ()
+            | Some txn ->
+              Hashtbl.remove l.l_txns key;
+              let expected_ops =
+                (* The commit payload carries the client's op count so a
+                   leader that missed early ops cannot commit a partial
+                   batch. *)
+                try Grid_codec.Wire.decode r.payload Grid_codec.Wire.Decoder.uint
+                with _ -> List.length txn.tx_ops
+              in
+              if List.length txn.tx_ops <> expected_ops then abort ()
+              else if conflicts_with_window txn || conflicts_with_batch txn then begin
+                Hashtbl.remove l.l_queued_ids r.id;
+                instant :=
+                  { req = r.id; status = Txn_conflict; payload = "" } :: !instant
+              end
+              else begin
+                (* Rebase: replay the recorded ops (with their witnesses)
+                   on top of the running batch state. *)
+                let ops = List.rev txn.tx_ops in
+                batch_state :=
+                  List.fold_left
+                    (fun st ((opr : request), witness) ->
+                      let op = S.decode_op opr.payload in
+                      match witness with
+                      | Some w -> fst (S.replay st op ~witness:w)
+                      | None ->
+                        (* No witness: the op was deterministic. *)
+                        (S.apply ~rng:t.rng ~now:t.now st op).state)
+                    !batch_state ops;
+                let commit_reply = { req = r.id; status = Ok; payload = "" } in
+                List.iter (fun (opr, _) -> requests := opr :: !requests) ops;
+                requests := r :: !requests;
+                List.iter
+                  (fun reply -> replies := reply :: !replies)
+                  (List.rev txn.tx_replies);
+                replies := commit_reply :: !replies;
+                to_send := commit_reply :: !to_send;
+                Hashtbl.iter (fun k () -> Hashtbl.replace batch_fps k ()) txn.tx_footprint
+              end))
+        batch;
+      let instant_actions = reply_actions (List.rev !instant) in
+      if !requests = [] then instant_actions @ pump t
+      else begin
+        let requests = List.rev !requests in
+        let update =
+          make_update t ~old_state:t.app_state ~new_state:!batch_state
+            ~witness:(match requests with [ _ ] -> !last_witness | _ -> None)
+        in
+        let proposal = { requests; update; replies = List.rev !replies } in
+        let instance = Plog.commit_point t.log + 1 in
+        let acts =
+          start_accept t l ~instance ~proposal ~post_state:!batch_state
+            ~to_send:(List.rev !to_send)
+        in
+        instant_actions
+        @
+        if quorum t <= 1 then
+          match l.l_phase with Some (Ph_prop fl) -> acts @ do_commit t l fl | _ -> acts
+        else acts
+      end
+    | Exec_read r -> (
+      match Hashtbl.find_opt l.l_reads r.id with
+      | None -> []
+      | Some pr ->
+        let op = S.decode_op r.payload in
+        let outcome = S.apply ~rng:t.rng ~now:t.now t.app_state op in
+        (* Reads must not change state; the post-state is discarded. *)
+        pr.pr_exec_done <- true;
+        pr.pr_result <- S.encode_result outcome.result;
+        check_read_ready t l pr)
+    | Exec_original r ->
+      (* Unreplicated baseline: execute and answer with no coordination. *)
+      let op = S.decode_op r.payload in
+      let outcome = S.apply ~rng:t.rng ~now:t.now t.app_state op in
+      t.app_state <- outcome.state;
+      reply_actions [ { req = r.id; status = Ok; payload = S.encode_result outcome.result } ]
+    | Exec_txn_op r -> (
+      match r.rtype with
+      | Txn_op tid ->
+        let key = (Ids.Client_id.to_int r.id.client, tid) in
+        let txn =
+          match Hashtbl.find_opt l.l_txns key with
+          | Some txn -> txn
+          | None ->
+            let txn =
+              {
+                tx_state = t.app_state;
+                tx_base = Plog.commit_point t.log;
+                tx_ops = [];
+                tx_replies = [];
+                tx_footprint = Hashtbl.create 8;
+              }
+            in
+            Hashtbl.replace l.l_txns key txn;
+            txn
+        in
+        let op = S.decode_op r.payload in
+        let outcome = S.apply ~rng:t.rng ~now:t.now txn.tx_state op in
+        txn.tx_state <- outcome.state;
+        txn.tx_ops <- (r, outcome.witness) :: txn.tx_ops;
+        List.iter (fun k -> Hashtbl.replace txn.tx_footprint k ()) (S.footprint op);
+        let reply = { req = r.id; status = Ok; payload = S.encode_result outcome.result } in
+        txn.tx_replies <- reply :: txn.tx_replies;
+        reply_actions [ reply ]
+      | _ -> [])
+
+  and check_read_ready t (l : leadership) pr =
+    if pr.pr_exec_done && Bitset.cardinal pr.pr_confirms >= quorum t then begin
+      Hashtbl.remove l.l_reads pr.pr_request.id;
+      reply_actions [ { req = pr.pr_request.id; status = Ok; payload = pr.pr_result } ]
+    end
+    else []
+
+  (* ------------------------------------------------------------------ *)
+  (* Client request dispatch                                             *)
+
+  let leader_handle_read t (l : leadership) (r : request) =
+    if Hashtbl.mem l.l_reads r.id then []
+    else begin
+      let confirms =
+        match Hashtbl.find_opt t.pre_confirms r.id with
+        | Some b ->
+          Hashtbl.remove t.pre_confirms r.id;
+          b
+        | None -> Bitset.create t.cfg.n
+      in
+      Bitset.set confirms t.rid;
+      let pr =
+        { pr_request = r; pr_confirms = confirms; pr_exec_done = false; pr_result = "" }
+      in
+      Hashtbl.replace l.l_reads r.id pr;
+      begin_execution t l (Exec_read r)
+    end
+
+  let leader_handle_client t (l : leadership) (r : request) =
+    match r.rtype with
+    | Read -> leader_handle_read t l r
+    | Original -> begin_execution t l (Exec_original r)
+    | Write | Txn_commit _ -> (
+      match dedup_lookup t r with
+      | `Resend reply -> reply_actions [ reply ]
+      | `Stale -> []
+      | `Fresh ->
+        if Hashtbl.mem l.l_queued_ids r.id then []
+        else begin
+          Hashtbl.replace l.l_queued_ids r.id ();
+          Queue.add
+            (match r.rtype with Write -> W_write r | _ -> W_txn_commit r)
+            l.l_queue;
+          pump t
+        end)
+    | Txn_op _ -> begin_execution t l (Exec_txn_op r)
+    | Txn_abort tid ->
+      let key = (Ids.Client_id.to_int r.id.client, tid) in
+      Hashtbl.remove l.l_txns key;
+      reply_actions [ { req = r.id; status = Txn_aborted; payload = "" } ]
+
+  let follower_handle_client t (r : request) =
+    match r.rtype with
+    | Read -> (
+      (* X-Paxos: confirm to the holder of the highest accepted ballot. *)
+      match leader_view t with
+      | Some holder when holder <> t.rid ->
+        [ send ~dst:holder (Read_confirm { ballot = t.promised; req = r.id }) ]
+      | _ -> [])
+    | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ -> []
+
+  (* ------------------------------------------------------------------ *)
+  (* Election                                                            *)
+
+  let alive t ~now =
+    List.filter
+      (fun r -> r = t.rid || now -. t.last_heard.(r) <= t.cfg.suspicion_ms)
+      (Config.replica_ids t.cfg)
+
+  let become_leader t (c : candidacy) =
+    (match c.c_snapshot with Some snap -> install_snapshot t snap | None -> ());
+    let cp = Plog.commit_point t.log in
+    let entries =
+      Hashtbl.fold (fun i (_, p) acc -> if i > cp then (i, p) :: acc else acc) c.c_merged []
+      |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+    in
+    (* Keep only the contiguous run starting at cp+1. *)
+    let repropose =
+      let rec take expect = function
+        | (i, p) :: rest when i = expect -> (i, p) :: take (expect + 1) rest
+        | _ -> []
+      in
+      take (cp + 1) entries
+    in
+    let l_queued_ids = Hashtbl.create 16 in
+    (* Requests being re-proposed are already in flight: without this a
+       client retransmission would queue (and execute) them a second
+       time. *)
+    List.iter
+      (fun (_, (p : proposal)) ->
+        List.iter (fun (r : request) -> Hashtbl.replace l_queued_ids r.id ()) p.requests)
+      repropose;
+    t.role <-
+      Leader
+        {
+          l_ballot = c.c_ballot;
+          l_queue = Queue.create ();
+          l_phase = None;
+          l_repropose = repropose;
+          l_reads = Hashtbl.create 16;
+          l_txns = Hashtbl.create 8;
+          l_queued_ids;
+        };
+    note "leader with ballot %a, reproposing %d entries" Ballot.pp c.c_ballot
+      (List.length repropose)
+    :: pump t
+
+  let start_prepare t ~now:_ =
+    t.round_seen <- t.round_seen + 1;
+    let ballot = Ballot.make ~round:t.round_seen ~holder:t.rid in
+    t.promised <- ballot;
+    t.storage.persist_promise ballot;
+    let acks = Bitset.create t.cfg.n in
+    Bitset.set acks t.rid;
+    let merged = Hashtbl.create 8 in
+    List.iter
+      (fun (e : recovery_entry) -> Hashtbl.replace merged e.instance (e.ballot, e.proposal))
+      (Plog.accepted_above t.log (Plog.commit_point t.log));
+    let candidacy =
+      { c_ballot = ballot; c_acks = acks; c_merged = merged; c_snapshot = None }
+    in
+    t.role <- Candidate candidacy;
+    t.candidate_since <- None;
+    if Bitset.cardinal acks >= quorum t then
+      (* Single-replica group: the self-promise is already a majority. *)
+      become_leader t candidacy
+    else
+      note "starting prepare with ballot %a" Ballot.pp ballot
+      :: broadcast t (Prepare { ballot; commit_point = Plog.commit_point t.log })
+      @ [ after ~delay:t.cfg.prepare_retry_ms (Prepare_retry ballot.round) ]
+
+  (* ------------------------------------------------------------------ *)
+  (* Message handling                                                    *)
+
+  let handle_prepare t ~now ~src ~ballot ~their_cp =
+    heard t ~from:ballot.Ballot.holder ~now;
+    observe_round t ballot.round;
+    if Ballot.compare ballot t.promised >= 0 then begin
+      (* A higher (or equal, on retry) ballot deposes us. *)
+      (match t.role with
+      | Leader l when Ballot.compare ballot l.l_ballot > 0 -> step_down t
+      | Candidate c when Ballot.compare ballot c.c_ballot > 0 -> step_down t
+      | _ -> ());
+      if Ballot.compare ballot t.promised > 0 then begin
+        t.promised <- ballot;
+        t.storage.persist_promise ballot
+      end;
+      t.candidate_since <- None;
+      let my_cp = Plog.commit_point t.log in
+      let snapshot =
+        if my_cp > their_cp then Some (Snapshot.encode (current_snapshot t)) else None
+      in
+      let accepted = Plog.accepted_above t.log (Stdlib.max my_cp their_cp) in
+      [ send ~dst:src (Prepare_ack { ballot; commit_point = my_cp; snapshot; accepted }) ]
+    end
+    else [ send ~dst:src (Reject { promised = t.promised }) ]
+
+  let handle_prepare_ack t ~src ~ballot ~snapshot ~accepted =
+    match t.role with
+    | Candidate c when Ballot.equal ballot c.c_ballot ->
+      Bitset.set c.c_acks src;
+      (match snapshot with
+      | Some s ->
+        let snap = Snapshot.decode s in
+        (match c.c_snapshot with
+        | Some best when best.commit_point >= snap.commit_point -> ()
+        | _ -> c.c_snapshot <- Some snap)
+      | None -> ());
+      List.iter
+        (fun (e : recovery_entry) ->
+          match Hashtbl.find_opt c.c_merged e.instance with
+          | Some (b, _) when Ballot.compare b e.ballot >= 0 -> ()
+          | _ -> Hashtbl.replace c.c_merged e.instance (e.ballot, e.proposal))
+        accepted;
+      if Bitset.cardinal c.c_acks >= quorum t then become_leader t c else []
+    | _ -> []
+
+  let handle_accept t ~now ~src ~ballot ~instance ~proposal =
+    heard t ~from:ballot.Ballot.holder ~now;
+    observe_round t ballot.round;
+    if Ballot.compare ballot t.promised >= 0 then begin
+      (match t.role with
+      | Leader l when not (Ballot.equal ballot l.l_ballot) -> step_down t
+      | Candidate c when Ballot.compare ballot c.c_ballot >= 0 -> step_down t
+      | _ -> ());
+      if Ballot.compare ballot t.promised > 0 then begin
+        t.promised <- ballot;
+        t.storage.persist_promise ballot
+      end;
+      if Plog.accept t.log ~instance ~ballot proposal then
+        t.storage.persist_entry ~instance ~ballot proposal;
+      [ send ~dst:src (Accept_ack { ballot; instance }) ]
+    end
+    else [ send ~dst:src (Reject { promised = t.promised }) ]
+
+  let handle_accept_ack t ~src ~ballot ~instance =
+    match t.role with
+    | Leader l -> (
+      match l.l_phase with
+      | Some (Ph_prop fl)
+        when fl.fl_instance = instance && Ballot.equal ballot l.l_ballot ->
+        Bitset.set fl.fl_acks src;
+        if Bitset.cardinal fl.fl_acks >= quorum t then do_commit t l fl else []
+      | _ -> [])
+    | _ -> []
+
+  (* A follower learns an instance was chosen: mark it, then apply the
+     updates of every newly contiguous committed instance in order. *)
+  let handle_commit t ~now ~src ~ballot ~instance =
+    heard t ~from:ballot.Ballot.holder ~now;
+    observe_round t ballot.round;
+    match t.role with
+    | Leader _ -> []  (* leaders commit via accept-acks *)
+    | Follower | Candidate _ ->
+      let before = Plog.commit_point t.log in
+      if not (Plog.commit t.log ~instance) then
+        (* We never accepted this instance: fetch a snapshot. *)
+        [ send ~dst:src (Catchup_req { from_instance = before + 1 }) ]
+      else begin
+        let after_cp = Plog.commit_point t.log in
+        let rec apply_from i acc =
+          if i > after_cp then acc
+          else
+            match Plog.get t.log i with
+            | Some entry ->
+              apply_update t entry.proposal;
+              record_commit_bookkeeping t ~instance:i entry.proposal;
+              apply_from (i + 1) acc
+            | None -> acc
+        in
+        let acts = apply_from (before + 1) [] in
+        t.storage.persist_commit after_cp;
+        (* A commit beyond our contiguous prefix means we missed earlier
+           instances: fetch a snapshot. *)
+        if after_cp < instance then
+          send ~dst:src (Catchup_req { from_instance = after_cp + 1 }) :: acts
+        else acts
+      end
+
+  let handle_read_confirm t ~src ~ballot ~req =
+    match t.role with
+    | Leader l when Ballot.equal ballot l.l_ballot -> (
+      match Hashtbl.find_opt l.l_reads req with
+      | Some pr ->
+        Bitset.set pr.pr_confirms src;
+        check_read_ready t l pr
+      | None ->
+        let b =
+          match Hashtbl.find_opt t.pre_confirms req with
+          | Some b -> b
+          | None ->
+            let b = Bitset.create t.cfg.n in
+            Hashtbl.replace t.pre_confirms req b;
+            (* Bound the pre-confirm table against stray confirms. *)
+            if Hashtbl.length t.pre_confirms > 4096 then
+              Hashtbl.reset t.pre_confirms;
+            b
+        in
+        Bitset.set b src;
+        [])
+    | _ -> []
+
+  let handle_reject t ~promised:their_promise =
+    observe_round t their_promise.Ballot.round;
+    if Ballot.compare their_promise t.promised > 0 then begin
+      t.promised <- their_promise;
+      t.storage.persist_promise their_promise;
+      match t.role with
+      | Leader _ | Candidate _ ->
+        step_down t;
+        [ note "deposed by ballot %a" Ballot.pp their_promise ]
+      | Follower -> []
+    end
+    else []
+
+  (* ------------------------------------------------------------------ *)
+  (* Timers                                                              *)
+
+  let on_hb_tick t ~now =
+    heard t ~from:t.rid ~now;
+    broadcast t
+      (Heartbeat
+         {
+           round_seen = t.round_seen;
+           commit_point = Plog.commit_point t.log;
+           promised = t.promised;
+         })
+    @ [ after ~delay:t.cfg.hb_period_ms Hb_tick ]
+
+  let on_suspicion_tick t ~now =
+    heard t ~from:t.rid ~now;
+    let alive_set = alive t ~now in
+    (* Ω with stability: the candidate is the incumbent (the holder of
+       the highest promise we know) as long as it is alive; only when it
+       is suspected do we fall back to the lowest live id. *)
+    let candidate =
+      match leader_view t with
+      | Some holder when List.mem holder alive_set -> holder
+      | _ -> List.fold_left Stdlib.min max_int alive_set
+    in
+    let acts =
+      match t.role with
+      | Follower when candidate = t.rid -> (
+        match t.candidate_since with
+        | None ->
+          t.candidate_since <- Some now;
+          [ after ~delay:t.cfg.stability_ms (Stability_check t.round_seen) ]
+        | Some _ -> [])
+      | Follower | Candidate _ | Leader _ ->
+        if candidate <> t.rid then t.candidate_since <- None;
+        []
+    in
+    acts @ [ after ~delay:(t.cfg.suspicion_ms /. 2.0) Suspicion_tick ]
+
+  let on_stability_check t ~now =
+    match (t.role, t.candidate_since) with
+    | Follower, Some since when now -. since >= t.cfg.stability_ms -. 1e-9 ->
+      let alive_set = alive t ~now in
+      if List.fold_left Stdlib.min max_int alive_set = t.rid then start_prepare t ~now
+      else begin
+        t.candidate_since <- None;
+        []
+      end
+    | _ ->
+      t.candidate_since <- None;
+      []
+
+  let on_accept_retry t ~instance =
+    match t.role with
+    | Leader l -> (
+      match l.l_phase with
+      | Some (Ph_prop fl) when fl.fl_instance = instance ->
+        broadcast t
+          (Accept { ballot = l.l_ballot; instance; proposal = fl.fl_proposal })
+        @ [ after ~delay:t.cfg.accept_retry_ms (Accept_retry instance) ]
+      | _ -> [])
+    | _ -> []
+
+  let on_prepare_retry t ~round =
+    match t.role with
+    | Candidate c when c.c_ballot.round = round ->
+      broadcast t (Prepare { ballot = c.c_ballot; commit_point = Plog.commit_point t.log })
+      @ [ after ~delay:t.cfg.prepare_retry_ms (Prepare_retry round) ]
+    | _ -> []
+
+  let on_exec_done t ~token =
+    match Hashtbl.find_opt t.exec_table token with
+    | None -> []
+    | Some work -> (
+      Hashtbl.remove t.exec_table token;
+      match t.role with
+      | Leader l ->
+        (* Writes hold the pipeline slot (Ph_exec) while executing. *)
+        (match work with Exec_batch _ -> l.l_phase <- None | _ -> ());
+        finish_execution t l work
+      | _ -> [])
+
+  (* ------------------------------------------------------------------ *)
+  (* Entry points                                                        *)
+
+  let bootstrap t =
+    [ after ~delay:0.0 Hb_tick; after ~delay:(t.cfg.suspicion_ms /. 2.0) Suspicion_tick ]
+
+  (* The inline-E path passes nan as [now]; substitute the driver time so
+     services always observe a real clock. *)
+  let handle t ~now input =
+    t.now <- now;
+    match input with
+    | Timer timer -> (
+      match timer with
+      | Hb_tick -> on_hb_tick t ~now
+      | Suspicion_tick -> on_suspicion_tick t ~now
+      | Stability_check _ -> on_stability_check t ~now
+      | Accept_retry instance -> on_accept_retry t ~instance
+      | Prepare_retry round -> on_prepare_retry t ~round
+      | Exec_done token -> on_exec_done t ~token
+      | Client_retry _ -> []
+      | Sp_round_timeout _ -> [] (* semi-passive engine only *))
+    | Receive { src; msg } -> (
+      if not (node_is_client src) then heard t ~from:src ~now;
+      match msg with
+      | Heartbeat { round_seen; commit_point; promised = their_promise } ->
+        observe_round t round_seen;
+        (* Adopting a higher promise unilaterally is always safe (it only
+           makes this replica more conservative) and spreads knowledge of
+           the current leadership, so a recovered old leader defers to
+           the incumbent instead of deposing it (§3.6 stability). *)
+        if Ballot.compare their_promise t.promised > 0 then begin
+          (match t.role with
+          | Leader l when Ballot.compare their_promise l.l_ballot > 0 -> step_down t
+          | Candidate c when Ballot.compare their_promise c.c_ballot > 0 -> step_down t
+          | _ -> ());
+          t.promised <- their_promise;
+          t.storage.persist_promise their_promise
+        end;
+        (* A heartbeat from the replica we promised to announces a commit
+           point ahead of ours: we missed Commit messages — catch up. *)
+        if
+          (not (is_leader t))
+          && src = t.promised.holder
+          && commit_point > Plog.commit_point t.log
+        then [ send ~dst:src (Catchup_req { from_instance = Plog.commit_point t.log + 1 }) ]
+        else []
+      | Client_req r -> (
+        match t.role with
+        | Leader l -> leader_handle_client t l r
+        | Follower | Candidate _ -> follower_handle_client t r)
+      | Prepare { ballot; commit_point } ->
+        handle_prepare t ~now ~src ~ballot ~their_cp:commit_point
+      | Prepare_ack { ballot; snapshot; accepted; _ } ->
+        handle_prepare_ack t ~src ~ballot ~snapshot ~accepted
+      | Accept { ballot; instance; proposal } ->
+        handle_accept t ~now ~src ~ballot ~instance ~proposal
+      | Accept_ack { ballot; instance } -> handle_accept_ack t ~src ~ballot ~instance
+      | Commit { ballot; instance } -> handle_commit t ~now ~src ~ballot ~instance
+      | Read_confirm { ballot; req } -> handle_read_confirm t ~src ~ballot ~req
+      | Reject { promised } -> handle_reject t ~promised
+      | Catchup_req _ ->
+        if is_leader t then
+          [ send ~dst:src (Catchup { snapshot = Snapshot.encode (current_snapshot t) }) ]
+        else []
+      | Catchup { snapshot } ->
+        install_snapshot t (Snapshot.decode snapshot);
+        []
+      | Reply_msg _ -> []
+      | Sp_estimate _ | Sp_propose _ | Sp_ack _ | Sp_decide _ ->
+        (* Semi-passive wire traffic is handled by Semi_passive.Make. *)
+        [])
+
+  let restart t ~now =
+    t.now <- now;
+    step_down t;
+    Hashtbl.reset t.pre_confirms;
+    t.candidate_since <- None;
+    Array.fill t.last_heard 0 t.cfg.n neg_infinity;
+    heard t ~from:t.rid ~now;
+    bootstrap t
+
+  let load t (p : Storage.persisted) =
+    t.promised <- p.promised;
+    if p.promised.round > t.round_seen then t.round_seen <- p.promised.round;
+    (match p.snapshot with
+    | Some s -> install_snapshot t (Snapshot.decode s)
+    | None -> ());
+    List.iter
+      (fun (e : recovery_entry) ->
+        if e.instance > Plog.commit_point t.log then
+          ignore (Plog.accept t.log ~instance:e.instance ~ballot:e.ballot e.proposal))
+      p.entries;
+    (* Entries between the snapshot's commit point and the persisted one
+       are committed: apply their updates in order to restore the state. *)
+    let rec mark i =
+      if i <= p.commit_point then
+        match Plog.get t.log i with
+        | Some entry ->
+          apply_update t entry.proposal;
+          ignore (Plog.commit t.log ~instance:i);
+          mark (i + 1)
+        | None -> ()
+    in
+    mark (Plog.commit_point t.log + 1)
+end

@@ -1,0 +1,88 @@
+(** The replicated-service process: one engine implementing the paper's
+    three coordination paths plus leader election and recovery.
+
+    - {b Basic protocol} (§3.3) for [Write] requests: the leader executes
+      the request, then runs the accept phase for the tuple
+      ⟨request, resulting state⟩; pipeline depth is one (instance [i] is
+      proposed only after [i−1] commits), so the chosen sequence has no
+      gaps. Requests that queue while an instance is in flight are
+      folded into the next instance as a batch (bounded by
+      [Config.max_batch]) — the decided value is ⟨batch, state after the
+      batch⟩, preserving the no-gap rule while letting throughput scale
+      with concurrent clients. Followers adopt the shipped state when
+      the instance commits.
+    - {b X-Paxos} (§3.4) for [Read] requests: every replica that receives
+      the read sends a confirm to the holder of the highest ballot it has
+      accepted; the leader executes the read against its latest committed
+      state in parallel and replies once a majority (counting itself) has
+      confirmed.
+    - {b T-Paxos} (§3.5) for transactions: operations inside a
+      transaction execute immediately on a leader-local branch and are
+      answered without coordination; the commit rebases the branch onto
+      the current committed state (deterministic replay via witnesses),
+      checks first-committer-wins conflicts on service footprints, and
+      runs one accept phase for the whole batch. A leader switch aborts
+      in-flight transactions (§3.6).
+    - [Original] requests are the unreplicated baseline: executed and
+      answered by the leader with no coordination.
+
+    Leader election is Ω-style: heartbeats, a suspicion timeout, and a
+    stability hold-down before a takeover. A new leader runs a
+    multi-instance prepare: followers return their accepted-but-
+    uncommitted entries and (if ahead) a snapshot; the leader installs
+    the highest snapshot, re-proposes surviving entries under its ballot,
+    and only then serves new requests.
+
+    The engine is a pure step machine: all I/O happens through the
+    returned {!Types.action} lists, and all nondeterminism comes from the
+    seeded RNG and the [~now] argument. *)
+
+module Make (S : Service_intf.S) : sig
+  type t
+
+  val create :
+    cfg:Config.t -> id:int -> ?storage:Storage.t -> ?seed:int -> unit -> t
+  (** [seed] initializes the replica-local RNG handed to the service
+      (defaults to a function of [id]). *)
+
+  val bootstrap : t -> Types.action list
+  (** Initial timers (heartbeat and suspicion ticks). Call once before
+      feeding inputs. *)
+
+  val handle : t -> now:float -> Types.input -> Types.action list
+
+  val restart : t -> now:float -> Types.action list
+  (** Simulate a crash-recovery that loses volatile state: leadership,
+      candidacies, pending reads and transactions are dropped; the log,
+      promise and committed state (the durable part) survive. Returns the
+      bootstrap timers. *)
+
+  val load : t -> Storage.persisted -> unit
+  (** Install a persisted image (from {!Storage.file} or
+      {!Storage.memory}) into a freshly created replica. *)
+
+  (** {1 Introspection} *)
+
+  val id : t -> int
+  val is_leader : t -> bool
+  val ballot : t -> Types.Ballot.t
+  val promised : t -> Types.Ballot.t
+  val commit_point : t -> int
+  val state : t -> S.state
+  (** Latest committed service state. *)
+
+  val leader_view : t -> int option
+  (** Whom this replica would confirm reads to (holder of its promise). *)
+
+  val committed_requests : t -> Types.request list
+  (** Requests in committed instance order (requires
+      [cfg.record_history]; empty otherwise). *)
+
+  val committed_updates : t -> (int * Types.request list * string) list
+  (** Per committed instance: the requests and the encoded service state
+      after applying it (requires [cfg.record_history]). For the
+      agreement checker. *)
+
+  val stats_commits : t -> int
+  (** Number of instances this replica has learned committed. *)
+end

@@ -1,0 +1,36 @@
+(** Replica snapshots: everything a lagging or recovering replica needs to
+    join the group at a given commit point — the encoded service state,
+    the committed prefix length, and the client deduplication table (so
+    duplicate requests keep getting their original replies). *)
+
+module Wire = Grid_codec.Wire
+module Ids = Grid_util.Ids
+
+type t = {
+  commit_point : int;
+  state : string;  (** service state, encoded by the service codec *)
+  dedup : (int * Types.reply) list;
+      (** per client-id: highest committed sequence's reply *)
+}
+
+let encode t =
+  Wire.encode (fun e ->
+      Wire.Encoder.uint e t.commit_point;
+      Wire.Encoder.string e t.state;
+      Wire.Encoder.list e
+        (fun (client, reply) ->
+          Wire.Encoder.uint e client;
+          Types.encode_reply e reply)
+        t.dedup)
+
+let decode s =
+  Wire.decode s (fun d ->
+      let commit_point = Wire.Decoder.uint d in
+      let state = Wire.Decoder.string d in
+      let dedup =
+        Wire.Decoder.list d (fun d ->
+            let client = Wire.Decoder.uint d in
+            let reply = Types.decode_reply d in
+            (client, reply))
+      in
+      { commit_point; state; dedup })

@@ -1,0 +1,179 @@
+module Wire = Grid_codec.Wire
+
+type persisted = {
+  promised : Types.Ballot.t;
+  entries : Types.recovery_entry list;
+  commit_point : int;
+  snapshot : string option;
+}
+
+type t = {
+  persist_promise : Types.Ballot.t -> unit;
+  persist_entry : instance:int -> ballot:Types.Ballot.t -> Types.proposal -> unit;
+  persist_commit : int -> unit;
+  persist_snapshot : string -> unit;
+}
+
+let null () =
+  {
+    persist_promise = (fun _ -> ());
+    persist_entry = (fun ~instance:_ ~ballot:_ _ -> ());
+    persist_commit = (fun _ -> ());
+    persist_snapshot = (fun _ -> ());
+  }
+
+let memory () =
+  let promised = ref Types.Ballot.zero in
+  let entries : (int, Types.recovery_entry) Hashtbl.t = Hashtbl.create 32 in
+  let commit_point = ref 0 in
+  let snapshot = ref None in
+  let store =
+    {
+      persist_promise = (fun b -> promised := b);
+      persist_entry =
+        (fun ~instance ~ballot proposal ->
+          Hashtbl.replace entries instance { Types.instance; ballot; proposal });
+      persist_commit = (fun cp -> if cp > !commit_point then commit_point := cp);
+      persist_snapshot = (fun s -> snapshot := Some s);
+    }
+  in
+  let read () =
+    {
+      promised = !promised;
+      entries = Hashtbl.fold (fun _ e acc -> e :: acc) entries [];
+      commit_point = !commit_point;
+      snapshot = !snapshot;
+    }
+  in
+  (store, read)
+
+(* File backend: one append-only log of CRC-framed records plus a
+   last-snapshot-wins snapshot file. Record framing: u32-le length, then
+   [with_crc] payload. *)
+
+let rec_promise = 0
+and rec_entry = 1
+and rec_commit = 2
+
+let encode_record tag body =
+  Wire.encode (fun e ->
+      Wire.Encoder.uint e tag;
+      body e)
+
+let write_frame oc payload =
+  let framed = Wire.with_crc payload in
+  let len = String.length framed in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr (len land 0xFF));
+  Bytes.set hdr 1 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set hdr 2 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set hdr 3 (Char.chr ((len lsr 24) land 0xFF));
+  output_bytes oc hdr;
+  output_string oc framed;
+  flush oc
+
+let read_frames path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let frames = ref [] in
+    (try
+       let rec loop () =
+         let hdr = really_input_string ic 4 in
+         let len =
+           Char.code hdr.[0]
+           lor (Char.code hdr.[1] lsl 8)
+           lor (Char.code hdr.[2] lsl 16)
+           lor (Char.code hdr.[3] lsl 24)
+         in
+         let framed = really_input_string ic len in
+         (* A torn tail (CRC failure on the final record) is treated as
+            end-of-log; interior corruption propagates. *)
+         let payload =
+           try Some (Wire.check_crc framed) with Wire.Decode_error _ -> None
+         in
+         match payload with
+         | Some p ->
+           frames := p :: !frames;
+           loop ()
+         | None -> ()
+       in
+       loop ()
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !frames
+  end
+
+let decode_entry_record d =
+  let instance = Wire.Decoder.uint d in
+  let ballot = Types.Ballot.decode d in
+  let proposal = Types.decode_proposal d in
+  { Types.instance; ballot; proposal }
+
+let replay_log frames =
+  let promised = ref Types.Ballot.zero in
+  let entries : (int, Types.recovery_entry) Hashtbl.t = Hashtbl.create 32 in
+  let commit_point = ref 0 in
+  List.iter
+    (fun payload ->
+      let d = Wire.Decoder.of_string payload in
+      match Wire.Decoder.uint d with
+      | tag when tag = rec_promise -> promised := Types.Ballot.decode d
+      | tag when tag = rec_entry ->
+        let e = decode_entry_record d in
+        Hashtbl.replace entries e.instance e
+      | tag when tag = rec_commit ->
+        let cp = Wire.Decoder.uint d in
+        if cp > !commit_point then commit_point := cp
+      | tag ->
+        raise
+          (Wire.Decode_error { pos = 0; msg = Printf.sprintf "unknown record tag %d" tag }))
+    frames;
+  (!promised, Hashtbl.fold (fun _ e acc -> e :: acc) entries [], !commit_point)
+
+let file ~path =
+  let log_path = path ^ ".log" and snap_path = path ^ ".snap" in
+  let recovered =
+    let frames = read_frames log_path in
+    let snapshot =
+      if Sys.file_exists snap_path then begin
+        let ic = open_in_bin snap_path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Wire.check_crc s with
+        | body -> Some body
+        | exception Wire.Decode_error _ -> None
+      end
+      else None
+    in
+    if frames = [] && snapshot = None then None
+    else begin
+      let promised, entries, commit_point = replay_log frames in
+      Some { promised; entries; commit_point; snapshot }
+    end
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 log_path in
+  let store =
+    {
+      persist_promise =
+        (fun b -> write_frame oc (encode_record rec_promise (fun e -> Types.Ballot.encode e b)));
+      persist_entry =
+        (fun ~instance ~ballot proposal ->
+          write_frame oc
+            (encode_record rec_entry (fun e ->
+                 Wire.Encoder.uint e instance;
+                 Types.Ballot.encode e ballot;
+                 Types.encode_proposal e proposal)));
+      persist_commit =
+        (fun cp -> write_frame oc (encode_record rec_commit (fun e -> Wire.Encoder.uint e cp)));
+      persist_snapshot =
+        (fun s ->
+          let tmp = snap_path ^ ".tmp" in
+          let soc = open_out_bin tmp in
+          output_string soc (Wire.with_crc s);
+          close_out soc;
+          Sys.rename tmp snap_path);
+    }
+  in
+  (store, recovered)

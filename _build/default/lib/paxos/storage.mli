@@ -1,0 +1,38 @@
+(** Stable storage for replicas.
+
+    The protocol requires three things to survive a crash: the promised
+    ballot, accepted log entries, and the commit point (plus a state
+    snapshot so recovery does not replay from the beginning). Storage is
+    a record of synchronous persist hooks so engines stay pure; three
+    backends are provided:
+
+    - {!null}: persists nothing (benchmarks — the paper's evaluation does
+      not model disk latency either);
+    - {!memory}: keeps the persisted image in memory (crash-recovery
+      tests that simulate losing volatile state only);
+    - {!file}: an append-only CRC-protected log plus snapshot file. *)
+
+type persisted = {
+  promised : Types.Ballot.t;
+  entries : Types.recovery_entry list;  (** accepted entries, any order *)
+  commit_point : int;
+  snapshot : string option;  (** encoded {!Snapshot.t} *)
+}
+
+type t = {
+  persist_promise : Types.Ballot.t -> unit;
+  persist_entry : instance:int -> ballot:Types.Ballot.t -> Types.proposal -> unit;
+  persist_commit : int -> unit;
+  persist_snapshot : string -> unit;
+}
+
+val null : unit -> t
+
+val memory : unit -> t * (unit -> persisted)
+(** The second component reads back the current persisted image. *)
+
+val file : path:string -> t * persisted option
+(** Open (or create) a file-backed store; returns the recovered image if
+    the files already existed and were non-empty. Corrupt trailing
+    records (torn writes) are ignored; corrupt interior records raise
+    {!Grid_codec.Wire.Decode_error}. *)

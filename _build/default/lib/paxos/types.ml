@@ -1,0 +1,533 @@
+(** Protocol types shared by every engine in [grid_paxos]: ballots,
+    requests, replies, state updates, wire messages, and the input/action
+    vocabulary of the pure step machines.
+
+    Engines never touch a clock, a socket or an RNG directly: they consume
+    {!input} values and emit {!action} values, and a driver (simulator,
+    TCP runtime, or model checker) interprets them. *)
+
+module Wire = Grid_codec.Wire
+module Ids = Grid_util.Ids
+
+(** Ballot numbers: lexicographically ordered (round, holder) pairs, so
+    ballots of distinct replicas never collide. *)
+module Ballot = struct
+  type t = { round : int; holder : int }
+
+  let zero = { round = 0; holder = -1 }
+  let make ~round ~holder = { round; holder }
+
+  let compare a b =
+    match Int.compare a.round b.round with
+    | 0 -> Int.compare a.holder b.holder
+    | c -> c
+
+  let equal a b = compare a b = 0
+  let pp ppf b = Format.fprintf ppf "(%d.%d)" b.round b.holder
+
+  let encode e b =
+    Wire.Encoder.int e b.round;
+    Wire.Encoder.int e b.holder
+
+  let decode d =
+    let round = Wire.Decoder.int d in
+    let holder = Wire.Decoder.int d in
+    { round; holder }
+end
+
+(** Proposal numbers: (ballot, instance), ordered lexicographically — the
+    order the paper uses for replica logs (§3.3). *)
+module Pnum = struct
+  type t = { ballot : Ballot.t; instance : int }
+
+  let make ~ballot ~instance = { ballot; instance }
+
+  let compare a b =
+    match Ballot.compare a.ballot b.ballot with
+    | 0 -> Int.compare a.instance b.instance
+    | c -> c
+
+  let pp ppf p = Format.fprintf ppf "%a@%d" Ballot.pp p.ballot p.instance
+end
+
+(** How a request wants to be coordinated. [Read] uses X-Paxos, [Write]
+    the basic protocol, [Original] no coordination at all (the paper's
+    unreplicated baseline). Transactional requests carry a per-client
+    transaction number; their coordination is deferred to the commit
+    (T-Paxos). *)
+type rtype =
+  | Read
+  | Write
+  | Original
+  | Txn_op of int
+  | Txn_commit of int
+  | Txn_abort of int
+
+let rtype_tag = function
+  | Read -> 0
+  | Write -> 1
+  | Original -> 2
+  | Txn_op _ -> 3
+  | Txn_commit _ -> 4
+  | Txn_abort _ -> 5
+
+let pp_rtype ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+  | Original -> Format.pp_print_string ppf "original"
+  | Txn_op t -> Format.fprintf ppf "txn_op(%d)" t
+  | Txn_commit t -> Format.fprintf ppf "txn_commit(%d)" t
+  | Txn_abort t -> Format.fprintf ppf "txn_abort(%d)" t
+
+let encode_rtype e rt =
+  Wire.Encoder.uint e (rtype_tag rt);
+  match rt with
+  | Read | Write | Original -> ()
+  | Txn_op t | Txn_commit t | Txn_abort t -> Wire.Encoder.uint e t
+
+let decode_rtype d =
+  match Wire.Decoder.uint d with
+  | 0 -> Read
+  | 1 -> Write
+  | 2 -> Original
+  | 3 -> Txn_op (Wire.Decoder.uint d)
+  | 4 -> Txn_commit (Wire.Decoder.uint d)
+  | 5 -> Txn_abort (Wire.Decoder.uint d)
+  | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad rtype %d" n })
+
+(** A client request. [payload] is the service operation, already encoded
+    by the service codec; the replication layer never interprets it. *)
+type request = { id : Ids.Request_id.t; rtype : rtype; payload : string }
+
+let pp_request ppf r =
+  Format.fprintf ppf "%a:%a(%d bytes)" Ids.Request_id.pp r.id pp_rtype r.rtype
+    (String.length r.payload)
+
+let encode_request e (r : request) =
+  Wire.Encoder.uint e (Ids.Client_id.to_int r.id.client);
+  Wire.Encoder.uint e r.id.seq;
+  encode_rtype e r.rtype;
+  Wire.Encoder.string e r.payload
+
+let decode_request d : request =
+  let client = Ids.Client_id.of_int (Wire.Decoder.uint d) in
+  let seq = Wire.Decoder.uint d in
+  let rtype = decode_rtype d in
+  let payload = Wire.Decoder.string d in
+  { id = Ids.Request_id.make ~client ~seq; rtype; payload }
+
+type status =
+  | Ok
+  | Txn_aborted  (** transaction rolled back (explicit abort, conflict, or leader switch) *)
+  | Txn_conflict  (** first-committer-wins conflict at commit *)
+
+let pp_status ppf = function
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Txn_aborted -> Format.pp_print_string ppf "aborted"
+  | Txn_conflict -> Format.pp_print_string ppf "conflict"
+
+type reply = { req : Ids.Request_id.t; status : status; payload : string }
+
+let pp_reply ppf r =
+  Format.fprintf ppf "reply(%a,%a,%d bytes)" Ids.Request_id.pp r.req pp_status r.status
+    (String.length r.payload)
+
+let status_tag = function Ok -> 0 | Txn_aborted -> 1 | Txn_conflict -> 2
+
+let encode_status e s = Wire.Encoder.uint e (status_tag s)
+
+let decode_status d =
+  match Wire.Decoder.uint d with
+  | 0 -> Ok
+  | 1 -> Txn_aborted
+  | 2 -> Txn_conflict
+  | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad status %d" n })
+
+let encode_reply e (r : reply) =
+  Wire.Encoder.uint e (Ids.Client_id.to_int r.req.client);
+  Wire.Encoder.uint e r.req.seq;
+  encode_status e r.status;
+  Wire.Encoder.string e r.payload
+
+let decode_reply d : reply =
+  let client = Ids.Client_id.of_int (Wire.Decoder.uint d) in
+  let seq = Wire.Decoder.uint d in
+  let status = decode_status d in
+  let payload = Wire.Decoder.string d in
+  { req = Ids.Request_id.make ~client ~seq; status; payload }
+
+(** The state shipped inside an accepted proposal (§3.3). [Full] carries
+    the whole encoded service state; [Delta] a service-specific diff
+    against the previous committed state; [Witness] only the
+    determinization information needed to re-execute the request
+    deterministically at every replica (the paper's first
+    overhead-reduction option). *)
+type state_update = Full of string | Delta of string | Witness of string
+
+let pp_state_update ppf = function
+  | Full s -> Format.fprintf ppf "full(%dB)" (String.length s)
+  | Delta s -> Format.fprintf ppf "delta(%dB)" (String.length s)
+  | Witness s -> Format.fprintf ppf "witness(%dB)" (String.length s)
+
+let state_update_size = function Full s | Delta s | Witness s -> String.length s
+
+let encode_state_update e = function
+  | Full s ->
+    Wire.Encoder.uint e 0;
+    Wire.Encoder.string e s
+  | Delta s ->
+    Wire.Encoder.uint e 1;
+    Wire.Encoder.string e s
+  | Witness s ->
+    Wire.Encoder.uint e 2;
+    Wire.Encoder.string e s
+
+let decode_state_update d =
+  let tag = Wire.Decoder.uint d in
+  let s = Wire.Decoder.string d in
+  match tag with
+  | 0 -> Full s
+  | 1 -> Delta s
+  | 2 -> Witness s
+  | n ->
+    raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad state_update %d" n })
+
+(** One value proposed/accepted in a consensus instance: the request
+    batch (singleton outside T-Paxos), the state after executing it, and
+    the replies produced. This tuple is the paper's [<req, state>]; we
+    additionally replicate the replies so that after a leader switch the
+    new leader can re-answer duplicate requests it never executed. *)
+type proposal = { requests : request list; update : state_update; replies : reply list }
+
+let encode_proposal e (p : proposal) =
+  Wire.Encoder.list e (encode_request e) p.requests;
+  encode_state_update e p.update;
+  Wire.Encoder.list e (encode_reply e) p.replies
+
+let decode_proposal d : proposal =
+  let requests = Wire.Decoder.list d decode_request in
+  let update = decode_state_update d in
+  let replies = Wire.Decoder.list d decode_reply in
+  { requests; update; replies }
+
+(** A log entry carried in recovery messages. *)
+type recovery_entry = { instance : int; ballot : Ballot.t; proposal : proposal }
+
+type msg =
+  | Client_req of request
+  | Reply_msg of reply
+  | Prepare of { ballot : Ballot.t; commit_point : int }
+      (** New leader's multi-instance prepare; [commit_point] tells
+          replicas which entries the leader already knows committed. *)
+  | Prepare_ack of {
+      ballot : Ballot.t;
+      commit_point : int;  (** the follower's committed prefix *)
+      snapshot : string option;
+          (** encoded snapshot, present iff the follower is ahead of the
+              leader's [commit_point] *)
+      accepted : recovery_entry list;
+          (** accepted-but-not-committed entries above both commit points *)
+    }
+  | Accept of { ballot : Ballot.t; instance : int; proposal : proposal }
+  | Accept_ack of { ballot : Ballot.t; instance : int }
+  | Reject of { promised : Ballot.t }
+      (** Nack carrying the higher promise that caused the rejection. *)
+  | Commit of { ballot : Ballot.t; instance : int }
+  | Read_confirm of { ballot : Ballot.t; req : Ids.Request_id.t }
+      (** X-Paxos: follower confirms leadership to the highest-ballot
+          holder it has accepted, naming the read it saw. *)
+  | Heartbeat of { round_seen : int; commit_point : int; promised : Ballot.t }
+  | Catchup_req of { from_instance : int }
+  | Catchup of { snapshot : string }
+  (* Semi-passive replication (Défago et al., §5 related work): lazy
+     consensus with a rotating coordinator, per instance. *)
+  | Sp_estimate of {
+      instance : int;
+      round : int;
+      estimate : (proposal * int) option;  (** locked value and its round *)
+    }
+  | Sp_propose of { instance : int; round : int; proposal : proposal }
+  | Sp_ack of { instance : int; round : int }
+  | Sp_decide of { instance : int; proposal : proposal }
+
+
+(* Full message codec, used by the TCP transport and the wire tests. *)
+
+let encode_msg e = function
+  | Client_req r ->
+    Wire.Encoder.uint e 0;
+    encode_request e r
+  | Reply_msg r ->
+    Wire.Encoder.uint e 1;
+    encode_reply e r
+  | Prepare { ballot; commit_point } ->
+    Wire.Encoder.uint e 2;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e commit_point
+  | Prepare_ack { ballot; commit_point; snapshot; accepted } ->
+    Wire.Encoder.uint e 3;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e commit_point;
+    Wire.Encoder.option e (Wire.Encoder.string e) snapshot;
+    Wire.Encoder.list e
+      (fun (entry : recovery_entry) ->
+        Wire.Encoder.uint e entry.instance;
+        Ballot.encode e entry.ballot;
+        encode_proposal e entry.proposal)
+      accepted
+  | Accept { ballot; instance; proposal } ->
+    Wire.Encoder.uint e 4;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e instance;
+    encode_proposal e proposal
+  | Accept_ack { ballot; instance } ->
+    Wire.Encoder.uint e 5;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e instance
+  | Reject { promised } ->
+    Wire.Encoder.uint e 6;
+    Ballot.encode e promised
+  | Commit { ballot; instance } ->
+    Wire.Encoder.uint e 7;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e instance
+  | Read_confirm { ballot; req } ->
+    Wire.Encoder.uint e 8;
+    Ballot.encode e ballot;
+    Wire.Encoder.uint e (Ids.Client_id.to_int req.client);
+    Wire.Encoder.uint e req.seq
+  | Heartbeat { round_seen; commit_point; promised } ->
+    Wire.Encoder.uint e 9;
+    Wire.Encoder.uint e round_seen;
+    Wire.Encoder.uint e commit_point;
+    Ballot.encode e promised
+  | Catchup_req { from_instance } ->
+    Wire.Encoder.uint e 10;
+    Wire.Encoder.uint e from_instance
+  | Catchup { snapshot } ->
+    Wire.Encoder.uint e 11;
+    Wire.Encoder.string e snapshot
+  | Sp_estimate { instance; round; estimate } ->
+    Wire.Encoder.uint e 12;
+    Wire.Encoder.uint e instance;
+    Wire.Encoder.uint e round;
+    Wire.Encoder.option e
+      (fun (p, r) ->
+        encode_proposal e p;
+        Wire.Encoder.uint e r)
+      estimate
+  | Sp_propose { instance; round; proposal } ->
+    Wire.Encoder.uint e 13;
+    Wire.Encoder.uint e instance;
+    Wire.Encoder.uint e round;
+    encode_proposal e proposal
+  | Sp_ack { instance; round } ->
+    Wire.Encoder.uint e 14;
+    Wire.Encoder.uint e instance;
+    Wire.Encoder.uint e round
+  | Sp_decide { instance; proposal } ->
+    Wire.Encoder.uint e 15;
+    Wire.Encoder.uint e instance;
+    encode_proposal e proposal
+
+let decode_msg d =
+  match Wire.Decoder.uint d with
+  | 0 -> Client_req (decode_request d)
+  | 1 -> Reply_msg (decode_reply d)
+  | 2 ->
+    let ballot = Ballot.decode d in
+    let commit_point = Wire.Decoder.uint d in
+    Prepare { ballot; commit_point }
+  | 3 ->
+    let ballot = Ballot.decode d in
+    let commit_point = Wire.Decoder.uint d in
+    let snapshot = Wire.Decoder.option d Wire.Decoder.string in
+    let accepted =
+      Wire.Decoder.list d (fun d ->
+          let instance = Wire.Decoder.uint d in
+          let ballot = Ballot.decode d in
+          let proposal = decode_proposal d in
+          { instance; ballot; proposal })
+    in
+    Prepare_ack { ballot; commit_point; snapshot; accepted }
+  | 4 ->
+    let ballot = Ballot.decode d in
+    let instance = Wire.Decoder.uint d in
+    let proposal = decode_proposal d in
+    Accept { ballot; instance; proposal }
+  | 5 ->
+    let ballot = Ballot.decode d in
+    let instance = Wire.Decoder.uint d in
+    Accept_ack { ballot; instance }
+  | 6 -> Reject { promised = Ballot.decode d }
+  | 7 ->
+    let ballot = Ballot.decode d in
+    let instance = Wire.Decoder.uint d in
+    Commit { ballot; instance }
+  | 8 ->
+    let ballot = Ballot.decode d in
+    let client = Ids.Client_id.of_int (Wire.Decoder.uint d) in
+    let seq = Wire.Decoder.uint d in
+    Read_confirm { ballot; req = Ids.Request_id.make ~client ~seq }
+  | 9 ->
+    let round_seen = Wire.Decoder.uint d in
+    let commit_point = Wire.Decoder.uint d in
+    let promised = Ballot.decode d in
+    Heartbeat { round_seen; commit_point; promised }
+  | 10 -> Catchup_req { from_instance = Wire.Decoder.uint d }
+  | 11 -> Catchup { snapshot = Wire.Decoder.string d }
+  | 12 ->
+    let instance = Wire.Decoder.uint d in
+    let round = Wire.Decoder.uint d in
+    let estimate =
+      Wire.Decoder.option d (fun d ->
+          let p = decode_proposal d in
+          let r = Wire.Decoder.uint d in
+          (p, r))
+    in
+    Sp_estimate { instance; round; estimate }
+  | 13 ->
+    let instance = Wire.Decoder.uint d in
+    let round = Wire.Decoder.uint d in
+    let proposal = decode_proposal d in
+    Sp_propose { instance; round; proposal }
+  | 14 ->
+    let instance = Wire.Decoder.uint d in
+    let round = Wire.Decoder.uint d in
+    Sp_ack { instance; round }
+  | 15 ->
+    let instance = Wire.Decoder.uint d in
+    let proposal = decode_proposal d in
+    Sp_decide { instance; proposal }
+  | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad msg tag %d" n })
+
+(* Approximate wire size, for the simulator's bandwidth model: payload
+   bytes plus a small fixed header per field. *)
+let request_size (r : request) = String.length r.payload + 16
+let reply_size (r : reply) = String.length r.payload + 16
+
+let proposal_size (p : proposal) =
+  List.fold_left (fun acc r -> acc + request_size r) 0 p.requests
+  + state_update_size p.update
+  + List.fold_left (fun acc r -> acc + reply_size r) 0 p.replies
+  + 8
+
+let msg_size = function
+  | Client_req r -> request_size r + 8
+  | Reply_msg r -> reply_size r + 8
+  | Prepare _ -> 24
+  | Prepare_ack { snapshot; accepted; _ } ->
+    24
+    + (match snapshot with Some s -> String.length s | None -> 0)
+    + List.fold_left (fun acc (e : recovery_entry) -> acc + proposal_size e.proposal) 0
+        accepted
+  | Accept { proposal; _ } -> 24 + proposal_size proposal
+  | Accept_ack _ -> 24
+  | Reject _ -> 16
+  | Commit _ -> 24
+  | Read_confirm _ -> 24
+  | Heartbeat _ -> 16
+  | Catchup_req _ -> 16
+  | Catchup { snapshot } -> 16 + String.length snapshot
+  | Sp_estimate { estimate; _ } ->
+    24 + (match estimate with Some (p, _) -> proposal_size p | None -> 0)
+  | Sp_propose { proposal; _ } -> 24 + proposal_size proposal
+  | Sp_ack _ -> 24
+  | Sp_decide { proposal; _ } -> 16 + proposal_size proposal
+
+let msg_kind = function
+  | Client_req _ -> "client_req"
+  | Reply_msg _ -> "reply"
+  | Prepare _ -> "prepare"
+  | Prepare_ack _ -> "prepare_ack"
+  | Accept _ -> "accept"
+  | Accept_ack _ -> "accept_ack"
+  | Reject _ -> "reject"
+  | Commit _ -> "commit"
+  | Read_confirm _ -> "read_confirm"
+  | Heartbeat _ -> "heartbeat"
+  | Catchup_req _ -> "catchup_req"
+  | Catchup _ -> "catchup"
+  | Sp_estimate _ -> "sp_estimate"
+  | Sp_propose _ -> "sp_propose"
+  | Sp_ack _ -> "sp_ack"
+  | Sp_decide _ -> "sp_decide"
+
+let pp_msg ppf m =
+  match m with
+  | Client_req r -> Format.fprintf ppf "client_req %a" pp_request r
+  | Reply_msg r -> pp_reply ppf r
+  | Prepare { ballot; commit_point } ->
+    Format.fprintf ppf "prepare %a cp=%d" Ballot.pp ballot commit_point
+  | Prepare_ack { ballot; commit_point; accepted; snapshot } ->
+    Format.fprintf ppf "prepare_ack %a cp=%d entries=%d snap=%b" Ballot.pp ballot
+      commit_point (List.length accepted) (snapshot <> None)
+  | Accept { ballot; instance; proposal } ->
+    Format.fprintf ppf "accept %a i=%d reqs=%d %a" Ballot.pp ballot instance
+      (List.length proposal.requests)
+      pp_state_update proposal.update
+  | Accept_ack { ballot; instance } ->
+    Format.fprintf ppf "accept_ack %a i=%d" Ballot.pp ballot instance
+  | Reject { promised } -> Format.fprintf ppf "reject promised=%a" Ballot.pp promised
+  | Commit { ballot; instance } ->
+    Format.fprintf ppf "commit %a i=%d" Ballot.pp ballot instance
+  | Read_confirm { ballot; req } ->
+    Format.fprintf ppf "read_confirm %a %a" Ballot.pp ballot Ids.Request_id.pp req
+  | Heartbeat { round_seen; commit_point; promised } ->
+    Format.fprintf ppf "heartbeat rs=%d cp=%d promised=%a" round_seen commit_point
+      Ballot.pp promised
+  | Catchup_req { from_instance } -> Format.fprintf ppf "catchup_req from=%d" from_instance
+  | Catchup _ -> Format.fprintf ppf "catchup"
+  | Sp_estimate { instance; round; estimate } ->
+    Format.fprintf ppf "sp_estimate i=%d r=%d locked=%b" instance round (estimate <> None)
+  | Sp_propose { instance; round; _ } -> Format.fprintf ppf "sp_propose i=%d r=%d" instance round
+  | Sp_ack { instance; round } -> Format.fprintf ppf "sp_ack i=%d r=%d" instance round
+  | Sp_decide { instance; _ } -> Format.fprintf ppf "sp_decide i=%d" instance
+
+(** Timers a replica can arm. Timers are never cancelled explicitly:
+    handlers re-check state and ignore stale firings, which keeps driver
+    plumbing trivial. *)
+type timer =
+  | Hb_tick  (** periodic heartbeat broadcast *)
+  | Suspicion_tick  (** periodic liveness evaluation *)
+  | Stability_check of int
+      (** candidate hold-down started while observing this round *)
+  | Accept_retry of int  (** instance number *)
+  | Prepare_retry of int  (** ballot round *)
+  | Exec_done of int  (** execution-cost token *)
+  | Client_retry of int  (** client-side retransmission, by sequence *)
+  | Sp_round_timeout of int * int
+      (** semi-passive replication: (instance, round) suspicion timeout *)
+
+let pp_timer ppf = function
+  | Hb_tick -> Format.pp_print_string ppf "hb_tick"
+  | Suspicion_tick -> Format.pp_print_string ppf "suspicion_tick"
+  | Stability_check r -> Format.fprintf ppf "stability_check(%d)" r
+  | Accept_retry i -> Format.fprintf ppf "accept_retry(%d)" i
+  | Prepare_retry r -> Format.fprintf ppf "prepare_retry(%d)" r
+  | Exec_done tok -> Format.fprintf ppf "exec_done(%d)" tok
+  | Client_retry s -> Format.fprintf ppf "client_retry(%d)" s
+  | Sp_round_timeout (i, r) -> Format.fprintf ppf "sp_round_timeout(%d,%d)" i r
+
+type input = Receive of { src : int; msg : msg } | Timer of timer
+
+(** Node-id convention: replicas occupy [0 .. n-1]; client [c] is node
+    [client_node_base + c]. Drivers and engines share this mapping. *)
+let client_node_base = 10_000
+
+let client_node c = client_node_base + Ids.Client_id.to_int c
+let node_is_client node = node >= client_node_base
+let client_of_node node = Ids.Client_id.of_int (node - client_node_base)
+
+type action =
+  | Send of { dst : int; msg : msg }
+  | After of { delay : float; timer : timer }
+  | Note of string  (** trace hint; drivers may log or ignore *)
+
+let send ~dst msg = Send { dst; msg }
+let after ~delay timer = After { delay; timer }
+
+let pp_action ppf = function
+  | Send { dst; msg } -> Format.fprintf ppf "send->%d %a" dst pp_msg msg
+  | After { delay; timer } -> Format.fprintf ppf "after %.3f %a" delay pp_timer timer
+  | Note s -> Format.fprintf ppf "note %s" s

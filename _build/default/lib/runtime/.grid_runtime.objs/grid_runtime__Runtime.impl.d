@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Float Grid_paxos Grid_sim Grid_util Hashtbl Int64 List Option Printf Scenario

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Grid_paxos Grid_sim Scenario

@@ -1,0 +1,1 @@
+lib/runtime/scenario.ml: Array Float Fun Grid_paxos Grid_sim Stdlib

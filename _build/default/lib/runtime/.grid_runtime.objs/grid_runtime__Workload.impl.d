@@ -1,0 +1,1 @@
+lib/runtime/workload.ml: Array Grid_codec Grid_paxos Grid_services Grid_sim Grid_util List Printf Runtime

@@ -1,0 +1,329 @@
+(** Wires replica and client step machines into the discrete-event
+    simulator: interprets their actions (sends, timers, notes), drives
+    closed-loop workloads, and exposes crash/recovery controls.
+
+    One [Make (S)] instantiation simulates one replicated service. All
+    randomness derives from the seed passed to {!create}, so every run is
+    reproducible. *)
+
+module Engine = Grid_sim.Engine
+module Network = Grid_sim.Network
+module Trace = Grid_sim.Trace
+module Rng = Grid_util.Rng
+module Ids = Grid_util.Ids
+module Config = Grid_paxos.Config
+module Client = Grid_paxos.Client
+open Grid_paxos.Types
+
+module Make (S : Grid_paxos.Service_intf.S) = struct
+  module R = Grid_paxos.Replica.Make (S)
+
+  type client_slot = { client : Client.t; mutable on_reply : reply -> unit }
+
+  type t = {
+    eng : Engine.t;
+    net : msg Network.t;
+    cfg : Config.t;
+    scenario : Scenario.t;
+    replicas : R.t array;
+    clients : (int, client_slot) Hashtbl.t;  (* node id -> slot *)
+    down : bool array;
+    incarnation : int array;
+        (* bumped on recovery so timers armed in a previous life die *)
+    msg_counts : (string, int) Hashtbl.t;  (* sends by message kind *)
+    mutable load_applied : float;  (* server load factor currently in force *)
+    trace : Trace.t;
+    mutable next_client_id : int;  (* fresh ids for successive workloads *)
+  }
+
+  let engine t = t.eng
+  let network t = t.net
+  let config t = t.cfg
+  let trace t = t.trace
+  let replica t i = t.replicas.(i)
+  let now t = Engine.now t.eng
+
+  let count_msg t msg =
+    let k = msg_kind msg in
+    Hashtbl.replace t.msg_counts k (1 + Option.value ~default:0 (Hashtbl.find_opt t.msg_counts k))
+
+  let rec dispatch_replica t i actions = List.iter (run_action t i) actions
+
+  and run_action t i = function
+    | Send { dst; msg } ->
+      count_msg t msg;
+      Network.send t.net ~src:i ~dst msg
+    | After { delay; timer } ->
+      let armed_in = t.incarnation.(i) in
+      ignore
+        (Engine.schedule t.eng ~delay (fun () ->
+             (* Timers armed before a crash must not fire into the next
+                incarnation: recovery re-bootstraps its own timers. *)
+             if (not t.down.(i)) && t.incarnation.(i) = armed_in then
+               dispatch_replica t i
+                 (R.handle t.replicas.(i) ~now:(Engine.now t.eng) (Timer timer))))
+    | Note s ->
+      Trace.record t.trace ~time:(Engine.now t.eng) ~actor:(Printf.sprintf "r%d" i) s
+
+  let rec dispatch_client t node actions reply =
+    List.iter
+      (function
+        | Send { dst; msg } ->
+          count_msg t msg;
+          Network.send t.net ~src:node ~dst msg
+        | After { delay; timer } ->
+          ignore
+            (Engine.schedule t.eng ~delay (fun () ->
+                 match Hashtbl.find_opt t.clients node with
+                 | None -> ()
+                 | Some slot ->
+                   let actions, reply =
+                     Client.handle slot.client ~now:(Engine.now t.eng) (Timer timer)
+                   in
+                   dispatch_client t node actions reply))
+        | Note s ->
+          Trace.record t.trace ~time:(Engine.now t.eng)
+            ~actor:(Printf.sprintf "n%d" node) s)
+      actions;
+    match (reply, Hashtbl.find_opt t.clients node) with
+    | Some r, Some slot -> slot.on_reply r
+    | _ -> ()
+
+  let create ?(seed = 42) ?(trace = false) ~cfg ~scenario:(sc : Scenario.t) () =
+    let cfg = sc.tune { cfg with Config.n = sc.n } in
+    let eng = Engine.create () in
+    let root = Rng.of_int seed in
+    let net = Network.create eng (Rng.split root) in
+    let trace = Trace.create ~enabled:trace () in
+    let replicas =
+      Array.init cfg.n (fun i ->
+          R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ())
+    in
+    let t =
+      {
+        eng;
+        net;
+        cfg;
+        scenario = sc;
+        replicas;
+        clients = Hashtbl.create 16;
+        down = Array.make cfg.n false;
+        incarnation = Array.make cfg.n 0;
+        msg_counts = Hashtbl.create 16;
+        load_applied = 1.0;
+        trace;
+        next_client_id = 0;
+      }
+    in
+    for i = 0 to cfg.n - 1 do
+      Network.add_node net ~id:i ~recv_cost:sc.replica_recv_cost
+        ~send_cost:sc.replica_send_cost (fun ~src msg ->
+          if not t.down.(i) then
+            dispatch_replica t i (R.handle t.replicas.(i) ~now:(Engine.now eng) (Receive { src; msg })))
+    done;
+    for i = 0 to cfg.n - 1 do
+      for j = 0 to cfg.n - 1 do
+        if i <> j then Network.set_link net ~src:i ~dst:j (sc.replica_link i j)
+      done
+    done;
+    Array.iteri (fun i r -> dispatch_replica t i (R.bootstrap r)) replicas;
+    t
+
+  (** Add a closed-loop client. [machine_share] models how many clients
+      share this client's physical machine: per-message CPU costs scale
+      with it (the paper runs up to 16 client processes per host). *)
+  let add_client t ~id ?(machine_share = 1) ?(on_reply = fun _ -> ()) () =
+    if id >= t.next_client_id then t.next_client_id <- id + 1;
+    let cid = Ids.Client_id.of_int id in
+    let client =
+      Client.create ~id:cid
+        ~replicas:(Config.replica_ids t.cfg)
+        ~retry_ms:t.cfg.client_retry_ms ()
+    in
+    let node = Client.node client in
+    let slot = { client; on_reply } in
+    Hashtbl.replace t.clients node slot;
+    let share = Float.of_int machine_share in
+    Network.add_node t.net ~id:node
+      ~recv_cost:(t.scenario.client_recv_cost *. share)
+      ~send_cost:(t.scenario.client_send_cost *. share)
+      (fun ~src msg ->
+        let actions, reply =
+          Client.handle slot.client ~now:(Engine.now t.eng) (Receive { src; msg })
+        in
+        dispatch_client t node actions reply);
+    for r = 0 to t.cfg.n - 1 do
+      Network.set_link_sym t.net node r (t.scenario.client_link r)
+    done;
+    client
+
+  (** Sends by message kind since creation (or the last reset). *)
+  let message_counts t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.msg_counts [] |> List.sort compare
+
+  let reset_message_counts t = Hashtbl.reset t.msg_counts
+
+  let set_on_reply t client f =
+    match Hashtbl.find_opt t.clients (Client.node client) with
+    | Some slot -> slot.on_reply <- f
+    | None -> invalid_arg "Runtime.set_on_reply: unknown client"
+
+  let submit t client rtype ~payload =
+    dispatch_client t (Client.node client) (Client.submit client rtype ~payload) None
+
+  (** {1 Failure control} *)
+
+  let crash_replica t i =
+    t.down.(i) <- true;
+    Network.crash t.net i
+
+  (** Recovery restarts the replica's volatile state (as a real process
+      restart would) and re-arms its timers. *)
+  let recover_replica t i =
+    t.down.(i) <- false;
+    t.incarnation.(i) <- t.incarnation.(i) + 1;
+    Network.recover t.net i;
+    dispatch_replica t i (R.restart t.replicas.(i) ~now:(Engine.now t.eng))
+
+  let replica_up t i = not t.down.(i)
+
+  (** {1 Running} *)
+
+  let run_until t horizon = Engine.run ~until:horizon t.eng
+
+  let leader t =
+    let rec find i =
+      if i >= t.cfg.n then None
+      else if (not t.down.(i)) && R.is_leader t.replicas.(i) then Some i
+      else find (i + 1)
+    in
+    find 0
+
+  (** Run until a leader is elected (and its prepare round finished), or
+      [max_wait] simulated ms elapse. *)
+  let await_leader ?(max_wait = 10_000.0) t =
+    let deadline = Engine.now t.eng +. max_wait in
+    let rec loop () =
+      match leader t with
+      | Some l -> Some l
+      | None ->
+        if Engine.now t.eng >= deadline then None
+        else if Engine.step t.eng then loop ()
+        else None
+    in
+    loop ()
+
+  (** {1 Closed-loop workloads}
+
+      Mirrors the paper's methodology: after the leader is elected the
+      clients all start at the same instant; each sends its next request
+      only after receiving the reply to the previous one. *)
+
+  type record = {
+    rec_client : int;
+    rec_seq : int;  (* per-client completion index, 1-based *)
+    rec_rtype : rtype;
+    rec_status : status;
+    rec_latency : float;  (* ms *)
+  }
+
+  type results = {
+    records : record list;  (** completion order *)
+    started_at : float;
+    finished_at : float;
+    total_completed : int;
+  }
+
+  let latencies ?(filter = fun _ -> true) results =
+    List.filter filter results.records
+    |> List.map (fun r -> r.rec_latency)
+    |> Array.of_list
+
+  let throughput_rps results =
+    let dur_ms = results.finished_at -. results.started_at in
+    if dur_ms <= 0.0 then 0.0
+    else Float.of_int results.total_completed /. dur_ms *. 1000.0
+
+  (** [run_closed_loop t ~clients ~requests_per_client ~gen ()] runs the
+      workload to completion. [gen ~client] is called once per client and
+      must return a generator producing that client's successive requests.
+      Returns per-request records (latency in simulated ms). *)
+  let run_closed_loop ?(max_sim_ms = 600_000.0) ~clients ~requests_per_client ~gen t =
+    (match await_leader t with
+    | Some _ -> ()
+    | None -> failwith "run_closed_loop: no leader elected");
+    let records = ref [] in
+    let total = ref 0 in
+    let finished_at = ref (now t) in
+    let expected = clients * requests_per_client in
+    let started_at = now t in
+    let machine_share = t.scenario.clients_per_machine clients in
+    (* Rescale replica CPU costs for this client count; relative to the
+       factor already in force so repeated workloads do not compound. *)
+    let load = t.scenario.server_load_factor clients in
+    if load <> t.load_applied then begin
+      for i = 0 to t.cfg.n - 1 do
+        Network.scale_node_costs t.net i ~factor:(load /. t.load_applied)
+      done;
+      t.load_applied <- load
+    end;
+    for c = 0 to clients - 1 do
+      let next = gen ~client:c in
+      let remaining = ref requests_per_client in
+      let sent_at = ref 0.0 in
+      let sent_rtype = ref Read in
+      let completions = ref 0 in
+      let client_ref = ref None in
+      let submit_next () =
+        match next () with
+        | Some (rtype, payload) -> (
+          sent_at := now t;
+          sent_rtype := rtype;
+          match !client_ref with
+          | Some cl -> submit t cl rtype ~payload
+          | None -> ())
+        | None -> ()
+      in
+      let on_reply (reply : reply) =
+        incr completions;
+        incr total;
+        finished_at := now t;
+        records :=
+          {
+            rec_client = c;
+            rec_seq = !completions;
+            rec_rtype = !sent_rtype;
+            rec_status = reply.status;
+            rec_latency = now t -. !sent_at;
+          }
+          :: !records;
+        decr remaining;
+        if !remaining > 0 then submit_next ()
+      in
+      let id = t.next_client_id in
+      t.next_client_id <- t.next_client_id + 1;
+      let client = add_client t ~id ~machine_share ~on_reply () in
+      client_ref := Some client;
+      (* First request of every client at the same instant — the paper's
+         leader-sent start signal. *)
+      ignore
+        (Engine.schedule t.eng ~delay:0.0 (fun () ->
+             if !remaining > 0 then submit_next ()))
+    done;
+    let deadline = started_at +. max_sim_ms in
+    let rec drive () =
+      if !total >= expected then ()
+      else if now t > deadline then
+        failwith
+          (Printf.sprintf "run_closed_loop: stalled at %d/%d completions" !total expected)
+      else if Engine.step t.eng then drive ()
+      else ()
+    in
+    drive ();
+    {
+      records = List.rev !records;
+      started_at;
+      finished_at = !finished_at;
+      total_completed = !total;
+    }
+end

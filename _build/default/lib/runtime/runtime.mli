@@ -1,0 +1,114 @@
+(** Simulation runtime: wires replica and client step machines into the
+    discrete-event simulator, drives closed-loop workloads, and exposes
+    crash/recovery controls. One [Make (S)] instantiation simulates one
+    replicated service; all randomness derives from the creation seed,
+    so runs are reproducible. *)
+
+module Make (S : Grid_paxos.Service_intf.S) : sig
+  module R : module type of Grid_paxos.Replica.Make (S)
+
+  type t
+
+  val create :
+    ?seed:int ->
+    ?trace:bool ->
+    cfg:Grid_paxos.Config.t ->
+    scenario:Scenario.t ->
+    unit ->
+    t
+  (** Build the cluster described by [scenario] (its replica count
+      overrides [cfg.n]), register the replicas on the simulated network
+      and arm their bootstrap timers. *)
+
+  (** {1 Accessors} *)
+
+  val engine : t -> Grid_sim.Engine.t
+  val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
+  val config : t -> Grid_paxos.Config.t
+  val trace : t -> Grid_sim.Trace.t
+  val replica : t -> int -> R.t
+  val now : t -> float
+
+  (** {1 Clients} *)
+
+  val add_client :
+    t ->
+    id:int ->
+    ?machine_share:int ->
+    ?on_reply:(Grid_paxos.Types.reply -> unit) ->
+    unit ->
+    Grid_paxos.Client.t
+  (** Register a client node. [machine_share] scales its per-message CPU
+      costs to model several client processes sharing one host. *)
+
+  val set_on_reply : t -> Grid_paxos.Client.t -> (Grid_paxos.Types.reply -> unit) -> unit
+
+  val submit : t -> Grid_paxos.Client.t -> Grid_paxos.Types.rtype -> payload:string -> unit
+  (** Issue a request through the client engine (closed loop: the client
+      must have no outstanding request). *)
+
+  (** {1 Failure control} *)
+
+  val crash_replica : t -> int -> unit
+  val recover_replica : t -> int -> unit
+  (** Restart the replica's volatile state and re-arm its timers; timers
+      from the previous incarnation are discarded. *)
+
+  val replica_up : t -> int -> bool
+
+  (** {1 Running} *)
+
+  val run_until : t -> float -> unit
+  val leader : t -> int option
+  (** First live replica that believes it leads. *)
+
+  val await_leader : ?max_wait:float -> t -> int option
+  (** Step the engine until a leader exists (or [max_wait] simulated ms
+      pass; default 10 s). *)
+
+  (** {1 Closed-loop workloads}
+
+      Mirrors the paper's methodology (§4): after the leader is elected,
+      all clients start at the same instant and each sends its next
+      request only after receiving the reply to the previous one. *)
+
+  type record = {
+    rec_client : int;
+    rec_seq : int;  (** per-client completion index, 1-based *)
+    rec_rtype : Grid_paxos.Types.rtype;
+    rec_status : Grid_paxos.Types.status;
+    rec_latency : float;  (** ms *)
+  }
+
+  type results = {
+    records : record list;  (** completion order *)
+    started_at : float;
+    finished_at : float;
+    total_completed : int;
+  }
+
+  val latencies : ?filter:(record -> bool) -> results -> float array
+  val throughput_rps : results -> float
+
+  val run_closed_loop :
+    ?max_sim_ms:float ->
+    clients:int ->
+    requests_per_client:int ->
+    gen:
+      (client:int -> unit -> (Grid_paxos.Types.rtype * string) option) ->
+    t ->
+    results
+  (** Run the workload to completion. [gen ~client] is invoked once per
+      client and must yield that client's successive requests; it must
+      supply at least [requests_per_client] items. Raises [Failure] if
+      the system stalls past [max_sim_ms] (default 600 s) of simulated
+      time. *)
+
+  (** {1 Introspection} *)
+
+  val message_counts : t -> (string * int) list
+  (** Messages sent by engine actions, by {!Grid_paxos.Types.msg_kind},
+      since creation or the last {!reset_message_counts}. *)
+
+  val reset_message_counts : t -> unit
+end

@@ -1,0 +1,129 @@
+(** Workload generators for experiments beyond the paper's fixed scripts:
+    read/write mixes, Zipf-skewed key-value traffic, transaction scripts,
+    and an open-loop (Poisson-arrival) driver that measures latency under
+    a fixed offered load instead of the closed-loop saturation the
+    paper's methodology induces. *)
+
+module Rng = Grid_util.Rng
+module Stats = Grid_util.Stats
+open Grid_paxos.Types
+
+(** {1 Request generators}
+
+    A generator is what {!Runtime.Make.run_closed_loop} consumes: per
+    client, a function producing successive [(rtype, payload)] items. *)
+
+type item = rtype * string
+
+(** Fixed number of requests with a given read fraction. *)
+let mix ~rng ~read_fraction ~count ~read_payload ~write_payload ~client:_ =
+  let rng = Rng.split rng in
+  let remaining = ref count in
+  fun () ->
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      if Rng.float rng 1.0 < read_fraction then Some (Read, read_payload)
+      else Some (Write, write_payload)
+    end
+
+(** Zipf-skewed key-value traffic over [keys] keys with exponent [s]:
+    reads [Kv_store.Get], writes [Kv_store.Put]. *)
+let kv_zipf ~rng ~read_fraction ~keys ~s ~count ~client =
+  let module Kv = Grid_services.Kv_store in
+  let rng = Rng.split rng in
+  let remaining = ref count in
+  fun () ->
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      let key = Printf.sprintf "key-%d" (Rng.zipf rng ~n:keys ~s) in
+      if Rng.float rng 1.0 < read_fraction then
+        Some (Read, Kv.encode_op (Kv.Get key))
+      else
+        Some
+          ( Write,
+            Kv.encode_op (Kv.Put { key; value = Printf.sprintf "v%d-%d" client !remaining })
+          )
+    end
+
+(** T-Paxos transaction scripts: [txns] transactions of [ops_per_txn]
+    operations drawn from [op_payloads], each closed by a [Txn_commit]
+    whose payload carries the op count. *)
+let transactions ~ops_per_txn ~txns ~op_payload ~client:_ =
+  let txn = ref 0 and step = ref 0 in
+  fun () ->
+    if !txn >= txns then None
+    else if !step < ops_per_txn then begin
+      incr step;
+      Some (Txn_op (!txn + 1), op_payload)
+    end
+    else begin
+      let tid = !txn + 1 in
+      step := 0;
+      incr txn;
+      Some
+        ( Txn_commit tid,
+          Grid_codec.Wire.encode (fun e -> Grid_codec.Wire.Encoder.uint e ops_per_txn) )
+    end
+
+(** {1 Open-loop driving}
+
+    Unlike the paper's closed loop, an open-loop client issues requests
+    at exponentially distributed intervals regardless of outstanding
+    replies, so response time can be studied as a function of offered
+    load. Because the protocol client allows one outstanding request,
+    the open-loop driver models each arrival as its own short-lived
+    client. *)
+
+type open_loop_results = {
+  offered_rps : float;
+  completed : int;
+  dropped : int;  (** arrivals abandoned because the run ended *)
+  latencies_ms : float array;
+}
+
+module Make (S : Grid_paxos.Service_intf.S) = struct
+  module RT = Runtime.Make (S)
+
+  (** [run t ~rps ~duration_ms ~payload ~rtype] offers [rps] requests per
+      second (Poisson arrivals) for [duration_ms] of simulated time and
+      returns the observed latencies. The runtime must have an elected
+      leader (see {!RT.await_leader}). *)
+  let run t ~seed ~rps ~duration_ms ~rtype ~payload =
+    let eng = RT.engine t in
+    let rng = Rng.of_int seed in
+    let latencies = ref [] in
+    let completed = ref 0 in
+    let inflight = ref 0 in
+    let next_id = ref 0 in
+    let deadline = RT.now t +. duration_ms in
+    let rec arrive () =
+      if RT.now t < deadline then begin
+        let id = 5000 + !next_id in
+        incr next_id;
+        let sent_at = RT.now t in
+        incr inflight;
+        let client =
+          RT.add_client t ~id
+            ~on_reply:(fun _reply ->
+              decr inflight;
+              incr completed;
+              latencies := (RT.now t -. sent_at) :: !latencies)
+            ()
+        in
+        RT.submit t client rtype ~payload;
+        let gap = Rng.exponential rng ~mean:(1000.0 /. rps) in
+        ignore (Grid_sim.Engine.schedule eng ~delay:gap arrive)
+      end
+    in
+    arrive ();
+    (* Run past the deadline to let stragglers finish. *)
+    RT.run_until t (deadline +. 2_000.0);
+    {
+      offered_rps = rps;
+      completed = !completed;
+      dropped = !inflight;
+      latencies_ms = Array.of_list (List.rev !latencies);
+    }
+end

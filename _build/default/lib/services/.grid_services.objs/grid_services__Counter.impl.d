@@ -1,0 +1,1 @@
+lib/services/counter.ml: Grid_codec Printf

@@ -1,0 +1,1 @@
+lib/services/counter.mli: Grid_paxos

@@ -1,0 +1,1 @@
+lib/services/grid_scheduler.ml: Array Grid_codec Grid_util Int List Map Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/services/grid_scheduler.mli: Grid_paxos Map

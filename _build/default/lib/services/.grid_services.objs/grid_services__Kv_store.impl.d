@@ -1,0 +1,1 @@
+lib/services/kv_store.ml: Grid_codec List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/services/kv_store.mli: Grid_paxos Map

@@ -1,0 +1,1 @@
+lib/services/lease_manager.ml: Grid_codec List Map Printf String

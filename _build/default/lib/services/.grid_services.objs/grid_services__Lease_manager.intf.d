@@ -1,0 +1,1 @@
+lib/services/lease_manager.mli: Grid_paxos Map

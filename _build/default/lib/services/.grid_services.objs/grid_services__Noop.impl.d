@@ -1,0 +1,1 @@
+lib/services/noop.ml: Grid_codec Printf String

@@ -1,0 +1,1 @@
+lib/services/noop.mli: Grid_paxos

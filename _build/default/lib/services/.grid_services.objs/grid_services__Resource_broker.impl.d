@@ -1,0 +1,1 @@
+lib/services/resource_broker.ml: Array Grid_codec Grid_util Hashtbl Int List Map Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/services/resource_broker.mli: Grid_paxos Map

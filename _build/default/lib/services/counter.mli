@@ -1,0 +1,12 @@
+(** A deterministic replicated counter — the quickstart service and the
+    reference service for the protocol test suites. *)
+
+type state = int
+type op = Get | Add of int
+type result = int
+
+include
+  Grid_paxos.Service_intf.S
+    with type state := state
+     and type op := op
+     and type result := result

@@ -1,0 +1,29 @@
+(** A transactional key-value store — the service behind the T-Paxos
+    evaluation (§3.5/§4.2) and the transactions example. Operations are
+    deterministic; per-key footprints feed first-committer-wins conflict
+    detection. *)
+
+module Smap : Map.S with type key = string
+
+type state = { entries : string Smap.t; version : int }
+
+type op =
+  | Put of { key : string; value : string }
+  | Get of string
+  | Del of string
+  | Cas of { key : string; expected : string option; value : string }
+  | Append of { key : string; value : string }
+  | Size
+
+type result = Unit | Value of string option | Cas_ok of bool | Count of int
+
+include
+  Grid_paxos.Service_intf.S
+    with type state := state
+     and type op := op
+     and type result := result
+
+(** {1 Helpers} *)
+
+val find : state -> string -> string option
+val cardinal : state -> int

@@ -1,0 +1,21 @@
+(** The evaluation service of §4: every operation invokes an empty
+    method, so benchmarks measure pure replication overhead. The state is
+    a write counter plus optional padding so that state-size experiments
+    have something to ship. *)
+
+type state = { writes : int; padding : string }
+
+type op =
+  | Noop_read
+  | Noop_write
+  | Noop_sized_write of int
+      (** write that also grows the encoded state to roughly this many
+          bytes (the §3.3 state-size ablation) *)
+
+type result = unit
+
+include
+  Grid_paxos.Service_intf.S
+    with type state := state
+     and type op := op
+     and type result := result

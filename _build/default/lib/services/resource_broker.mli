@@ -1,0 +1,48 @@
+(** The distributed grid resource broker of §2: accepts requests for
+    resources and selects them with a {e randomized} algorithm to balance
+    load — the paper's canonical intentionally-nondeterministic service.
+    Selection prefers the requester's site and spills to remote sites
+    only when local capacity is insufficient; every random choice is
+    recorded in the witness so backups replay the exact selection. *)
+
+module Imap : Map.S with type key = int
+
+type resource = { site : int; capacity : int; used : int }
+
+type state = { resources : resource Imap.t; selections : int }
+
+type strategy =
+  | Uniform  (** uniformly random among feasible resources *)
+  | Power_of_two  (** two samples, pick the less loaded (Mitzenmacher) *)
+  | Least_loaded  (** deterministic argmin, for comparison *)
+
+type op =
+  | Register of { rid : int; site : int; capacity : int }
+  | Release of { rid : int; units : int }
+  | Select of { site : int; units : int; strategy : strategy }
+  | List_free  (** read: free units per site *)
+  | Resource_info of int  (** read *)
+
+type result =
+  | Registered
+  | Released
+  | Selected of int list  (** chosen resource ids, one per unit *)
+  | No_capacity
+  | Free_units of (int * int) list
+  | Info of resource option
+  | Error of string
+
+include
+  Grid_paxos.Service_intf.S
+    with type state := state
+     and type op := op
+     and type result := result
+
+(** {1 Helpers} *)
+
+val total_used : state -> int
+(** Units allocated across all resources. *)
+
+val imbalance : state -> int
+(** Max minus min used units across resources — the load-balancing
+    quality metric for the strategy comparison. *)

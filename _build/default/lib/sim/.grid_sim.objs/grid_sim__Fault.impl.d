@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Engine Format List Network String

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Engine Float Grid_util Hashtbl Latency List Printf

@@ -1,0 +1,42 @@
+type event =
+  | Crash of int
+  | Recover of int
+  | Partition of int list * int list
+  | Heal
+  | Set_drop_rate of float
+
+type entry = { at : float; event : event }
+
+let apply net = function
+  | Crash id -> Network.crash net id
+  | Recover id -> Network.recover net id
+  | Partition (a, b) -> Network.partition net a b
+  | Heal -> Network.heal net
+  | Set_drop_rate p -> Network.set_drop_rate net p
+
+let install net entries =
+  let eng = Network.engine net in
+  List.iter
+    (fun { at; event } ->
+      ignore (Engine.schedule_at eng ~time:at (fun () -> apply net event)))
+    entries
+
+let periodic_crash_recover ~node ~period ~downtime ~until =
+  let rec go at acc =
+    if at > until then List.rev acc
+    else
+      go (at +. period)
+        ({ at = at +. downtime; event = Recover node }
+        :: { at; event = Crash node }
+        :: acc)
+  in
+  go period []
+
+let pp_event ppf = function
+  | Crash id -> Format.fprintf ppf "crash(%d)" id
+  | Recover id -> Format.fprintf ppf "recover(%d)" id
+  | Partition (a, b) ->
+    let show l = String.concat "," (List.map string_of_int l) in
+    Format.fprintf ppf "partition([%s]|[%s])" (show a) (show b)
+  | Heal -> Format.fprintf ppf "heal"
+  | Set_drop_rate p -> Format.fprintf ppf "drop_rate(%.3f)" p

@@ -1,0 +1,26 @@
+(** Declarative fault-injection schedules.
+
+    A schedule is a list of timed events applied to a {!Network.t}; it is
+    installed once and the engine executes it during the run. Used by the
+    failover example, the leader-switch ablation, and the recovery
+    integration tests. *)
+
+type event =
+  | Crash of int  (** node id *)
+  | Recover of int
+  | Partition of int list * int list
+  | Heal
+  | Set_drop_rate of float
+
+type entry = { at : float; event : event }
+
+val install : 'msg Network.t -> entry list -> unit
+(** Schedule every entry on the network's engine. Entries may be given in
+    any order. *)
+
+val periodic_crash_recover :
+  node:int -> period:float -> downtime:float -> until:float -> entry list
+(** Crash [node] every [period] ms, recovering it [downtime] ms later,
+    from time [period] until [until]. Used to force leader switches. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,47 @@
+module Rng = Grid_util.Rng
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential_shifted of { base : float; mean_extra : float }
+  | Lognormal of { mean : float; cv : float }
+  | Empirical of float array
+
+let sample t rng =
+  let v =
+    match t with
+    | Constant c -> c
+    | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+    | Exponential_shifted { base; mean_extra } ->
+      base +. Rng.exponential rng ~mean:mean_extra
+    | Lognormal { mean; cv } -> Rng.lognormal_mean_cv rng ~mean ~cv
+    | Empirical samples ->
+      if Array.length samples = 0 then 0.0 else Rng.pick rng samples
+  in
+  if v < 0.0 then 0.0 else v
+
+let mean = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential_shifted { base; mean_extra } -> base +. mean_extra
+  | Lognormal { mean; _ } -> mean
+  | Empirical samples ->
+    if Array.length samples = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 samples /. Float.of_int (Array.length samples)
+
+let scale t k =
+  match t with
+  | Constant c -> Constant (c *. k)
+  | Uniform { lo; hi } -> Uniform { lo = lo *. k; hi = hi *. k }
+  | Exponential_shifted { base; mean_extra } ->
+    Exponential_shifted { base = base *. k; mean_extra = mean_extra *. k }
+  | Lognormal { mean; cv } -> Lognormal { mean = mean *. k; cv }
+  | Empirical samples -> Empirical (Array.map (fun x -> x *. k) samples)
+
+let pp ppf = function
+  | Constant c -> Format.fprintf ppf "const(%.3fms)" c
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%.3f..%.3fms)" lo hi
+  | Exponential_shifted { base; mean_extra } ->
+    Format.fprintf ppf "exp(base=%.3f,+%.3fms)" base mean_extra
+  | Lognormal { mean; cv } -> Format.fprintf ppf "lognormal(mean=%.3f,cv=%.2f)" mean cv
+  | Empirical s -> Format.fprintf ppf "empirical(%d samples)" (Array.length s)

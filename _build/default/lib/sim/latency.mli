@@ -1,0 +1,28 @@
+(** One-way message latency models for simulated links.
+
+    All values are milliseconds. Models are sampled with an explicit RNG so
+    that runs are reproducible; [sample] never returns a negative value. *)
+
+type t =
+  | Constant of float
+      (** Fixed latency; the Sysnet LAN is modeled as near-constant. *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential_shifted of { base : float; mean_extra : float }
+      (** [base] plus an exponential tail — a simple queueing-delay model. *)
+  | Lognormal of { mean : float; cv : float }
+      (** Lognormal with the given real-space mean and coefficient of
+          variation; the WAN/PlanetLab links use this (heavy-ish tail,
+          never negative). *)
+  | Empirical of float array
+      (** Uniform draw from recorded samples. *)
+
+val sample : t -> Grid_util.Rng.t -> float
+
+val mean : t -> float
+(** Analytical mean of the model (sample average for [Empirical]). *)
+
+val scale : t -> float -> t
+(** [scale m k] multiplies the model's location parameters by [k];
+    used by variance/latency sweeps in the ablations. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+module Ring_buffer = Grid_util.Ring_buffer
+
+type t = { buf : (float * string * string) Ring_buffer.t; enabled : bool }
+
+let create ?(capacity = 4096) ~enabled () = { buf = Ring_buffer.create capacity; enabled }
+let enabled t = t.enabled
+
+let record t ~time ~actor msg =
+  if t.enabled then Ring_buffer.push t.buf (time, actor, msg)
+
+let recordf t ~time ~actor fmt =
+  if t.enabled then
+    Format.kasprintf (fun msg -> Ring_buffer.push t.buf (time, actor, msg)) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let to_list t = Ring_buffer.to_list t.buf
+
+let pp ppf t =
+  List.iter
+    (fun (time, actor, msg) -> Format.fprintf ppf "%10.3f %-8s %s@." time actor msg)
+    (to_list t)
+
+let clear t = Ring_buffer.clear t.buf

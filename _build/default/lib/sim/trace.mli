@@ -1,0 +1,25 @@
+(** Bounded event trace for debugging simulation runs.
+
+    A trace keeps the last [capacity] entries; protocols record decisions
+    (elections, proposals, commits) and the failover example prints the
+    tail. Disabled traces cost one branch per record. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** Default capacity: 4096 entries. *)
+
+val enabled : t -> bool
+val record : t -> time:float -> actor:string -> string -> unit
+(** [record t ~time ~actor msg]; cheap no-op when disabled. *)
+
+val recordf :
+  t -> time:float -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when the
+    trace is disabled. *)
+
+val to_list : t -> (float * string * string) list
+(** Oldest first. *)
+
+val pp : Format.formatter -> t -> unit
+val clear : t -> unit

@@ -1,0 +1,33 @@
+(** Array-backed binary min-heap, functorized over the element order.
+
+    Used as the event queue of the discrete-event simulator, where the
+    common operations are [add] and [pop_min] plus lazy deletion of
+    cancelled timers. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+  val add : t -> Elt.t -> unit
+  val min_elt : t -> Elt.t option
+  (** Smallest element without removing it. *)
+
+  val pop_min : t -> Elt.t option
+  (** Remove and return the smallest element. *)
+
+  val clear : t -> unit
+
+  val to_sorted_list : t -> Elt.t list
+  (** Non-destructive; O(n log n). *)
+
+  val check_invariant : t -> bool
+  (** True iff every parent is [<=] its children (for tests). *)
+end

@@ -1,0 +1,43 @@
+module Replica_id = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg "Replica_id.of_int: negative";
+    i
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash = Hashtbl.hash
+  let pp ppf t = Format.fprintf ppf "r%d" t
+end
+
+module Client_id = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg "Client_id.of_int: negative";
+    i
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf t = Format.fprintf ppf "c%d" t
+end
+
+module Request_id = struct
+  type t = { client : Client_id.t; seq : int }
+
+  let make ~client ~seq =
+    if seq < 0 then invalid_arg "Request_id.make: negative seq";
+    { client; seq }
+
+  let equal a b = Client_id.equal a.client b.client && Int.equal a.seq b.seq
+
+  let compare a b =
+    match Client_id.compare a.client b.client with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+
+  let pp ppf t = Format.fprintf ppf "%a#%d" Client_id.pp t.client t.seq
+end

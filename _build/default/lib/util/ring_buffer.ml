@@ -1,0 +1,47 @@
+type 'a t = {
+  mutable data : 'a array;
+  cap : int;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Ring_buffer.create: capacity must be >= 1";
+  { data = [||]; cap; start = 0; len = 0 }
+
+let push t x =
+  if Array.length t.data = 0 then t.data <- Array.make t.cap x;
+  if t.len < t.cap then begin
+    t.data.((t.start + t.len) mod t.cap) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.start) <- x;
+    t.start <- (t.start + 1) mod t.cap
+  end
+
+let length t = t.len
+let capacity t = t.cap
+let is_full t = t.len = t.cap
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.((t.start + i) mod t.cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0
+
+let latest t =
+  if t.len = 0 then None else Some t.data.((t.start + t.len - 1) mod t.cap)

@@ -1,0 +1,25 @@
+(** Bounded ring buffer keeping the most recent [capacity] items.
+
+    Used for recent-latency windows in adaptive timeouts and for trace
+    tails in debugging output. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] with [capacity >= 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Append, evicting the oldest element when full. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_full : 'a t -> bool
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val clear : 'a t -> unit
+val latest : 'a t -> 'a option

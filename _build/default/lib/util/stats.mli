@@ -1,0 +1,79 @@
+(** Streaming and batch statistics used by the benchmark harness.
+
+    The paper reports averages with 99% confidence intervals; {!summary}
+    and {!confidence_interval} reproduce that reporting (Student-t for
+    small samples, normal approximation for large ones). *)
+
+(** {1 Streaming accumulator (Welford)} *)
+
+type t
+(** Mutable accumulator of a stream of floats: count, mean, variance,
+    min and max, in O(1) memory. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams (Chan et al. parallel combination). *)
+
+(** {1 Confidence intervals} *)
+
+val t_quantile : confidence:float -> df:int -> float
+(** Two-sided Student-t critical value, e.g.
+    [t_quantile ~confidence:0.99 ~df:19]. Interpolated from a fixed table;
+    falls back to the normal quantile for large [df]. Supported confidence
+    levels: 0.90, 0.95, 0.99. *)
+
+val confidence_interval : ?confidence:float -> t -> float
+(** Half-width of the confidence interval of the mean (default 99%),
+    i.e. the paper's "±" value. [0.] with fewer than two observations. *)
+
+(** {1 Batch helpers} *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation between
+    order statistics. The array is sorted in place. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci99 : float;  (** half-width of the 99% confidence interval *)
+  min : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Full summary of a non-empty sample (sorts a copy). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Histogram} *)
+
+module Histogram : sig
+  type h
+  (** Fixed-width bin histogram over [\[lo, hi)]; values outside the range
+      are clamped into the first/last bin. *)
+
+  val create : lo:float -> hi:float -> bins:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val total : h -> int
+  val bin_edges : h -> float array
+  val pp : Format.formatter -> h -> unit
+  (** Render as an ASCII bar chart, one line per non-empty bin. *)
+end

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Text_table.create: no columns";
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Rule -> w
+            | Cells cells -> Stdlib.max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) (List.nth widths i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_string buf "|";
+    List.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-');
+                Buffer.add_char buf '|')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_ci ?(decimals = 3) x = Printf.sprintf "\xc2\xb1%.*f" decimals x

@@ -1,0 +1,34 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables similar to the tables in the
+    paper, e.g.
+
+    {v
+    | Operation  | Req/tran | Avg. TRT (ms) | 99% CI (ms) |
+    |------------|----------|---------------|-------------|
+    | Read/write |        3 |          1.17 |       ±0.02 |
+    v} *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Column headers with per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Row cells, one per column. Raises [Invalid_argument] on arity
+    mismatch. *)
+
+val add_rule : t -> unit
+(** Horizontal separator between row groups. *)
+
+val render : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell with fixed decimals (default 3). *)
+
+val cell_ci : ?decimals:int -> float -> string
+(** Format a confidence-interval cell as ["±x.xxx"]. *)

@@ -1,0 +1,1 @@
+test/engine_harness.ml: Array Fun Grid_paxos Grid_services Grid_util List

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Float Grid_check Grid_paxos Grid_services Grid_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Float Grid_codec Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_election_unit.ml: Alcotest Array Ballot Engine_harness Grid_codec Grid_paxos Grid_services Grid_util List

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Ballot Filename Float Format Fun Grid_check Grid_paxos Grid_runtime Grid_services Grid_sim Grid_util List Option String Sys Unix

@@ -1,0 +1,1 @@
+test/test_lease.ml: Alcotest Grid_paxos Grid_runtime Grid_services Grid_util List Option

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Ballot Fun Grid_codec Grid_net Grid_paxos Grid_services Grid_util List Printf String Thread Unix

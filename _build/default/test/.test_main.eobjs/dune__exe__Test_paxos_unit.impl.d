@@ -1,0 +1,1 @@
+test/test_paxos_unit.ml: Alcotest Array Filename Fun Grid_codec Grid_paxos Grid_util List QCheck2 QCheck_alcotest Sys Unix

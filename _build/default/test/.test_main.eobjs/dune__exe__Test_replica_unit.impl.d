@@ -1,0 +1,1 @@
+test/test_replica_unit.ml: Alcotest Array Engine_harness Grid_paxos Grid_services Grid_util List Printf

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Float Grid_check Grid_paxos Grid_runtime Grid_services Grid_sim Grid_util List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Ballot Grid_codec Grid_paxos Grid_runtime Grid_sim Grid_util List QCheck2 QCheck_alcotest

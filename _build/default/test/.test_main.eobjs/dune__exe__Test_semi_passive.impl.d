@@ -1,0 +1,1 @@
+test/test_semi_passive.ml: Alcotest Array Grid_check Grid_paxos Grid_services Grid_util List Printf

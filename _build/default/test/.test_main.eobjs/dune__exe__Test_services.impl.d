@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Grid_services Grid_util List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Grid_sim Grid_util List

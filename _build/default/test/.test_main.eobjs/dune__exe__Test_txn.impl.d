@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Grid_check Grid_codec Grid_paxos Grid_runtime Grid_services Hashtbl List Printf

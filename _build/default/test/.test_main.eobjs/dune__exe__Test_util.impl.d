@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Grid_util Int List QCheck2 QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Grid_codec Grid_paxos Grid_runtime Grid_services Grid_util Hashtbl List Option Printf Stdlib

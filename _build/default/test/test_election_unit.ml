@@ -1,0 +1,276 @@
+(* Engine-level election and T-Paxos edge cases, driven by hand through
+   the harness: dueling candidates, prepare retransmission, recovered
+   leaders deferring to the incumbent, and transaction-branch mechanics
+   at the engine level. *)
+
+module H = Engine_harness
+module Kv = Grid_services.Kv_store
+module Counter = Grid_services.Counter
+module Replica = Grid_paxos.Replica.Make (Counter)
+module Ids = Grid_util.Ids
+module Wire = Grid_codec.Wire
+open Grid_paxos.Types
+
+let add n = Counter.encode_op (Counter.Add n)
+
+(* Start a candidacy on replica [i] without delivering anything. *)
+let start_candidacy t i =
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t i (function Stability_check _ -> true | _ -> false))
+
+let test_dueling_candidates () =
+  (* Two replicas start prepares concurrently; ballots are totally
+     ordered, so exactly one wins and the other steps down. *)
+  let t = H.create () in
+  start_candidacy t 0;
+  start_candidacy t 1;
+  (* Interleave deliveries arbitrarily; drain everything. *)
+  H.deliver_all t;
+  let leaders =
+    List.filter (fun i -> Replica.is_leader t.replicas.(i)) [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "exactly one leader" 1 (List.length leaders);
+  (* The survivor can commit. *)
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 1) ());
+  H.deliver_all t;
+  Alcotest.(check int) "commits" 1 (Replica.commit_point t.replicas.(List.hd leaders))
+
+let test_prepare_retry_idempotent () =
+  let t = H.create () in
+  start_candidacy t 0;
+  (* Fire the prepare retry before any delivery: duplicate prepares. *)
+  ignore (H.fire t 0 (function Prepare_retry _ -> true | _ -> false));
+  H.deliver_all t;
+  Alcotest.(check bool) "leader despite duplicates" true (Replica.is_leader t.replicas.(0));
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 2) ());
+  H.deliver_all t;
+  Alcotest.(check int) "still works" 2 (Replica.state t.replicas.(0))
+
+let test_ballot_strictly_increases () =
+  let t = H.create () in
+  H.elect t 0;
+  let b0 = Replica.ballot t.replicas.(0) in
+  (* Depose and re-elect via replica 1. *)
+  start_candidacy t 1;
+  H.deliver_all t;
+  let b1 = Replica.ballot t.replicas.(1) in
+  Alcotest.(check bool) "new ballot higher" true (Ballot.compare b1 b0 > 0);
+  Alcotest.(check bool) "r1 leads" true (Replica.is_leader t.replicas.(1));
+  Alcotest.(check bool) "r0 deposed" false (Replica.is_leader t.replicas.(0))
+
+let test_recovered_leader_defers_to_incumbent () =
+  (* §3.6 stability: after its heartbeats spread the new leader's
+     promise, the recovered old leader does not attempt a takeover. *)
+  let t = H.create () in
+  H.elect t 0;
+  (* r0 "crashes": drop its traffic, elect r1. *)
+  H.drop t ~filter:(fun src dst _ -> src = 0 || dst = 0);
+  start_candidacy t 1;
+  H.deliver_all ~filter:(fun src dst _ -> src <> 0 && dst <> 0) t;
+  Alcotest.(check bool) "r1 leads" true (Replica.is_leader t.replicas.(1));
+  (* r0 "recovers" (restart) and hears r1's heartbeat. *)
+  H.absorb t 0 (Replica.restart t.replicas.(0) ~now:t.now);
+  ignore (H.fire t 1 (function Hb_tick -> true | _ -> false));
+  H.deliver_all t;
+  (* r0's suspicion tick must now pick r1 (the incumbent) as candidate,
+     not itself, so no Stability_check gets armed. *)
+  H.feed t 0 (Timer Suspicion_tick);
+  H.advance t 200.0;
+  ignore (H.fire t 1 (function Hb_tick -> true | _ -> false));
+  H.deliver_all t;
+  H.feed t 0 (Timer Suspicion_tick);
+  let armed_takeover =
+    List.exists
+      (fun (i, timer) ->
+        i = 0 && match timer with Stability_check _ -> true | _ -> false)
+      t.timers
+  in
+  Alcotest.(check bool) "no takeover attempt" false armed_takeover;
+  Alcotest.(check bool) "r1 still leads" true (Replica.is_leader t.replicas.(1))
+
+let test_commit_alone_does_not_elect () =
+  (* A replica that merely observes commits from a leader never tries to
+     lead while those commits keep arriving (liveness of followership). *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 1) ());
+  H.deliver_all t;
+  Alcotest.(check bool) "r2 follower" false (Replica.is_leader t.replicas.(2));
+  Alcotest.(check (option int)) "r2 sees r0 as leader" (Some 0)
+    (Replica.leader_view t.replicas.(2))
+
+(* ------------------------------------------------------------------ *)
+(* T-Paxos engine mechanics over the KV service. *)
+
+module HK = struct
+  module Replica = Grid_paxos.Replica.Make (Kv)
+  open Grid_paxos.Types
+
+  type t = {
+    replicas : Replica.t array;
+    mutable pending : (int * int * msg) list;
+    mutable timers : (int * timer) list;
+    mutable replies : reply list;
+    mutable now : float;
+  }
+
+  let absorb t i actions =
+    List.iter
+      (function
+        | Send { dst; msg } ->
+          if node_is_client dst then begin
+            match msg with Reply_msg r -> t.replies <- r :: t.replies | _ -> ()
+          end
+          else t.pending <- t.pending @ [ (i, dst, msg) ]
+        | After { timer; _ } -> t.timers <- t.timers @ [ (i, timer) ]
+        | Note _ -> ())
+      actions
+
+  let create () =
+    let cfg = { (Grid_paxos.Config.default ~n:3) with record_history = true } in
+    let replicas = Array.init 3 (fun i -> Replica.create ~cfg ~id:i ~seed:(7 + i) ()) in
+    let t = { replicas; pending = []; timers = []; replies = []; now = 0.0 } in
+    Array.iteri (fun i r -> absorb t i (Replica.bootstrap r)) replicas;
+    t
+
+  let feed t i input = absorb t i (Replica.handle t.replicas.(i) ~now:t.now input)
+
+  let deliver_all t =
+    let guard = ref 100_000 in
+    while t.pending <> [] && !guard > 0 do
+      decr guard;
+      match t.pending with
+      | (src, dst, msg) :: rest ->
+        t.pending <- rest;
+        feed t dst (Receive { src; msg })
+      | [] -> ()
+    done
+
+  let fire t i want =
+    let rec split acc = function
+      | [] -> None
+      | ((j, timer) as e) :: rest ->
+        if j = i && want timer then Some (timer, List.rev_append acc rest)
+        else split (e :: acc) rest
+    in
+    match split [] t.timers with
+    | None -> false
+    | Some (timer, rest) ->
+      t.timers <- rest;
+      feed t i (Timer timer);
+      true
+
+  let elect t i =
+    feed t i (Timer Suspicion_tick);
+    t.now <- t.now +. 1000.0;
+    feed t i (Timer Suspicion_tick);
+    t.now <- t.now +. 50.0;
+    ignore (fire t i (function Stability_check _ -> true | _ -> false));
+    deliver_all t;
+    assert (Replica.is_leader t.replicas.(i))
+
+  let submit t (r : request) =
+    Array.iteri
+      (fun i _ -> feed t i (Receive { src = client_node r.id.client; msg = Client_req r }))
+      t.replicas
+
+  let req ?(client = 1) ~seq ~rtype ~payload () : request =
+    { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload }
+
+  let take_replies t =
+    let r = List.rev t.replies in
+    t.replies <- [];
+    r
+end
+
+let commit_payload n = Wire.encode (fun e -> Wire.Encoder.uint e n)
+
+let test_txn_ops_no_coordination () =
+  (* Engine-level §3.5: transaction ops generate ZERO inter-replica
+     messages; only the commit does. *)
+  let t = HK.create () in
+  HK.elect t 0;
+  HK.submit t (HK.req ~seq:1 ~rtype:(Txn_op 1)
+                 ~payload:(Kv.encode_op (Kv.Put { key = "a"; value = "1" })) ());
+  Alcotest.(check int) "op answered immediately" 1 (List.length (HK.take_replies t));
+  let non_hb =
+    List.filter (fun (_, _, m) -> msg_kind m <> "heartbeat") t.pending
+  in
+  Alcotest.(check int) "no coordination traffic for ops" 0 (List.length non_hb);
+  HK.submit t (HK.req ~seq:2 ~rtype:(Txn_commit 1) ~payload:(commit_payload 1) ());
+  let accepts = List.filter (fun (_, _, m) -> msg_kind m = "accept") t.pending in
+  Alcotest.(check int) "commit broadcasts accepts" 2 (List.length accepts);
+  HK.deliver_all t;
+  Alcotest.(check int) "commit answered" 1 (List.length (HK.take_replies t));
+  Alcotest.(check (option string)) "applied everywhere" (Some "1")
+    (Kv.find (HK.Replica.state t.replicas.(2)) "a")
+
+let test_txn_op_count_guard () =
+  (* A commit whose op count disagrees with what the leader recorded is
+     aborted (protects against partial branches after a switch). *)
+  let t = HK.create () in
+  HK.elect t 0;
+  HK.submit t (HK.req ~seq:1 ~rtype:(Txn_op 1)
+                 ~payload:(Kv.encode_op (Kv.Put { key = "a"; value = "1" })) ());
+  ignore (HK.take_replies t);
+  HK.submit t (HK.req ~seq:2 ~rtype:(Txn_commit 1) ~payload:(commit_payload 3) ());
+  HK.deliver_all t;
+  (match HK.take_replies t with
+  | [ r ] -> Alcotest.(check bool) "aborted" true (r.status = Txn_aborted)
+  | _ -> Alcotest.fail "expected one reply");
+  Alcotest.(check (option string)) "nothing applied" None
+    (Kv.find (HK.Replica.state t.replicas.(0)) "a")
+
+let test_txn_abort_unknown () =
+  let t = HK.create () in
+  HK.elect t 0;
+  HK.submit t (HK.req ~seq:1 ~rtype:(Txn_commit 9) ~payload:(commit_payload 0) ());
+  HK.deliver_all t;
+  match HK.take_replies t with
+  | [ r ] -> Alcotest.(check bool) "unknown txn aborted" true (r.status = Txn_aborted)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_txn_explicit_abort_discards_branch () =
+  let t = HK.create () in
+  HK.elect t 0;
+  HK.submit t (HK.req ~seq:1 ~rtype:(Txn_op 1)
+                 ~payload:(Kv.encode_op (Kv.Put { key = "x"; value = "v" })) ());
+  ignore (HK.take_replies t);
+  HK.submit t (HK.req ~seq:2 ~rtype:(Txn_abort 1) ~payload:"" ());
+  (match HK.take_replies t with
+  | [ r ] -> Alcotest.(check bool) "abort acked" true (r.status = Txn_aborted)
+  | _ -> Alcotest.fail "expected abort ack");
+  (* A commit after the abort is an unknown transaction. *)
+  HK.submit t (HK.req ~seq:3 ~rtype:(Txn_commit 1) ~payload:(commit_payload 1) ());
+  HK.deliver_all t;
+  match HK.take_replies t with
+  | [ r ] -> Alcotest.(check bool) "post-abort commit rejected" true (r.status = Txn_aborted)
+  | _ -> Alcotest.fail "expected one reply"
+
+let suite =
+  [
+    ( "election.engine",
+      [
+        Alcotest.test_case "dueling candidates" `Quick test_dueling_candidates;
+        Alcotest.test_case "prepare retry idempotent" `Quick test_prepare_retry_idempotent;
+        Alcotest.test_case "ballots strictly increase" `Quick test_ballot_strictly_increases;
+        Alcotest.test_case "recovered leader defers (§3.6)" `Quick
+          test_recovered_leader_defers_to_incumbent;
+        Alcotest.test_case "followers stay followers" `Quick
+          test_commit_alone_does_not_elect;
+      ] );
+    ( "txn.engine",
+      [
+        Alcotest.test_case "ops need no coordination (§3.5)" `Quick
+          test_txn_ops_no_coordination;
+        Alcotest.test_case "op-count guard" `Quick test_txn_op_count_guard;
+        Alcotest.test_case "unknown txn aborts" `Quick test_txn_abort_unknown;
+        Alcotest.test_case "explicit abort discards branch" `Quick
+          test_txn_explicit_abort_discards_branch;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+(* TCP transport tests: framing over a socketpair, plus a real loopback
+   cluster (3 replicas + a client) driving the same engines the simulator
+   runs. *)
+
+module Framing = Grid_net.Framing
+module Wire = Grid_codec.Wire
+module Counter = Grid_services.Counter
+module Config = Grid_paxos.Config
+open Grid_paxos.Types
+
+module Tcp = Grid_net.Tcp_node.Make (Counter)
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let test_framing_roundtrip () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      Framing.write_frame a "hello frame";
+      Alcotest.(check string) "roundtrip" "hello frame" (Framing.read_frame b);
+      Framing.write_frame a "";
+      Alcotest.(check string) "empty payload" "" (Framing.read_frame b);
+      let big = String.make 100_000 'z' in
+      Framing.write_frame a big;
+      Alcotest.(check string) "large payload" big (Framing.read_frame b))
+
+let test_framing_closed () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Unix.close a;
+  Fun.protect
+    ~finally:(fun () -> Unix.close b)
+    (fun () ->
+      Alcotest.check_raises "eof raises Closed" Framing.Closed (fun () ->
+          ignore (Framing.read_frame b)))
+
+let test_framing_corruption () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      (* A frame whose CRC does not match its payload. *)
+      let bogus = "\x08\x00\x00\x00ABCDWXYZ" in
+      ignore (Unix.write_substring a bogus 0 (String.length bogus));
+      Alcotest.(check bool) "corruption detected" true
+        (match Framing.read_frame b with
+        | _ -> false
+        | exception Wire.Decode_error _ -> true))
+
+let test_msg_wire_roundtrip () =
+  let msgs =
+    [
+      Client_req
+        { id = Grid_util.Ids.Request_id.make ~client:(Grid_util.Ids.Client_id.of_int 4) ~seq:2;
+          rtype = Read;
+          payload = "op" };
+      Prepare { ballot = Ballot.make ~round:3 ~holder:1; commit_point = 17 };
+      Accept
+        { ballot = Ballot.make ~round:3 ~holder:1;
+          instance = 18;
+          proposal = { requests = []; update = Full "state"; replies = [] } };
+      Commit { ballot = Ballot.make ~round:3 ~holder:1; instance = 18 };
+      Heartbeat { round_seen = 5; commit_point = 17; promised = Ballot.make ~round:3 ~holder:1 };
+      Catchup { snapshot = "snap" };
+    ]
+  in
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      List.iter (Framing.write_msg a) msgs;
+      List.iter
+        (fun expected ->
+          let got = Framing.read_msg b in
+          Alcotest.(check string) "message kinds match" (msg_kind expected) (msg_kind got))
+        msgs)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback cluster *)
+
+let free_port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let test_loopback_cluster () =
+  let ports = Array.init 3 (fun _ -> free_port ()) in
+  let addr i = Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(i)) in
+  let peers_of i =
+    List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
+  in
+  let cfg =
+    { (Config.default ~n:3) with
+      hb_period_ms = 10.0;
+      suspicion_ms = 60.0;
+      stability_ms = 20.0;
+      client_retry_ms = 150.0;
+      accept_retry_ms = 50.0 }
+  in
+  let replicas =
+    List.map
+      (fun i -> Tcp.start_replica ~cfg ~id:i ~port:ports.(i) ~peers:(peers_of i) ())
+      [ 0; 1; 2 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Tcp.stop_replica replicas)
+    (fun () ->
+      (* Wait for an election. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_leader () =
+        if List.exists Tcp.replica_is_leader replicas then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no leader elected on loopback cluster"
+        else begin
+          Thread.delay 0.02;
+          wait_leader ()
+        end
+      in
+      wait_leader ();
+      let client =
+        Tcp.start_client ~id:1 ~replicas:(List.map (fun i -> (i, addr i)) [ 0; 1; 2 ]) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Tcp.stop_client client)
+        (fun () ->
+          (* Five writes then a read, synchronously. *)
+          for k = 1 to 5 do
+            match
+              Tcp.call client Write ~payload:(Counter.encode_op (Counter.Add k))
+                ~timeout_s:5.0
+            with
+            | Some reply -> Alcotest.(check bool) "write ok" true (reply.status = Ok)
+            | None -> Alcotest.fail (Printf.sprintf "write %d timed out" k)
+          done;
+          (match
+             Tcp.call client Read ~payload:(Counter.encode_op Counter.Get) ~timeout_s:5.0
+           with
+          | Some reply ->
+            Alcotest.(check int) "read sees all writes" 15
+              (Counter.decode_result reply.payload)
+          | None -> Alcotest.fail "read timed out");
+          (* All replicas converge. *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let rec wait_converged () =
+            let states = List.map Tcp.replica_state replicas in
+            if List.for_all (fun s -> s = 15) states then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail
+                (Printf.sprintf "replicas did not converge: %s"
+                   (String.concat "," (List.map string_of_int states)))
+            else begin
+              Thread.delay 0.02;
+              wait_converged ()
+            end
+          in
+          wait_converged ()))
+
+let suite =
+  [
+    ( "net.framing",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_framing_roundtrip;
+        Alcotest.test_case "closed" `Quick test_framing_closed;
+        Alcotest.test_case "corruption" `Quick test_framing_corruption;
+        Alcotest.test_case "msg wire roundtrip" `Quick test_msg_wire_roundtrip;
+      ] );
+    ( "net.loopback",
+      [ Alcotest.test_case "3-replica cluster + client" `Slow test_loopback_cluster ] );
+  ]

@@ -1,0 +1,318 @@
+(* Engine-level protocol tests: precise scripted scenarios against single
+   replica engines, including the paper's own §3.3 recovery narrative. *)
+
+module H = Engine_harness
+module Counter = Grid_services.Counter
+module Replica = Grid_paxos.Replica.Make (Counter)
+module Ids = Grid_util.Ids
+open Grid_paxos.Types
+
+let add n = Counter.encode_op (Counter.Add n)
+let get = Counter.encode_op Counter.Get
+
+let commit_n t ~start ~count =
+  for seq = start to start + count - 1 do
+    H.submit t (H.client_request ~seq ~rtype:Write ~payload:(add 1) ());
+    H.deliver_all t
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_write_message_pattern () =
+  (* One write: leader broadcasts Accept to both followers, each acks,
+     leader commits and replies — the §3.3 message pattern. *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 5) ());
+  (* Before any delivery: two pending Accepts (plus heartbeats already
+     drained by elect). *)
+  let accepts =
+    List.filter (fun k -> k = "accept") (H.pending_kinds t)
+  in
+  Alcotest.(check int) "accept broadcast to both followers" 2 (List.length accepts);
+  (* Deliver one Accept and its ack: majority reached -> commit. *)
+  H.deliver_all t;
+  (match H.take_replies t with
+  | [ r ] ->
+    Alcotest.(check bool) "reply ok" true (r.status = Ok);
+    Alcotest.(check int) "result" 5 (Counter.decode_result r.payload)
+  | _ -> Alcotest.fail "expected exactly one reply");
+  for i = 0 to 2 do
+    Alcotest.(check int) (Printf.sprintf "replica %d committed" i) 1
+      (Replica.commit_point t.replicas.(i))
+  done
+
+let test_commit_with_single_ack () =
+  (* The leader needs only one follower ack (majority of 3 includes
+     itself); the second follower can lag arbitrarily. *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 1) ());
+  (* Deliver only messages between replicas 0 and 1. *)
+  let pair01 src dst _ = (src = 0 && dst = 1) || (src = 1 && dst = 0) in
+  H.deliver_all ~filter:pair01 t;
+  Alcotest.(check int) "leader committed with one ack" 1
+    (Replica.commit_point t.replicas.(0));
+  Alcotest.(check int) "lagging follower not yet" 0 (Replica.commit_point t.replicas.(2));
+  (* Now release the rest: replica 2 catches up. *)
+  H.deliver_all t;
+  Alcotest.(check int) "follower 2 catches up" 1 (Replica.commit_point t.replicas.(2))
+
+let test_read_confirm_counting () =
+  (* X-Paxos: the leader answers a read only after a majority of confirms
+     (itself plus one). *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Read ~payload:get ());
+  (* No confirms delivered yet: no reply. *)
+  Alcotest.(check int) "no reply before confirms" 0 (List.length (H.take_replies t));
+  let confirm src dst msg = src = 1 && dst = 0 && msg_kind msg = "read_confirm" in
+  ignore (H.deliver ~filter:confirm t);
+  match H.take_replies t with
+  | [ r ] -> Alcotest.(check int) "read result" 0 (Counter.decode_result r.payload)
+  | l -> Alcotest.fail (Printf.sprintf "expected one reply after majority, got %d" (List.length l))
+
+let test_read_pre_confirm_buffering () =
+  (* A follower's confirm can reach the leader before the client's own
+     request does; the leader must buffer it. *)
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Read ~payload:get () in
+  (* Follower 1 sees the read first and confirms. *)
+  H.feed t 1 (Receive { src = client_node r.id.client; msg = Client_req r });
+  ignore (H.deliver ~filter:(fun src dst msg -> src = 1 && dst = 0 && msg_kind msg = "read_confirm") t);
+  Alcotest.(check int) "still no reply" 0 (List.length (H.take_replies t));
+  (* Now the leader receives the request: buffered confirm + self = majority. *)
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "buffered confirm counted" 1 (List.length (H.take_replies t))
+
+let test_read_reflects_committed_only () =
+  (* A read served while a write is still uncommitted must not observe
+     it. *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 9) ());
+  (* Do not deliver the accepts: the write hangs uncommitted. *)
+  H.submit t (H.client_request ~client:2 ~seq:1 ~rtype:Read ~payload:get ());
+  ignore (H.deliver ~filter:(fun _ _ m -> msg_kind m = "read_confirm") t);
+  ignore (H.deliver ~filter:(fun _ _ m -> msg_kind m = "read_confirm") t);
+  (match H.take_replies t with
+  | [ r ] -> Alcotest.(check int) "uncommitted write invisible" 0 (Counter.decode_result r.payload)
+  | _ -> Alcotest.fail "expected the read reply");
+  H.deliver_all t;
+  ignore (H.take_replies t)
+
+let test_dedup_resend () =
+  (* A retransmitted committed write gets its original reply, not a
+     second execution. *)
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Write ~payload:(add 3) () in
+  H.submit t r;
+  H.deliver_all t;
+  let first = H.take_replies t in
+  H.submit t r;
+  H.deliver_all t;
+  let second = H.take_replies t in
+  Alcotest.(check int) "one reply each time" 1 (List.length second);
+  Alcotest.(check int) "same result"
+    (Counter.decode_result (List.hd first).payload)
+    (Counter.decode_result (List.hd second).payload);
+  Alcotest.(check int) "executed once" 3 (Replica.state t.replicas.(0));
+  Alcotest.(check int) "one instance" 1 (Replica.commit_point t.replicas.(0))
+
+let test_stale_ballot_rejected () =
+  (* Promote replica 1 with a higher ballot, then let the deposed leader
+     try to commit: followers reject and the old leader steps down. *)
+  let t = H.create () in
+  H.elect t 0;
+  commit_n t ~start:1 ~count:2;
+  ignore (H.take_replies t);
+  (* Elect replica 1 over replica 0's head: deliver its prepare to 2 only. *)
+  H.feed t 1 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 1 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 1 (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t 1 (function Stability_check _ -> true | _ -> false));
+  H.deliver_all ~filter:(fun src dst _ -> (src = 1 && dst = 2) || (src = 2 && dst = 1)) t;
+  Alcotest.(check bool) "replica 1 leads" true (Replica.is_leader t.replicas.(1));
+  Alcotest.(check bool) "replica 0 still believes it leads" true
+    (Replica.is_leader t.replicas.(0));
+  (* Old leader proposes: followers' promises are higher; rejects depose it. *)
+  H.drop t ~filter:(fun _ _ _ -> true);
+  H.feed t 0
+    (Receive
+       {
+         src = client_node (Ids.Client_id.of_int 9);
+         msg = Client_req (H.client_request ~client:9 ~seq:1 ~rtype:Write ~payload:(add 1) ());
+       });
+  H.deliver_all t;
+  Alcotest.(check bool) "old leader deposed" false (Replica.is_leader t.replicas.(0));
+  Alcotest.(check bool) "new leader intact" true (Replica.is_leader t.replicas.(1))
+
+let test_paper_recovery_example () =
+  (* §3.3's narrative: the new leader knows instances 1..k committed while
+     a follower has accepted-but-uncommitted entries beyond k; a single
+     prepare surfaces them, the new leader re-proposes them under its own
+     ballot, and the sequence survives the switch. *)
+  let t = H.create () in
+  H.elect t 0;
+  commit_n t ~start:1 ~count:3;
+  ignore (H.take_replies t);
+  (* Instance 4: replica 0 proposes but only replica 1 accepts (the
+     commit never happens because we drop the acks). *)
+  H.submit t (H.client_request ~seq:4 ~rtype:Write ~payload:(add 100) ());
+  ignore (H.deliver ~filter:(fun src dst m -> src = 0 && dst = 1 && msg_kind m = "accept") t);
+  H.drop t ~filter:(fun _ _ _ -> true);
+  Alcotest.(check int) "old leader stuck at 3" 3 (Replica.commit_point t.replicas.(0));
+  (* Replica 0 "fails"; replica 2 takes over. Its prepare reaches replica
+     1, whose ack carries the accepted instance 4. *)
+  H.feed t 2 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 2 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 2 (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t 2 (function Stability_check _ -> true | _ -> false));
+  H.deliver_all ~filter:(fun src dst _ -> src <> 0 && dst <> 0) t;
+  Alcotest.(check bool) "replica 2 leads" true (Replica.is_leader t.replicas.(2));
+  Alcotest.(check int) "recovered entry re-proposed and committed" 4
+    (Replica.commit_point t.replicas.(2));
+  Alcotest.(check int) "the +100 write survived the switch" 103
+    (Replica.state t.replicas.(2));
+  (* The client's duplicate of request 4 is answered from the replicated
+     reply cache, not re-executed. *)
+  H.feed t 2
+    (Receive
+       {
+         src = client_node (Ids.Client_id.of_int 1);
+         msg = Client_req (H.client_request ~seq:4 ~rtype:Write ~payload:(add 100) ());
+       });
+  H.deliver_all ~filter:(fun src dst _ -> src <> 0 && dst <> 0) t;
+  (match List.rev (H.take_replies t) with
+  | r :: _ ->
+    Alcotest.(check int) "cached reply for the recovered request" 103
+      (Counter.decode_result r.payload)
+  | [] -> Alcotest.fail "expected the cached reply");
+  Alcotest.(check int) "still four instances" 4 (Replica.commit_point t.replicas.(2))
+
+let test_snapshot_catchup_for_lagging_follower () =
+  (* A follower that missed whole instances fetches a snapshot instead of
+     replaying entries. *)
+  let t = H.create ~cfg_tweak:(fun c -> { c with snapshot_interval = 2 }) () in
+  H.elect t 0;
+  (* Partition replica 2 away: it never sees these four instances. *)
+  let not2 src dst _ = src <> 2 && dst <> 2 in
+  for seq = 1 to 4 do
+    let r = H.client_request ~seq ~rtype:Write ~payload:(add 1) () in
+    H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+    H.feed t 1 (Receive { src = client_node r.id.client; msg = Client_req r });
+    H.deliver_all ~filter:not2 t
+  done;
+  H.drop t ~filter:(fun src dst _ -> src = 2 || dst = 2);
+  ignore (H.take_replies t);
+  Alcotest.(check int) "follower 2 behind" 0 (Replica.commit_point t.replicas.(2));
+  (* Heal: the next write's commit exposes the gap; follower 2 requests a
+     catch-up snapshot. *)
+  H.submit t (H.client_request ~seq:5 ~rtype:Write ~payload:(add 1) ());
+  H.deliver_all t;
+  Alcotest.(check int) "follower 2 caught up via snapshot" 5
+    (Replica.commit_point t.replicas.(2));
+  Alcotest.(check int) "state matches" (Replica.state t.replicas.(0))
+    (Replica.state t.replicas.(2))
+
+let test_heartbeat_commit_point_catchup () =
+  (* A follower that missed only the final Commit learns it from the
+     leader's heartbeat commit point. *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 1) ());
+  (* Deliver accepts + acks but drop the commits. *)
+  H.deliver_all ~filter:(fun _ _ m -> msg_kind m = "accept" || msg_kind m = "accept_ack") t;
+  H.drop t ~filter:(fun _ _ m -> msg_kind m = "commit");
+  Alcotest.(check int) "followers behind" 0 (Replica.commit_point t.replicas.(1));
+  (* A heartbeat round triggers Catchup_req/Catchup. *)
+  ignore (H.fire t 0 (function Hb_tick -> true | _ -> false));
+  H.deliver_all t;
+  Alcotest.(check int) "follower 1 caught up" 1 (Replica.commit_point t.replicas.(1));
+  Alcotest.(check int) "follower 2 caught up" 1 (Replica.commit_point t.replicas.(2))
+
+let test_accept_retry_is_idempotent () =
+  (* Retransmitted Accepts (paper: "it retransmits those messages") do
+     not duplicate anything. *)
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Write ~payload:(add 7) ());
+  (* Fire the retry before any delivery: two copies of each Accept. *)
+  ignore (H.fire t 0 (function Accept_retry _ -> true | _ -> false));
+  H.deliver_all t;
+  ignore (H.take_replies t);
+  Alcotest.(check int) "one instance" 1 (Replica.commit_point t.replicas.(1));
+  Alcotest.(check int) "applied once" 7 (Replica.state t.replicas.(1))
+
+let test_batch_commits_as_one_instance () =
+  (* Multiple queued writes decide as a single instance whose replies all
+     go out at commit. *)
+  let t = H.create () in
+  H.elect t 0;
+  (* Submit three writes from distinct clients without delivering. *)
+  for c = 1 to 3 do
+    H.submit t (H.client_request ~client:c ~seq:1 ~rtype:Write ~payload:(add c) ())
+  done;
+  H.deliver_all t;
+  Alcotest.(check int) "three replies" 3 (List.length (H.take_replies t));
+  Alcotest.(check int) "state is the batch sum" 6 (Replica.state t.replicas.(0));
+  (* The first write opened instance 1 immediately; the two that arrived
+     while it was in flight batched into instance 2. *)
+  Alcotest.(check int) "at most two instances" 2 (Replica.commit_point t.replicas.(0))
+
+let test_original_is_uncoordinated () =
+  let t = H.create () in
+  H.elect t 0;
+  H.submit t (H.client_request ~seq:1 ~rtype:Original ~payload:(add 4) ());
+  (* Reply emitted with no accept round at all. *)
+  (match H.take_replies t with
+  | [ r ] -> Alcotest.(check int) "original result" 4 (Counter.decode_result r.payload)
+  | _ -> Alcotest.fail "expected immediate reply");
+  Alcotest.(check bool) "no accept messages pending" true
+    (not (List.mem "accept" (H.pending_kinds t)));
+  Alcotest.(check int) "no instance consumed" 0 (Replica.commit_point t.replicas.(0))
+
+let test_follower_ignores_writes () =
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Write ~payload:(add 1) () in
+  H.feed t 1 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "follower stays silent" 0 (List.length (H.take_replies t));
+  Alcotest.(check bool) "no accepts from a follower" true
+    (not (List.mem "accept" (H.pending_kinds t)))
+
+let suite =
+  [
+    ( "replica.engine",
+      [
+        Alcotest.test_case "write message pattern (§3.3)" `Quick test_write_message_pattern;
+        Alcotest.test_case "commit with a single ack" `Quick test_commit_with_single_ack;
+        Alcotest.test_case "X-Paxos confirm counting (§3.4)" `Quick
+          test_read_confirm_counting;
+        Alcotest.test_case "pre-confirm buffering" `Quick test_read_pre_confirm_buffering;
+        Alcotest.test_case "reads see committed state only" `Quick
+          test_read_reflects_committed_only;
+        Alcotest.test_case "dedup resend" `Quick test_dedup_resend;
+        Alcotest.test_case "stale ballot rejected" `Quick test_stale_ballot_rejected;
+        Alcotest.test_case "paper's recovery example (§3.3)" `Quick
+          test_paper_recovery_example;
+        Alcotest.test_case "snapshot catch-up" `Quick
+          test_snapshot_catchup_for_lagging_follower;
+        Alcotest.test_case "heartbeat commit-point catch-up" `Quick
+          test_heartbeat_commit_point_catchup;
+        Alcotest.test_case "accept retry idempotent" `Quick test_accept_retry_is_idempotent;
+        Alcotest.test_case "write batching (one instance)" `Quick
+          test_batch_commits_as_one_instance;
+        Alcotest.test_case "original requests uncoordinated" `Quick
+          test_original_is_uncoordinated;
+        Alcotest.test_case "followers ignore writes" `Quick test_follower_ignores_writes;
+      ] );
+  ]
