@@ -30,9 +30,11 @@ let run id cluster service storage verbose =
     match storage with
     | None -> None
     | Some path ->
-      let store, recovered = Grid_paxos.Storage.file ~path in
+      let store, recovered, report = Grid_paxos.Storage.file ~path in
       (match recovered with
-      | Some _ -> Printf.printf "recovered persisted state from %s\n%!" path
+      | Some _ ->
+        Printf.printf "recovered persisted state from %s (%s)\n%!" path
+          (Format.asprintf "%a" Grid_paxos.Storage.pp_report report)
       | None -> ());
       Some (store, recovered)
   in

@@ -1,0 +1,241 @@
+(* Nemesis stress runner: seeded model-checker schedules with crashes
+   (clean and torn-persist), metadata loss, duplication and reordering,
+   checking agreement, durability and linearizability on every run.
+
+     dune exec bin/stress.exe -- --schedules 200
+     dune exec bin/stress.exe -- --seed 42 --service kv      # replay one
+     dune exec bin/stress.exe -- --plant-dedup               # shrink demo
+
+   Exit status is 0 iff every schedule passed (or, with --plant-dedup,
+   iff the planted bug was caught and shrunk). *)
+
+open Cmdliner
+module Stress = Grid_check.Stress
+module Mcheck = Grid_check.Mcheck
+
+let services_of = function
+  | `Counter -> [ Stress.Counter_service ]
+  | `Kv -> [ Stress.Kv_service ]
+  | `Both -> [ Stress.Counter_service; Stress.Kv_service ]
+
+let nemesis ~crash ~torn ~dup ~reorder ~meta_drop =
+  {
+    Mcheck.crash_prob = crash;
+    torn_frac = torn;
+    dup_prob = dup;
+    reorder_prob = reorder;
+    meta_drop_prob = meta_drop;
+  }
+
+let print_failures failures =
+  List.iter
+    (fun f -> Format.printf "FAIL %a@." Stress.pp_failure f)
+    failures
+
+(* Run one seed per selected service, then re-run it from the recorded
+   fault plan and insist the replay reproduces the outcome exactly. *)
+let run_single ~services ~seed ~steps ~nem ~disable_dedup =
+  let ok = ref true in
+  List.iter
+    (fun service ->
+      let o, failure =
+        Stress.run_one ~service ~steps ~nemesis:nem ~disable_dedup ~shrink:true
+          ~seed ()
+      in
+      Format.printf "seed %d (%s): %d delivered, %d replies, commit points [%s]@."
+        seed
+        (Stress.service_name service)
+        o.delivered (List.length o.replies)
+        (String.concat ";" (Array.to_list (Array.map string_of_int o.committed)));
+      Format.printf "  plan (%d events): %a@." (List.length o.plan) Mcheck.pp_plan
+        o.plan;
+      let replay seed plan =
+        match service with
+        | Stress.Counter_service ->
+          fst
+            (Stress.Counter_harness.replay_plan ~steps
+               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~seed
+               ~plan ())
+        | Stress.Kv_service ->
+          fst
+            (Stress.Kv_harness.replay_plan ~steps
+               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~seed
+               ~plan ())
+      in
+      let r = replay seed o.plan in
+      if
+        r.Mcheck.delivered = o.delivered
+        && r.committed = o.committed
+        && r.timer_fires = o.timer_fires
+      then Format.printf "  replay from plan: deterministic (identical outcome)@."
+      else begin
+        Format.printf "  replay from plan DIVERGED@.";
+        ok := false
+      end;
+      match failure with
+      | None -> Format.printf "  all invariants hold@."
+      | Some f ->
+        print_failures [ f ];
+        ok := false)
+    services;
+  if !ok then 0 else 1
+
+(* Plant the double-commit bug (dedup disabled), find a schedule that
+   catches it, and shrink that schedule to a minimal fault plan. Seeds
+   whose fault-free schedule already fails (client retransmission alone
+   can straddle a commit) shrink to an empty plan; prefer a seed where
+   the injected faults are essential, so the minimal plan pins them. *)
+let run_plant ~seed ~steps ~nem ~attempts =
+  let nem = { nem with Mcheck.dup_prob = Float.max nem.Mcheck.dup_prob 0.15 } in
+  let faultless_passes s =
+    let _, reasons =
+      Stress.Counter_harness.replay_plan ~steps
+        ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup:true ~seed:s
+        ~plan:[] ()
+    in
+    reasons = []
+  in
+  let rec hunt s fallback =
+    if s >= seed + attempts then fallback
+    else
+      let _, failure =
+        Stress.run_one ~service:Stress.Counter_service ~steps ~nemesis:nem
+          ~disable_dedup:true ~shrink:true ~seed:s ()
+      in
+      match failure with
+      | Some f when faultless_passes s -> Some f
+      | Some f -> hunt (s + 1) (if fallback = None then Some f else fallback)
+      | None -> hunt (s + 1) fallback
+  in
+  Format.printf
+    "hunting for a schedule that catches the planted dedup bug (seeds %d..%d)@."
+    seed
+    (seed + attempts - 1);
+  match hunt seed None with
+  | None ->
+    Format.printf "planted bug escaped %d schedules — FAIL@." attempts;
+    1
+  | Some f ->
+    print_failures [ f ];
+    (match f.shrunk with
+    | Some shrunk ->
+      let o, reasons =
+        Stress.Counter_harness.replay_plan ~steps
+          ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup:true
+          ~seed:f.seed ~plan:shrunk ()
+      in
+      ignore o;
+      if reasons <> [] then begin
+        Format.printf
+          "minimal failing schedule: seed %d, %d of %d fault events@." f.seed
+          (List.length shrunk) (List.length f.plan);
+        0
+      end
+      else begin
+        Format.printf "shrunk plan no longer fails — FAIL@.";
+        1
+      end
+    | None ->
+      Format.printf "no shrunk plan produced — FAIL@.";
+      1)
+
+let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup ~shrink
+    ~quiet =
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun (s : Stress.summary) ->
+          if s.schedules mod 50 = 0 then
+            Format.printf "  ... %d schedules, %d failing@." s.schedules
+              (List.length s.failures))
+  in
+  let summary =
+    Stress.run ~services ~schedules ~base_seed ~steps ~nemesis:nem ~disable_dedup
+      ~shrink ?progress ()
+  in
+  Format.printf "%a@." Stress.pp_summary summary;
+  print_failures summary.failures;
+  if summary.failures = [] then 0 else 1
+
+let main schedules seed base_seed steps service crash torn dup reorder meta_drop
+    plant_dedup disable_dedup no_shrink quiet =
+  let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop in
+  let services = services_of service in
+  if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
+  else
+    match seed with
+    | Some seed -> run_single ~services ~seed ~steps ~nem ~disable_dedup
+    | None ->
+      run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
+        ~shrink:(not no_shrink) ~quiet
+
+let schedules_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "schedules" ] ~docv:"N" ~doc:"Number of seeded schedules to run.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Run exactly one schedule with this seed (per selected service), print \
+           its fault plan, and verify the plan replays deterministically.")
+
+let base_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "base-seed" ] ~docv:"N" ~doc:"First seed of the batch.")
+
+let steps_arg =
+  Arg.(
+    value & opt int 1_200
+    & info [ "steps" ] ~docv:"N" ~doc:"Scheduling steps per schedule.")
+
+let service_arg =
+  Arg.(
+    value
+    & opt (enum [ ("counter", `Counter); ("kv", `Kv); ("both", `Both) ]) `Both
+    & info [ "service" ] ~docv:"SERVICE" ~doc:"Service under test (counter|kv|both).")
+
+let rate name doc default =
+  Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+
+let crash_arg = rate "crash" "Per-step crash probability." 0.002
+let torn_arg = rate "torn" "Fraction of crashes that are torn persists." 0.3
+let dup_arg = rate "dup" "Per-delivery duplication probability." 0.03
+let reorder_arg = rate "reorder" "Per-delivery reordering probability." 0.03
+
+let meta_drop_arg =
+  rate "meta-drop" "Per-persist metadata (commit/snapshot) loss probability." 0.05
+
+let plant_arg =
+  Arg.(
+    value & flag
+    & info [ "plant-dedup" ]
+        ~doc:
+          "Demo: disable request deduplication, find a schedule that catches the \
+           resulting double-commit, and shrink it to a minimal fault plan.")
+
+let disable_dedup_arg =
+  Arg.(
+    value & flag
+    & info [ "disable-dedup" ] ~doc:"Run the batch with the dedup table disabled.")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Do not shrink failing schedules.")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
+
+let cmd =
+  let doc = "Nemesis stress harness for the replicated-service protocol" in
+  Cmd.v
+    (Cmd.info "grid-stress" ~doc)
+    Term.(
+      const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
+      $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
+      $ meta_drop_arg $ plant_arg $ disable_dedup_arg $ no_shrink_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

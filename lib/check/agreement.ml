@@ -15,6 +15,14 @@ type violation =
           classic Multi-Paxos under nondeterminism *)
   | Order of { replica : int; instance : int }
       (** a replica applied commits out of instance order *)
+  | Duplicate_commit of {
+      replica : int;
+      request : string;
+      instance_a : int;
+      instance_b : int;
+    }
+      (** one request committed in two different instances — exactly-once
+          is broken (the failure mode of a missing dedup table) *)
 
 let pp_violation ppf = function
   | Value_mismatch { instance; replica_a; replica_b } ->
@@ -25,6 +33,9 @@ let pp_violation ppf = function
       replica_a replica_b
   | Order { replica; instance } ->
     Format.fprintf ppf "replica %d applied instance %d out of order" replica instance
+  | Duplicate_commit { replica; request; instance_a; instance_b } ->
+    Format.fprintf ppf "replica %d committed request %s in both instance %d and %d"
+      replica request instance_a instance_b
 
 let request_key (reqs : Grid_paxos.Types.request list) =
   String.concat ";"
@@ -58,6 +69,34 @@ let check (histories : (int * Grid_paxos.Types.request list * string) list array
         | _ -> ()
       in
       ordered history;
+      (* Exactly-once check: a committed state-mutating request must not
+         reappear in a later instance of the same history (the dedup
+         table's job). Reads are exempt: they are idempotent and not
+         deduplicated, so a retransmitted read may legitimately be
+         decided in two instances (the client keeps the first reply). *)
+      let seen_reqs : (Grid_util.Ids.Request_id.t, int) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun (instance, reqs, _) ->
+          List.iter
+            (fun (r : Grid_paxos.Types.request) ->
+              if r.rtype = Grid_paxos.Types.Read then ()
+              else
+              match Hashtbl.find_opt seen_reqs r.id with
+              | Some instance_a when instance_a <> instance ->
+                violations :=
+                  Duplicate_commit
+                    {
+                      replica;
+                      request = Format.asprintf "%a" Grid_util.Ids.Request_id.pp r.id;
+                      instance_a;
+                      instance_b = instance;
+                    }
+                  :: !violations
+              | _ -> Hashtbl.replace seen_reqs r.id instance)
+            reqs)
+        history;
       List.iter
         (fun (instance, reqs, state) ->
           let prev = Option.value ~default:[] (Hashtbl.find_opt by_instance instance) in

@@ -17,8 +17,20 @@ type violation =
           Multi-Paxos under nondeterminism *)
   | Order of { replica : int; instance : int }
       (** a replica applied commits out of instance order *)
+  | Duplicate_commit of {
+      replica : int;
+      request : string;
+      instance_a : int;
+      instance_b : int;
+    }
+      (** one request committed in two different instances — exactly-once
+          is broken (the failure mode of a missing dedup table) *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val request_key : Grid_paxos.Types.request list -> string
+(** Canonical comparison key for a request batch (used by the agreement
+    check itself and by the model checker's durability oracle). *)
 
 val check :
   (int * Grid_paxos.Types.request list * string) list array -> violation list

@@ -7,38 +7,145 @@
     is preserved, as with TCP), arbitrarily late timer firings, crashes
     and recoveries at any step.
 
-    Each run uses one seed, so a failing schedule replays exactly. The
-    test suite runs thousands of seeds and asserts the agreement
-    invariant after every run. *)
+    This version adds a nemesis: per-delivery duplication and reordering
+    dice, torn-persist crashes (the process dies inside a storage write,
+    so the record is lost and the engine step never completes), silent
+    loss of metadata records, and crash-consistent recovery — a revived
+    replica is rebuilt from its persisted image via {!Replica.load}, not
+    from its in-memory carcass. Every fault that fires is recorded in a
+    {!plan} keyed by scheduler step, so a failing run can be replayed
+    exactly and then shrunk to a minimal failing schedule.
+
+    Each run uses one seed; scheduling choices and fault dice draw from
+    two separate RNG streams so that replaying a recorded plan (no dice)
+    leaves the scheduling stream — and hence the schedule — unchanged. *)
 
 module Rng = Grid_util.Rng
 open Grid_paxos.Types
 
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+
+type fault_event =
+  | Crash_at of { step : int; victim : int; torn : bool }
+  | Recover_at of { step : int; victim : int }
+  | Duplicate_at of { step : int }
+  | Reorder_at of { step : int; depth : int }
+
+type plan = fault_event list
+
+let fault_step = function
+  | Crash_at { step; _ } | Recover_at { step; _ }
+  | Duplicate_at { step } | Reorder_at { step; _ } -> step
+
+let pp_fault ppf = function
+  | Crash_at { step; victim; torn } ->
+    Format.fprintf ppf "@%d crash(%d%s)" step victim (if torn then ",torn" else "")
+  | Recover_at { step; victim } -> Format.fprintf ppf "@%d recover(%d)" step victim
+  | Duplicate_at { step } -> Format.fprintf ppf "@%d duplicate" step
+  | Reorder_at { step; depth } -> Format.fprintf ppf "@%d reorder(+%d)" step depth
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_fault)
+    plan
+
+type nemesis = {
+  crash_prob : float;  (** per-step probability of a crash (recover: 2x window) *)
+  torn_frac : float;
+      (** fraction of crashes that are torn: the victim dies inside its
+          next storage persist instead of between steps *)
+  dup_prob : float;  (** per-delivery probability of re-enqueuing a copy *)
+  reorder_prob : float;
+      (** per-delivery probability of delivering from the middle of the
+          channel instead of its head *)
+  meta_drop_prob : float;
+      (** per-persist probability that a commit-point or snapshot record
+          is silently lost (always repairable; see {!Grid_paxos.Storage}) *)
+}
+
+let no_faults =
+  { crash_prob = 0.0; torn_frac = 0.0; dup_prob = 0.0; reorder_prob = 0.0;
+    meta_drop_prob = 0.0 }
+
+(* Greedy event-removal shrinking: repeatedly try dropping each event;
+   keep any removal after which the schedule still fails. One-at-a-time
+   passes loop to a fixed point. *)
+let shrink_plan ~still_fails plan =
+  let current = ref plan in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rec pass kept = function
+      | [] -> List.rev kept
+      | ev :: rest ->
+        let candidate = List.rev_append kept rest in
+        if still_fails candidate then begin
+          changed := true;
+          pass kept rest
+        end
+        else pass (ev :: kept) rest
+    in
+    current := pass [] !current
+  done;
+  !current
+
 type outcome = {
   replies : reply list;
   violations : Agreement.violation list;
+  durability : string list;
+      (** crash-recovery invariant breaches: a revived replica whose
+          reloaded state disagrees with what the group committed *)
   committed : int array;  (** commit point per replica at the end *)
   delivered : int;
   timer_fires : int;
   all_replied : bool;
+  plan : plan;
+      (** the faults that actually fired, in order — replayable *)
+  crashes : int;
+  torn_persists : int;  (** persists that died mid-write *)
+  meta_dropped : int;  (** commit/snapshot records silently lost *)
+  duplicated : int;
+  reordered : int;
 }
+
+let failed o = o.violations <> [] || o.durability <> []
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
 
+  type mode =
+    | Record of { nem : nemesis; frng : Rng.t }
+    | Replay of (int, fault_event) Hashtbl.t
+
   type sched = {
-    rng : Rng.t;
+    rng : Rng.t;  (* scheduling choices only; fault dice use frng *)
+    base_seed : int;
     cfg : Grid_paxos.Config.t;
     replicas : R.t array;
     down : bool array;
-    (* FIFO queue per directed pair, keyed (src, dst). *)
+    stores : Grid_paxos.Storage.t array;
+    reads : (unit -> Grid_paxos.Storage.persisted) array;
+    ctls : Grid_paxos.Storage.fault_ctl array;
+    (* FIFO queue per directed pair, keyed (src, dst); client requests
+       travel through these too, so the nemesis dice apply to them. *)
     channels : (int * int, msg Queue.t) Hashtbl.t;
     mutable timers : (int * timer * float) list;
     mutable vnow : float;
     mutable replies : reply list;
     mutable delivered : int;
     mutable timer_fires : int;
+    mutable nstep : int;
+    mutable mode : mode;
+    mutable plan_rev : fault_event list;
+    (* instance -> (request key, encoded state after): the union of every
+       committed update any incarnation of any replica has reported. *)
+    oracle : (int, string * string) Hashtbl.t;
+    mutable durability : string list;
+    mutable crashes : int;
   }
+
+  let record sched ev = sched.plan_rev <- ev :: sched.plan_rev
 
   let enqueue sched ~src ~dst msg =
     let q =
@@ -50,6 +157,18 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         q
     in
     Queue.add msg q
+
+  (* Remove and return the [n]-th element (0-based) of [q]. *)
+  let take_nth q n =
+    let n = min n (Queue.length q - 1) in
+    let prefix = Queue.create () in
+    for _ = 1 to n do
+      Queue.add (Queue.take q) prefix
+    done;
+    let x = Queue.take q in
+    Queue.transfer q prefix;
+    Queue.transfer prefix q;
+    x
 
   let exec_actions sched i actions =
     List.iter
@@ -66,9 +185,98 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         | Note _ -> ())
       actions
 
+  let mark_down sched i =
+    if not sched.down.(i) then begin
+      sched.down.(i) <- true;
+      sched.crashes <- sched.crashes + 1;
+      (* Its in-flight timers die with it. *)
+      sched.timers <- List.filter (fun (j, _, _) -> j <> i) sched.timers
+    end
+
+  (* A torn crash arms the victim's storage: its next persist raises
+     {!Grid_paxos.Storage.Crashed} and [dispatch] converts that into the
+     actual crash — the record is lost and the step's actions never
+     execute, exactly a death between write and fsync-ack. *)
+  let crash_replica sched victim ~torn =
+    if torn then sched.ctls.(victim).tear_rate <- 1.0
+    else begin
+      sched.ctls.(victim).tear_rate <- 0.0;
+      mark_down sched victim
+    end
+
   let dispatch sched i input =
     if not sched.down.(i) then
-      exec_actions sched i (R.handle sched.replicas.(i) ~now:sched.vnow input)
+      match R.handle sched.replicas.(i) ~now:sched.vnow input with
+      | actions -> exec_actions sched i actions
+      | exception Grid_paxos.Storage.Crashed ->
+        sched.ctls.(i).tear_rate <- 0.0;
+        mark_down sched i
+
+  (* ---------------------------------------------------------------- *)
+  (* Durability oracle                                                 *)
+
+  let merge_history sched replica history =
+    List.iter
+      (fun (instance, reqs, state) ->
+        let key = Agreement.request_key reqs in
+        match Hashtbl.find_opt sched.oracle instance with
+        | None -> Hashtbl.replace sched.oracle instance (key, state)
+        | Some (k0, s0) ->
+          if not (String.equal k0 key && String.equal s0 state) then
+            sched.durability <-
+              Printf.sprintf
+                "replica %d committed a different value for instance %d than \
+                 previously observed"
+                replica instance
+              :: sched.durability)
+      history
+
+  let refresh_oracle sched =
+    Array.iteri
+      (fun i r -> merge_history sched i (R.committed_updates r))
+      sched.replicas
+
+  (* Rebuild [back] from its persisted image — true crash-consistent
+     recovery, unlike an in-place [R.restart] which would keep whatever
+     the in-memory object happened to hold. The reloaded state must match
+     the committed prefix the group observed: that is the durability
+     invariant the nemesis exists to attack. *)
+  let revive sched back =
+    refresh_oracle sched;
+    sched.ctls.(back).tear_rate <- 0.0;
+    let r =
+      R.create ~cfg:sched.cfg ~id:back ~seed:(sched.base_seed + back)
+        ~storage:sched.stores.(back) ()
+    in
+    R.load r (sched.reads.(back) ());
+    sched.replicas.(back) <- r;
+    merge_history sched back (R.committed_updates r);
+    let cp = R.commit_point r in
+    if cp > 0 then begin
+      match Hashtbl.find_opt sched.oracle cp with
+      | Some (_, st) ->
+        if not (String.equal st (S.encode_state (R.state r))) then
+          sched.durability <-
+            Printf.sprintf
+              "replica %d recovered a state at instance %d that differs from \
+               the committed one"
+              back cp
+            :: sched.durability
+      | None ->
+        sched.durability <-
+          Printf.sprintf
+            "replica %d recovered to commit point %d, which was never observed \
+             committed"
+            back cp
+          :: sched.durability
+    end;
+    (* Messages queued toward it while down are lost (TCP reset). *)
+    Hashtbl.iter (fun (_, dst) q -> if dst = back then Queue.clear q) sched.channels;
+    sched.down.(back) <- false;
+    exec_actions sched back (R.restart r ~now:sched.vnow)
+
+  (* ---------------------------------------------------------------- *)
+  (* Scheduling                                                        *)
 
   let deliverable_pairs sched =
     Hashtbl.fold
@@ -78,53 +286,109 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       sched.channels []
     |> List.sort compare
 
-  (* One scheduling step. Weights bias toward message delivery so runs
-     make progress; crash/recovery are rare events. *)
-  let step sched ~crash_prob ~max_down =
-    let pairs = deliverable_pairs sched in
-    let timers = sched.timers in
-    let down_count = Array.fold_left (fun n d -> if d then n + 1 else n) 0 sched.down in
-    let roll = Rng.float sched.rng 1.0 in
-    if roll < crash_prob && down_count < max_down then begin
-      (* Crash a random live replica. *)
-      let live =
-        List.filter (fun i -> not sched.down.(i)) (Grid_paxos.Config.replica_ids sched.cfg)
-      in
-      match live with
-      | [] -> false
-      | _ ->
-        let victim = Rng.pick_list sched.rng live in
-        sched.down.(victim) <- true;
-        (* Its in-flight timers die with it. *)
-        sched.timers <- List.filter (fun (i, _, _) -> i <> victim) sched.timers;
+  (* Crash/recovery decision for this step; [true] if it consumed the
+     step. Recording draws from the fault RNG; replay consults the plan
+     and rolls no dice, leaving the scheduling stream aligned. *)
+  let nemesis_step sched ~max_down =
+    let down_count =
+      Array.fold_left (fun n d -> if d then n + 1 else n) 0 sched.down
+    in
+    match sched.mode with
+    | Record { nem; frng } when nem.crash_prob > 0.0 ->
+      let roll = Rng.float frng 1.0 in
+      if roll < nem.crash_prob && down_count < max_down then begin
+        let live =
+          List.filter
+            (fun i -> not sched.down.(i))
+            (Grid_paxos.Config.replica_ids sched.cfg)
+        in
+        match live with
+        | [] -> false
+        | _ ->
+          let victim = Rng.pick_list frng live in
+          let torn = nem.torn_frac > 0.0 && Rng.float frng 1.0 < nem.torn_frac in
+          record sched (Crash_at { step = sched.nstep; victim; torn });
+          crash_replica sched victim ~torn;
+          true
+      end
+      else if roll < 2.0 *. nem.crash_prob && down_count > 0 then begin
+        let dead =
+          List.filter
+            (fun i -> sched.down.(i))
+            (Grid_paxos.Config.replica_ids sched.cfg)
+        in
+        match dead with
+        | [] -> false
+        | _ ->
+          let back = Rng.pick_list frng dead in
+          record sched (Recover_at { step = sched.nstep; victim = back });
+          revive sched back;
+          true
+      end
+      else false
+    | Record _ -> false
+    | Replay tbl -> (
+      (* Best effort under shrinking: an event whose precondition no
+         longer holds (victim already down / already up) is skipped. *)
+      match Hashtbl.find_opt tbl sched.nstep with
+      | Some (Crash_at { victim; torn; _ }) when not sched.down.(victim) ->
+        record sched (Crash_at { step = sched.nstep; victim; torn });
+        crash_replica sched victim ~torn;
         true
-    end
-    else if roll < 2.0 *. crash_prob && down_count > 0 then begin
-      (* Recover a random crashed replica. *)
-      let dead =
-        List.filter (fun i -> sched.down.(i)) (Grid_paxos.Config.replica_ids sched.cfg)
-      in
-      match dead with
-      | [] -> false
-      | _ ->
-        let back = Rng.pick_list sched.rng dead in
-        sched.down.(back) <- false;
-        (* Messages queued toward it while down are lost (TCP reset). *)
-        Hashtbl.iter
-          (fun (_, dst) q -> if dst = back then Queue.clear q)
-          sched.channels;
-        exec_actions sched back (R.restart sched.replicas.(back) ~now:sched.vnow);
+      | Some (Recover_at { victim; _ }) when sched.down.(victim) ->
+        record sched (Recover_at { step = sched.nstep; victim });
+        revive sched victim;
         true
-    end
+      | _ -> false)
+
+  (* One scheduling step: a nemesis event, a message delivery (possibly
+     reordered within its channel, possibly duplicated), or a timer
+     firing. Weights bias toward delivery so runs make progress. *)
+  let step sched ~max_down =
+    if nemesis_step sched ~max_down then true
     else begin
-      (* Prefer delivering a message 3:1 over firing a timer. *)
+      let pairs = deliverable_pairs sched in
+      let timers = sched.timers in
       let deliver () =
         match pairs with
         | [] -> false
         | _ ->
           let src, dst = Rng.pick_list sched.rng pairs in
           let q = Hashtbl.find sched.channels (src, dst) in
-          let msg = Queue.take q in
+          let msg =
+            match sched.mode with
+            | Record { nem; frng } ->
+              if
+                Queue.length q >= 2
+                && nem.reorder_prob > 0.0
+                && Rng.float frng 1.0 < nem.reorder_prob
+              then begin
+                let depth = 1 + Rng.int frng (Queue.length q - 1) in
+                record sched (Reorder_at { step = sched.nstep; depth });
+                take_nth q depth
+              end
+              else Queue.take q
+            | Replay tbl -> (
+              match Hashtbl.find_opt tbl sched.nstep with
+              | Some (Reorder_at { depth; _ }) when Queue.length q >= 2 ->
+                record sched (Reorder_at { step = sched.nstep; depth });
+                take_nth q depth
+              | _ -> Queue.take q)
+          in
+          (* Duplication re-enqueues the message at the channel's tail: a
+             retransmitted copy that arrives again later. *)
+          (match sched.mode with
+          | Record { nem; frng } ->
+            if nem.dup_prob > 0.0 && Rng.float frng 1.0 < nem.dup_prob then begin
+              record sched (Duplicate_at { step = sched.nstep });
+              Queue.add msg q
+            end
+          | Replay tbl -> (
+            match Hashtbl.find_opt tbl sched.nstep with
+            | Some (Duplicate_at _) ->
+              record sched (Duplicate_at { step = sched.nstep });
+              Queue.add msg q
+            | _ -> ()));
           sched.delivered <- sched.delivered + 1;
           dispatch sched dst (Receive { src; msg });
           true
@@ -141,42 +405,81 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           dispatch sched i (Timer timer);
           true
       in
+      (* Prefer delivering a message 3:1 over firing a timer. *)
       if pairs <> [] && (timers = [] || Rng.int sched.rng 4 < 3) then deliver ()
       else if fire () then true
       else deliver ()
     end
 
-  (** [run ~requests ()] explores one random schedule. [requests] are
-      (client id, rtype, payload) triples. Like the real client protocol,
-      every request is broadcast to all replicas and retransmitted until
-      answered (retransmission points are scheduling choices), which both
-      exercises deduplication and gives benign schedules a liveness
-      guarantee. Returns the outcome with agreement violations, if any. *)
-  let run ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
-      ?(requests = []) () =
+  (* ---------------------------------------------------------------- *)
+  (* Runs                                                              *)
+
+  let run_mode ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
+      ~mode () =
     let rng = Rng.of_int seed in
     let cfg =
-      { (Grid_paxos.Config.default ~n:3) with record_history = true }
+      { (Grid_paxos.Config.default ~n:3) with record_history = true;
+        disable_dedup }
     in
+    let stores = Array.make cfg.n (Grid_paxos.Storage.null ()) in
+    let reads =
+      Array.make cfg.n (fun () ->
+          {
+            Grid_paxos.Storage.promised = Ballot.zero;
+            entries = [];
+            commit_point = 0;
+            snapshot = None;
+          })
+    in
+    let ctls =
+      Array.init cfg.n (fun _ ->
+          { Grid_paxos.Storage.tear_rate = 0.0; drop_rate = 0.0;
+            drop_meta_only = true; torn = 0; dropped = 0 })
+    in
+    for i = 0 to cfg.n - 1 do
+      let mem, read = Grid_paxos.Storage.memory () in
+      let store, ctl =
+        Grid_paxos.Storage.faulty
+          ~rng:(Rng.of_int ((seed * 31) + i))
+          ~drop_rate:meta_drop_prob ~drop_meta_only:true mem
+      in
+      stores.(i) <- store;
+      reads.(i) <- read;
+      ctls.(i) <- ctl
+    done;
     let sched =
       {
         rng;
+        base_seed = seed;
         cfg;
-        replicas = Array.init cfg.n (fun i -> R.create ~cfg ~id:i ~seed:(seed + i) ());
+        replicas =
+          Array.init cfg.n (fun i ->
+              R.create ~cfg ~id:i ~seed:(seed + i) ~storage:stores.(i) ());
         down = Array.make cfg.n false;
+        stores;
+        reads;
+        ctls;
         channels = Hashtbl.create 32;
         timers = [];
         vnow = 0.0;
         replies = [];
         delivered = 0;
         timer_fires = 0;
+        nstep = 0;
+        mode;
+        plan_rev = [];
+        oracle = Hashtbl.create 64;
+        durability = [];
+        crashes = 0;
       }
     in
     Array.iteri (fun i r -> exec_actions sched i (R.bootstrap r)) sched.replicas;
     (* Clients are closed-loop: each client's requests carry increasing
        sequence numbers and the next is only injected after the previous
        one was answered (deduplication assumes exactly this). Injection
-       and retransmission points are scheduling choices. *)
+       and retransmission points are scheduling choices, and the requests
+       travel through the same schedulable channels as protocol messages,
+       so the nemesis can duplicate and reorder them too. *)
     let per_client : (int, request Queue.t) Hashtbl.t = Hashtbl.create 8 in
     let seq_counters : (int, int) Hashtbl.t = Hashtbl.create 8 in
     List.iter
@@ -224,37 +527,85 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | _ ->
         let r = Rng.pick_list sched.rng heads in
         for i = 0 to cfg.n - 1 do
-          dispatch sched i (Receive { src = client_node r.id.client; msg = Client_req r })
+          enqueue sched ~src:(client_node r.id.client) ~dst:i (Client_req r)
         done;
         true
     in
     for _ = 1 to steps do
+      sched.nstep <- sched.nstep + 1;
       if pending_count () > 0 && Rng.int sched.rng 10 = 0 then ignore (inject ())
-      else ignore (step sched ~crash_prob ~max_down)
+      else ignore (step sched ~max_down)
     done;
-    (* Drain: no more crashes; recover everyone; keep injecting unanswered
-       requests and scheduling until all are answered or the budget runs
-       out. *)
+    (* Drain: the nemesis stops, everyone is disarmed and recovered, and
+       we keep injecting unanswered requests and scheduling until all are
+       answered or the budget runs out. *)
+    sched.mode <- Record { nem = no_faults; frng = Rng.of_int seed };
+    Array.iter
+      (fun ctl ->
+        ctl.Grid_paxos.Storage.tear_rate <- 0.0;
+        ctl.drop_rate <- 0.0)
+      sched.ctls;
     for i = 0 to cfg.n - 1 do
-      if sched.down.(i) then begin
-        sched.down.(i) <- false;
-        exec_actions sched i (R.restart sched.replicas.(i) ~now:sched.vnow)
-      end
+      if sched.down.(i) then revive sched i
     done;
     let budget = ref (steps * 10) in
     while !budget > 0 && pending_count () > 0 do
       decr budget;
+      sched.nstep <- sched.nstep + 1;
       if Rng.int sched.rng 20 = 0 then ignore (inject ())
-      else ignore (step sched ~crash_prob:0.0 ~max_down)
+      else ignore (step sched ~max_down)
     done;
     let all_replied = pending_count () = 0 in
+    refresh_oracle sched;
     let histories = Array.map R.committed_updates sched.replicas in
+    let plan = List.rev sched.plan_rev in
+    let count p = List.length (List.filter p plan) in
     {
       replies = List.rev sched.replies;
       violations = Agreement.check histories;
+      durability = List.rev sched.durability;
       committed = Array.map R.commit_point sched.replicas;
       delivered = sched.delivered;
       timer_fires = sched.timer_fires;
       all_replied;
+      plan;
+      crashes = sched.crashes;
+      torn_persists =
+        Array.fold_left (fun n c -> n + c.Grid_paxos.Storage.torn) 0 sched.ctls;
+      meta_dropped =
+        Array.fold_left (fun n c -> n + c.Grid_paxos.Storage.dropped) 0 sched.ctls;
+      duplicated = count (function Duplicate_at _ -> true | _ -> false);
+      reordered = count (function Reorder_at _ -> true | _ -> false);
     }
+
+  let explore ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(nemesis = no_faults)
+      ?(disable_dedup = false) ?(requests = []) () =
+    run_mode ~seed ~steps ~max_down ~meta_drop_prob:nemesis.meta_drop_prob
+      ~disable_dedup ~requests
+      ~mode:(Record { nem = nemesis; frng = Rng.of_int (seed lxor 0x6e656d) })
+      ()
+
+  let replay ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
+      ?(disable_dedup = false) ?(requests = []) ~plan () =
+    let tbl = Hashtbl.create (List.length plan) in
+    List.iter (fun ev -> Hashtbl.replace tbl (fault_step ev) ev) plan;
+    run_mode ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
+      ~mode:(Replay tbl) ()
+
+  let run ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
+      ?(requests = []) () =
+    explore ~seed ~steps ~max_down
+      ~nemesis:{ no_faults with crash_prob }
+      ~requests ()
+
+  (* Shrink a failing run to a minimal plan: greedily drop events, keeping
+     any removal after which the (deterministic) replay still fails. *)
+  let shrink ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
+      ?(disable_dedup = false) ?(requests = []) ~plan () =
+    let still_fails p =
+      failed
+        (replay ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
+           ~plan:p ())
+    in
+    shrink_plan ~still_fails plan
 end

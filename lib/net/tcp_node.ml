@@ -1,6 +1,15 @@
 open Grid_paxos.Types
+module Rng = Grid_util.Rng
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Reconnect backoff: a peer that refused a dial is not redialed before a
+   delay that doubles per consecutive failure, from [backoff_base_ms] up
+   to [backoff_cap_ms], with jitter so a restarted replica is not hit by
+   every peer in the same instant. Without this, a dead peer costs one
+   connect syscall per outgoing message (heartbeats: every few ms). *)
+let backoff_base_ms = 20.0
+let backoff_cap_ms = 2000.0
 
 (* ------------------------------------------------------------------ *)
 (* Generic event loop: an inbox fed by reader threads, a timer queue, and
@@ -18,6 +27,9 @@ type core = {
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   addresses : (int * Unix.sockaddr) list;
+  (* peer -> (earliest next dial in ms, current backoff delay in ms) *)
+  backoff : (int, float * float) Hashtbl.t;
+  rng : Rng.t;  (* jitter; guarded by [mutex] *)
 }
 
 let create_core ~node_id ~addresses =
@@ -34,6 +46,8 @@ let create_core ~node_id ~addresses =
     pipe_r;
     pipe_w;
     addresses;
+    backoff = Hashtbl.create 8;
+    rng = Rng.of_int (0x7cb1 + node_id);
   }
 
 let wake core = try ignore (Unix.write_substring core.pipe_w "x" 0 1) with _ -> ()
@@ -68,23 +82,48 @@ let reader_thread core peer fd =
   drop_conn core peer;
   try Unix.close fd with _ -> ()
 
-(* Get (or dial) the connection to [peer]; None if unreachable. *)
+(* Get (or dial) the connection to [peer]; None if unreachable or still
+   backing off after a failed dial. *)
 let connection core peer =
   match with_lock core (fun () -> List.assoc_opt peer core.conns) with
   | Some fd -> Some fd
   | None -> (
     match List.assoc_opt peer core.addresses with
     | None -> None
-    | Some addr -> (
-      try
-        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-        Unix.setsockopt fd TCP_NODELAY true;
-        Unix.connect fd addr;
-        Framing.write_hello fd ~node_id:core.node_id;
-        register_conn core peer fd;
-        ignore (Thread.create (fun () -> reader_thread core peer fd) ());
-        Some fd
-      with Unix.Unix_error _ -> None))
+    | Some addr ->
+      let now = now_ms () in
+      let backing_off =
+        with_lock core (fun () ->
+            match Hashtbl.find_opt core.backoff peer with
+            | Some (not_before, _) -> now < not_before
+            | None -> false)
+      in
+      if backing_off then None
+      else (
+        try
+          let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+          Unix.setsockopt fd TCP_NODELAY true;
+          Unix.connect fd addr;
+          Framing.write_hello fd ~node_id:core.node_id;
+          with_lock core (fun () -> Hashtbl.remove core.backoff peer);
+          register_conn core peer fd;
+          ignore (Thread.create (fun () -> reader_thread core peer fd) ());
+          Some fd
+        with Unix.Unix_error _ ->
+          with_lock core (fun () ->
+              let prev =
+                match Hashtbl.find_opt core.backoff peer with
+                | Some (_, d) -> d
+                | None -> 0.0
+              in
+              let next =
+                Float.min backoff_cap_ms (Float.max backoff_base_ms (prev *. 2.0))
+              in
+              (* Jitter in [next/2, next): consecutive retries stay spread
+                 out even when every peer noticed the death together. *)
+              let wait = next *. (0.5 +. Rng.float core.rng 0.5) in
+              Hashtbl.replace core.backoff peer (now +. wait, next));
+          None))
 
 let send_msg core ~dst msg =
   match connection core dst with

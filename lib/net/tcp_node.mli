@@ -6,6 +6,13 @@
     deduplicated by the handshake's node id; replies to clients travel
     back over the connection the client dialed in on.
 
+    A failed dial puts the peer on exponential backoff (20 ms doubling
+    to 2 s, jittered per node), so a dead peer costs one connect attempt
+    per backoff window instead of one per outgoing message, and a
+    restarting replica is not reconnected by every peer in the same
+    instant. A successful dial resets the peer's backoff; losing an
+    established connection never delays the first redial.
+
     This is the backend for [bin/replica.exe] and [bin/client.exe], and
     for the loopback integration tests. The evaluation itself uses the
     simulator (DESIGN.md §2) — this module demonstrates that the engines

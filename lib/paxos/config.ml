@@ -36,6 +36,12 @@ type t = {
           every replica re-executes it locally — correct only for
           deterministic services, and included as the baseline whose
           divergence on nondeterministic services motivates the paper. *)
+  disable_dedup : bool;
+      (** fault-injection backdoor: leaders treat every request as fresh,
+          so a duplicated/retransmitted request commits twice. Exists so
+          the nemesis harness can demonstrate that its duplication dice
+          and schedule shrinking actually catch the bug the dedup table
+          prevents. Never enable outside tests. *)
 }
 
 let default ~n =
@@ -54,6 +60,7 @@ let default ~n =
     snapshot_interval = 64;
     max_batch = 6;
     coordination = `State_shipping;
+    disable_dedup = false;
   }
 
 let with_wan_timeouts t =

@@ -157,6 +157,8 @@ module Make (S : Service_intf.S) = struct
     | _ -> Hashtbl.replace t.dedup c r
 
   let dedup_lookup t (req : request) =
+    if t.cfg.disable_dedup then `Fresh
+    else
     match Hashtbl.find_opt t.dedup (Ids.Client_id.to_int req.id.client) with
     | Some prev when prev.req.seq = req.id.seq -> `Resend prev
     | Some prev when prev.req.seq > req.id.seq -> `Stale
@@ -795,8 +797,21 @@ module Make (S : Service_intf.S) = struct
     | Leader _ -> []  (* leaders commit via accept-acks *)
     | Follower | Candidate _ ->
       let before = Plog.commit_point t.log in
-      if not (Plog.commit t.log ~instance) then
-        (* We never accepted this instance: fetch a snapshot. *)
+      (* Only commit a value accepted at (or above) the committing ballot.
+         An entry below it is a stale accept from a deposed proposer — the
+         chosen value may differ (e.g. we rejected the current leader's
+         Accept because a failed candidacy left us promised higher), so
+         committing it would break agreement. An entry above it is safe:
+         once chosen at [ballot], every higher-ballot proposal for the
+         instance is bound to the same value. *)
+      let entry_current =
+        match Plog.get t.log instance with
+        | Some e -> e.committed || Ballot.compare e.ballot ballot >= 0
+        | None -> false
+      in
+      if not (entry_current && Plog.commit t.log ~instance) then
+        (* Never accepted this instance (or only a stale value): fetch a
+           snapshot. *)
         [ send ~dst:src (Catchup_req { from_instance = before + 1 }) ]
       else begin
         let after_cp = Plog.commit_point t.log in
@@ -1036,6 +1051,15 @@ module Make (S : Service_intf.S) = struct
         match Plog.get t.log i with
         | Some entry ->
           apply_update t entry.proposal;
+          (* Restore the dedup table from the committed replies: without
+             this, a recovered leader would treat a retransmission of an
+             already-committed request as fresh and commit it twice. The
+             snapshot carries dedup state only up to its own commit
+             point; the replayed suffix must contribute its share. *)
+          List.iter (dedup_update t) entry.proposal.replies;
+          if t.cfg.record_history then
+            t.history <-
+              (i, entry.proposal.requests, S.encode_state t.app_state) :: t.history;
           ignore (Plog.commit t.log ~instance:i);
           mark (i + 1)
         | None -> ()

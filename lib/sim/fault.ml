@@ -4,6 +4,9 @@ type event =
   | Partition of int list * int list
   | Heal
   | Set_drop_rate of float
+  | Duplicate_rate of float
+  | Reorder_rate of float
+  | Delay_spike of { rate : float; magnitude_ms : float }
 
 type entry = { at : float; event : event }
 
@@ -13,6 +16,10 @@ let apply net = function
   | Partition (a, b) -> Network.partition net a b
   | Heal -> Network.heal net
   | Set_drop_rate p -> Network.set_drop_rate net p
+  | Duplicate_rate p -> Network.set_duplicate_rate net p
+  | Reorder_rate p -> Network.set_reorder_rate net p
+  | Delay_spike { rate; magnitude_ms } ->
+    Network.set_delay_spike net ~rate ~magnitude_ms
 
 let install net entries =
   let eng = Network.engine net in
@@ -40,3 +47,7 @@ let pp_event ppf = function
     Format.fprintf ppf "partition([%s]|[%s])" (show a) (show b)
   | Heal -> Format.fprintf ppf "heal"
   | Set_drop_rate p -> Format.fprintf ppf "drop_rate(%.3f)" p
+  | Duplicate_rate p -> Format.fprintf ppf "duplicate_rate(%.3f)" p
+  | Reorder_rate p -> Format.fprintf ppf "reorder_rate(%.3f)" p
+  | Delay_spike { rate; magnitude_ms } ->
+    Format.fprintf ppf "delay_spike(%.3f,+%.1fms)" rate magnitude_ms

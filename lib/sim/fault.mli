@@ -11,6 +11,14 @@ type event =
   | Partition of int list * int list
   | Heal
   | Set_drop_rate of float
+  | Duplicate_rate of float
+      (** see {!Network.set_duplicate_rate}: retransmission-style extra
+          copies that may overtake the original *)
+  | Reorder_rate of float
+      (** see {!Network.set_reorder_rate}: per-message escapes from the
+          per-pair FIFO delivery clamp *)
+  | Delay_spike of { rate : float; magnitude_ms : float }
+      (** see {!Network.set_delay_spike}: transient per-hop congestion *)
 
 type entry = { at : float; event : event }
 

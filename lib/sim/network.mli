@@ -72,6 +72,26 @@ val heal : _ t -> unit
 val set_drop_rate : _ t -> float -> unit
 (** Uniform probability in [\[0,1\]] of silently dropping any message. *)
 
+val set_duplicate_rate : _ t -> float -> unit
+(** Probability in [\[0,1\]] that a delivered message is also delivered a
+    second time. The duplicate travels on an independently sampled path
+    and ignores the per-pair FIFO clamp, so it can overtake the original
+    — a retransmission after a spurious timeout. Exercises the protocol's
+    request-dedup and stale-message paths. *)
+
+val set_reorder_rate : _ t -> float -> unit
+(** Probability in [\[0,1\]] that a message escapes the per-pair FIFO
+    clamp: its delivery time is neither pushed back to the channel's last
+    delivery nor recorded, so it can arrive before messages sent earlier
+    on the same directed pair (and later traffic can overtake it). *)
+
+val set_delay_spike : _ t -> rate:float -> magnitude_ms:float -> unit
+(** With probability [rate], add [magnitude_ms] to a message's sampled
+    link latency — a transient congestion spike on one hop. Spiked
+    messages still respect FIFO clamping, so a spike delays everything
+    behind it on that channel, which is what provokes spurious suspicion
+    timeouts and duplicate leader work. *)
+
 val set_bandwidth : _ t -> float -> unit
 (** Link bandwidth in bytes per millisecond; adds [size/bandwidth]
     transmission time to every message once a sizer is installed.
@@ -86,6 +106,13 @@ val scale_node_costs : _ t -> int -> factor:float -> unit
 
 (** {1 Introspection} *)
 
-type stats = { sent : int; delivered : int; dropped : int }
+type stats = {
+  sent : int;
+  delivered : int;  (** physical deliveries, duplicates included *)
+  dropped : int;
+  duplicated : int;  (** extra copies injected by the duplicate dice *)
+  reordered : int;  (** messages that bypassed the FIFO clamp *)
+  delayed : int;  (** messages hit by a delay spike *)
+}
 
 val stats : _ t -> stats

@@ -163,6 +163,41 @@ let test_message_loss_resilience () =
   Alcotest.(check (list int)) "states converged" [ 30; 30; 30 ]
     (List.init 3 (fun i -> RT.R.state (RT.replica t i)))
 
+let test_duplication_and_reordering () =
+  (* Retransmission-style duplicates, FIFO-escaping reorders and delay
+     spikes, installed through the declarative fault schedule: every
+     request still commits exactly once. *)
+  let c = { (cfg ()) with accept_retry_ms = 15.0; client_retry_ms = 60.0 } in
+  let t = RT.create ~cfg:c ~scenario:(Scenario.uniform ()) () in
+  ignore (RT.await_leader t);
+  let net = RT.network t in
+  let module Fault = Grid_sim.Fault in
+  Fault.install net
+    [
+      { Fault.at = 5.0; event = Fault.Duplicate_rate 0.2 };
+      { at = 5.0; event = Fault.Reorder_rate 0.2 };
+      { at = 5.0; event = Fault.Delay_spike { rate = 0.05; magnitude_ms = 40.0 } };
+    ];
+  let results =
+    RT.run_closed_loop t ~max_sim_ms:120_000.0 ~clients:2 ~requests_per_client:15
+      ~gen:(gen_of (add_ops 15))
+  in
+  Alcotest.(check int) "all served" 30 results.total_completed;
+  (* Quiesce over clean links so every replica converges. *)
+  Network.set_duplicate_rate net 0.0;
+  Network.set_reorder_rate net 0.0;
+  Network.set_delay_spike net ~rate:0.0 ~magnitude_ms:0.0;
+  RT.run_until t (RT.now t +. 3_000.0);
+  assert_agreement t;
+  (* Exactly-once: the +1 increments are not double-applied even though a
+     fifth of all messages (client requests included) arrived twice. *)
+  Alcotest.(check (list int)) "states converged, no double-apply" [ 30; 30; 30 ]
+    (List.init 3 (fun i -> RT.R.state (RT.replica t i)));
+  let s = Network.stats net in
+  Alcotest.(check bool) "duplicates injected" true (s.Network.duplicated > 0);
+  Alcotest.(check bool) "reorders injected" true (s.Network.reordered > 0);
+  Alcotest.(check bool) "delay spikes injected" true (s.Network.delayed > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Durable storage: a replica reloads its state from disk. *)
 
@@ -179,7 +214,7 @@ let test_file_storage_reload () =
       let c = { (Config.default ~n:3) with snapshot_interval = 5 } in
       (* Phase 1: drive a replica directly through the engine API with a
          file store, simulating the leader's persistence. *)
-      let store, _ = Storage.file ~path in
+      let store, _, _ = Storage.file ~path in
       let r = Replica.create ~cfg:c ~id:0 ~storage:store () in
       ignore (Replica.bootstrap r);
       (* Manufacture commits by feeding the engine a full leader cycle:
@@ -225,7 +260,7 @@ let test_file_storage_reload () =
       Alcotest.(check int) "three commits" 3 (Replica.commit_point r);
       Alcotest.(check int) "state 30" 30 (Replica.state r);
       (* Phase 2: "restart the process" — a fresh replica loads the files. *)
-      let _store2, recovered = Storage.file ~path in
+      let _store2, recovered, _ = Storage.file ~path in
       let r2 = Replica.create ~cfg:c ~id:0 () in
       (match recovered with
       | Some p -> Replica.load r2 p
@@ -251,6 +286,8 @@ let suite =
         Alcotest.test_case "partitioned minority leader" `Quick
           test_partition_minority_leader;
         Alcotest.test_case "25% message loss" `Quick test_message_loss_resilience;
+        Alcotest.test_case "duplication + reordering + delay spikes" `Quick
+          test_duplication_and_reordering;
       ] );
     ( "faults.durability",
       [ Alcotest.test_case "file-storage reload" `Quick test_file_storage_reload ] );

@@ -17,6 +17,7 @@ let () =
          Test_faults.suite;
          Test_txn.suite;
          Test_check.suite;
+      Test_stress.suite;
          Test_net.suite;
          Test_workload.suite;
          Test_scenario.suite;

@@ -166,6 +166,91 @@ let test_loopback_cluster () =
           in
           wait_converged ()))
 
+let test_loopback_duplicate_request () =
+  (* A client retransmission arriving after the commit must hit the dedup
+     table: the leader resends the cached reply and the op is not applied
+     a second time. Speaks the wire protocol directly so both copies
+     carry the identical request id. *)
+  let ports = Array.init 3 (fun _ -> free_port ()) in
+  let addr i = Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(i)) in
+  let peers_of i =
+    List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
+  in
+  let cfg =
+    { (Config.default ~n:3) with
+      hb_period_ms = 10.0;
+      suspicion_ms = 60.0;
+      stability_ms = 20.0;
+      client_retry_ms = 150.0;
+      accept_retry_ms = 50.0 }
+  in
+  let replicas =
+    List.map
+      (fun i -> Tcp.start_replica ~cfg ~id:i ~port:ports.(i) ~peers:(peers_of i) ())
+      [ 0; 1; 2 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Tcp.stop_replica replicas)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_leader () =
+        match List.find_opt (fun (_, h) -> Tcp.replica_is_leader h)
+                (List.mapi (fun i h -> (i, h)) replicas)
+        with
+        | Some (i, _) -> i
+        | None ->
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "no leader elected on loopback cluster"
+          else begin
+            Thread.delay 0.02;
+            wait_leader ()
+          end
+      in
+      let leader = wait_leader () in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.setsockopt fd TCP_NODELAY true;
+          Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+          Unix.connect fd (addr leader);
+          let cid = Grid_util.Ids.Client_id.of_int 9 in
+          Framing.write_hello fd ~node_id:(client_node cid);
+          let req =
+            { id = Grid_util.Ids.Request_id.make ~client:cid ~seq:1;
+              rtype = Write;
+              payload = Counter.encode_op (Counter.Add 7) }
+          in
+          let read_reply what =
+            match Framing.read_msg fd with
+            | Reply_msg r -> r
+            | m -> Alcotest.failf "%s: expected a reply, got %s" what (msg_kind m)
+          in
+          Framing.write_msg fd (Client_req req);
+          let r1 = read_reply "first send" in
+          Alcotest.(check bool) "first reply ok" true (r1.status = Ok);
+          (* Retransmit the identical request after the commit. *)
+          Framing.write_msg fd (Client_req req);
+          let r2 = read_reply "duplicate send" in
+          Alcotest.(check bool) "cached reply ok" true (r2.status = Ok);
+          Alcotest.(check string) "cached reply payload identical" r1.payload
+            r2.payload;
+          (* Exactly-once: the +7 was applied a single time. *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let rec wait_converged () =
+            let states = List.map Tcp.replica_state replicas in
+            if List.for_all (fun s -> s = 7) states then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail
+                (Printf.sprintf "states after duplicate delivery: %s"
+                   (String.concat "," (List.map string_of_int states)))
+            else begin
+              Thread.delay 0.02;
+              wait_converged ()
+            end
+          in
+          wait_converged ()))
+
 let suite =
   [
     ( "net.framing",
@@ -176,5 +261,9 @@ let suite =
         Alcotest.test_case "msg wire roundtrip" `Quick test_msg_wire_roundtrip;
       ] );
     ( "net.loopback",
-      [ Alcotest.test_case "3-replica cluster + client" `Slow test_loopback_cluster ] );
+      [
+        Alcotest.test_case "3-replica cluster + client" `Slow test_loopback_cluster;
+        Alcotest.test_case "duplicate request hits the dedup table" `Slow
+          test_loopback_duplicate_request;
+      ] );
   ]

@@ -267,14 +267,14 @@ let with_tmp f =
 
 let test_storage_file_roundtrip () =
   with_tmp (fun path ->
-      let store, recovered = Storage.file ~path in
+      let store, recovered, _ = Storage.file ~path in
       Alcotest.(check bool) "fresh store empty" true (recovered = None);
       store.persist_promise (ballot 5);
       store.persist_entry ~instance:1 ~ballot:(ballot 5) (mk_proposal ~payload:"x" ());
       store.persist_commit 1;
       store.persist_snapshot "snappy";
       (* Reopen. *)
-      let _store2, recovered2 = Storage.file ~path in
+      let _store2, recovered2, _ = Storage.file ~path in
       match recovered2 with
       | None -> Alcotest.fail "expected recovery"
       | Some p ->
@@ -289,7 +289,7 @@ let test_storage_file_roundtrip () =
 
 let test_storage_file_torn_tail () =
   with_tmp (fun path ->
-      let store, _ = Storage.file ~path in
+      let store, _, _ = Storage.file ~path in
       store.persist_promise (ballot 2);
       store.persist_commit 7;
       (* Simulate a torn write: append garbage that parses as a frame
@@ -297,7 +297,7 @@ let test_storage_file_torn_tail () =
       let oc = open_out_gen [ Open_append; Open_binary ] 0o644 (path ^ ".log") in
       output_string oc "\x08\x00\x00\x00garbage!";
       close_out oc;
-      let _store2, recovered = Storage.file ~path in
+      let _store2, recovered, _ = Storage.file ~path in
       match recovered with
       | None -> Alcotest.fail "expected recovery despite torn tail"
       | Some p ->
@@ -306,10 +306,10 @@ let test_storage_file_torn_tail () =
 
 let test_storage_file_latest_entry_wins () =
   with_tmp (fun path ->
-      let store, _ = Storage.file ~path in
+      let store, _, _ = Storage.file ~path in
       store.persist_entry ~instance:1 ~ballot:(ballot 1) (mk_proposal ~payload:"old" ());
       store.persist_entry ~instance:1 ~ballot:(ballot 2) (mk_proposal ~payload:"new" ());
-      let _s, recovered = Storage.file ~path in
+      let _s, recovered, _ = Storage.file ~path in
       match recovered with
       | Some { entries = [ e ]; _ } ->
         Alcotest.(check string) "latest record wins" "new"
@@ -323,6 +323,140 @@ let test_storage_null () =
   store.persist_commit 1;
   store.persist_snapshot "s"
 (* nothing to assert: just must not fail *)
+
+(* Recovery edges: what the report says and what survives when the log
+   is torn, bit-flipped, or missing. *)
+
+let log_size path =
+  let ic = open_in_bin (path ^ ".log") in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+let xor_byte file off =
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0o644 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let test_storage_tear_log_recovery () =
+  with_tmp (fun path ->
+      let store, _, _ = Storage.file ~path in
+      store.persist_promise (ballot 4);
+      store.persist_commit 3;
+      for i = 1 to 4 do
+        store.persist_entry ~instance:i ~ballot:(ballot 4)
+          (mk_proposal ~payload:"keep" ())
+      done;
+      let rng = Grid_util.Rng.of_int 11 in
+      Alcotest.(check bool) "tear applied" true (Storage.tear_log ~path ~rng);
+      let _s, recovered, report = Storage.file ~path in
+      Alcotest.(check bool) "torn tail flagged" true report.Storage.torn_tail;
+      Alcotest.(check bool) "log truncated to valid prefix" true
+        report.log_truncated;
+      Alcotest.(check bool) "suffix dropped" true (report.bytes_dropped > 0);
+      (match recovered with
+      | None -> Alcotest.fail "prefix must recover"
+      | Some p ->
+        Alcotest.(check bool) "promise survives" true
+          (Ballot.equal (ballot 4) p.promised);
+        Alcotest.(check int) "commit survives" 3 p.commit_point);
+      (* The salvage rewrote the file to its valid prefix, so the next
+         recovery sees a clean log. *)
+      let _s2, _, report2 = Storage.file ~path in
+      Alcotest.(check bool) "second recovery clean" false
+        (report2.Storage.torn_tail || report2.interior_corruption
+       || report2.log_truncated))
+
+let test_storage_interior_corruption () =
+  with_tmp (fun path ->
+      let store, _, _ = Storage.file ~path in
+      store.persist_promise (ballot 9);
+      store.persist_commit 2;
+      let prefix_len = log_size path in
+      store.persist_entry ~instance:3 ~ballot:(ballot 9) (mk_proposal ~payload:"mid" ());
+      store.persist_entry ~instance:4 ~ballot:(ballot 9) (mk_proposal ~payload:"last" ());
+      (* Flip a bit inside the instance-3 record: its CRC fails while
+         valid-looking data (the instance-4 record) sits behind it — the
+         untrusted suffix is abandoned, the prefix salvaged. *)
+      xor_byte (path ^ ".log") (prefix_len + 6);
+      let _s, recovered, report = Storage.file ~path in
+      Alcotest.(check bool) "interior corruption flagged" true
+        report.Storage.interior_corruption;
+      Alcotest.(check bool) "log truncated" true report.log_truncated;
+      Alcotest.(check int) "prefix salvaged" prefix_len report.bytes_salvaged;
+      Alcotest.(check bool) "suffix abandoned" true (report.bytes_dropped > 0);
+      match recovered with
+      | None -> Alcotest.fail "prefix must recover"
+      | Some p ->
+        Alcotest.(check int) "commit survives" 2 p.commit_point;
+        (* The lost instances resync from peers at runtime. *)
+        Alcotest.(check int) "corrupt-suffix entries gone" 0
+          (List.length p.entries))
+
+let test_storage_snapshot_only () =
+  with_tmp (fun path ->
+      let store, _, _ = Storage.file ~path in
+      store.persist_snapshot "snap-only";
+      (* Lose the log entirely. *)
+      Sys.remove (path ^ ".log");
+      let _s, recovered, report = Storage.file ~path in
+      Alcotest.(check bool) "snapshot used" true report.Storage.snapshot_used;
+      Alcotest.(check bool) "no corruption flagged" false
+        (report.torn_tail || report.interior_corruption || report.snapshot_corrupt);
+      match recovered with
+      | None -> Alcotest.fail "snapshot alone must recover"
+      | Some p ->
+        Alcotest.(check (option string)) "snapshot body" (Some "snap-only") p.snapshot;
+        Alcotest.(check int) "no entries" 0 (List.length p.entries))
+
+let test_storage_snapshot_corrupt () =
+  with_tmp (fun path ->
+      let store, _, _ = Storage.file ~path in
+      store.persist_commit 5;
+      store.persist_snapshot "to-be-mangled";
+      xor_byte (path ^ ".snap") 2;
+      let _s, recovered, report = Storage.file ~path in
+      Alcotest.(check bool) "snapshot corruption detected" true
+        report.Storage.snapshot_corrupt;
+      Alcotest.(check bool) "corrupt snapshot not used" false report.snapshot_used;
+      match recovered with
+      | None -> Alcotest.fail "log must still recover"
+      | Some p ->
+        Alcotest.(check (option string)) "fell back to log replay" None p.snapshot;
+        Alcotest.(check int) "commit from log" 5 p.commit_point)
+
+let test_storage_faulty_wrapper () =
+  let inner, read = Storage.memory () in
+  let store, ctl = Storage.faulty ~rng:(Grid_util.Rng.of_int 3) inner in
+  (* No rates armed: transparent. *)
+  store.persist_promise (ballot 2);
+  Alcotest.(check bool) "passthrough" true (Ballot.equal (ballot 2) (read ()).promised);
+  (* Armed tear: the persist dies mid-write, the record is lost. *)
+  ctl.Storage.tear_rate <- 1.0;
+  Alcotest.check_raises "torn persist raises" Storage.Crashed (fun () ->
+      store.persist_commit 1);
+  Alcotest.(check int) "tear counted" 1 ctl.torn;
+  Alcotest.(check int) "record lost" 0 (read ()).commit_point;
+  ctl.tear_rate <- 0.0;
+  (* Meta-only drops: commit/snapshot records vanish silently, but the
+     promise and entry records the durability contract depends on land. *)
+  ctl.drop_rate <- 1.0;
+  store.persist_commit 4;
+  store.persist_snapshot "gone";
+  store.persist_entry ~instance:1 ~ballot:(ballot 2) (mk_proposal ());
+  store.persist_promise (ballot 3);
+  let p = read () in
+  Alcotest.(check int) "commit dropped" 0 p.commit_point;
+  Alcotest.(check (option string)) "snapshot dropped" None p.snapshot;
+  Alcotest.(check int) "entry persisted despite drop dice" 1 (List.length p.entries);
+  Alcotest.(check bool) "promise persisted despite drop dice" true
+    (Ballot.equal (ballot 3) p.promised);
+  Alcotest.(check int) "drops counted" 2 ctl.dropped
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot *)
@@ -394,6 +528,15 @@ let suite =
         Alcotest.test_case "torn tail tolerated" `Quick test_storage_file_torn_tail;
         Alcotest.test_case "latest entry wins" `Quick test_storage_file_latest_entry_wins;
         Alcotest.test_case "null storage" `Quick test_storage_null;
+        Alcotest.test_case "tear_log recovery + salvage" `Quick
+          test_storage_tear_log_recovery;
+        Alcotest.test_case "interior corruption salvages prefix" `Quick
+          test_storage_interior_corruption;
+        Alcotest.test_case "snapshot-only recovery" `Quick test_storage_snapshot_only;
+        Alcotest.test_case "corrupt snapshot falls back to log" `Quick
+          test_storage_snapshot_corrupt;
+        Alcotest.test_case "faulty wrapper tears and drops" `Quick
+          test_storage_faulty_wrapper;
       ] );
     ("paxos.snapshot", [ Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip ]);
     ( "paxos.config",

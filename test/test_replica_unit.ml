@@ -198,6 +198,80 @@ let test_paper_recovery_example () =
   | [] -> Alcotest.fail "expected the cached reply");
   Alcotest.(check int) "still four instances" 4 (Replica.commit_point t.replicas.(2))
 
+let test_stale_accept_not_committed () =
+  (* A bare Commit must not commit a value accepted under an older ballot.
+     Replica 2 (as deposed leader) self-accepted its own proposal for
+     instance 2; a new leader — whose quorum never saw that value — decides
+     a different batch for instance 2, and replica 2's higher promise (from
+     a failed re-candidacy) makes it reject the new Accept. The new
+     leader's Commit then reaches replica 2, which still holds the stale
+     entry: it must catch up, not commit its own dead value. *)
+  let t = H.create () in
+  H.elect t 2;
+  commit_n t ~start:1 ~count:1;
+  ignore (H.take_replies t);
+  (* Leader 2 proposes instance 2 = Add 50; it self-accepts, nobody else
+     sees the Accept. *)
+  H.feed t 2
+    (Receive
+       {
+         src = client_node (Ids.Client_id.of_int 9);
+         msg = Client_req (H.client_request ~client:9 ~seq:1 ~rtype:Write ~payload:(add 50) ());
+       });
+  H.drop t ~filter:(fun _ _ _ -> true);
+  (* Replica 0 takes over with quorum {0,1}; replica 2 hears nothing. *)
+  H.feed t 0 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 0 (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t 0 (function Stability_check _ -> true | _ -> false));
+  let not2 src dst _ = src <> 2 && dst <> 2 in
+  H.deliver_all ~filter:not2 t;
+  Alcotest.(check bool) "replica 0 leads" true (Replica.is_leader t.replicas.(0));
+  (* The new leader decides a different instance 2 within its quorum. *)
+  H.feed t 0
+    (Receive
+       {
+         src = client_node (Ids.Client_id.of_int 8);
+         msg = Client_req (H.client_request ~client:8 ~seq:1 ~rtype:Write ~payload:(add 7) ());
+       });
+  H.deliver_all ~filter:not2 t;
+  Alcotest.(check int) "new leader committed instance 2" 2
+    (Replica.commit_point t.replicas.(0));
+  (* Replica 2 learns it was deposed (a heartbeat carrying the higher
+     ballot), then — still isolated — re-candidates: its promise now
+     exceeds the new leader's ballot (next round, or same round with a
+     higher holder id), so it would reject a (re)sent Accept. *)
+  let b0 = Replica.ballot t.replicas.(0) in
+  H.feed t 2
+    (Receive
+       {
+         src = 0;
+         msg = Heartbeat { round_seen = b0.round; commit_point = 1; promised = b0 };
+       });
+  H.drop t ~filter:(fun _ _ _ -> true);
+  Alcotest.(check bool) "replica 2 deposed" false (Replica.is_leader t.replicas.(2));
+  H.feed t 2 (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t 2 (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t 2 (function Stability_check _ -> true | _ -> false));
+  H.drop t ~filter:(fun _ _ _ -> true);
+  Alcotest.(check bool) "replica 2 promised above the leader" true
+    (Ballot.compare (Replica.promised t.replicas.(2)) (Replica.ballot t.replicas.(0)) > 0);
+  (* The bare Commit arrives at replica 2, which still holds its own stale
+     accept for instance 2. *)
+  H.feed t 2
+    (Receive
+       { src = 0; msg = Commit { ballot = Replica.ballot t.replicas.(0); instance = 2 } });
+  Alcotest.(check int) "stale value not committed" 1
+    (Replica.commit_point t.replicas.(2));
+  Alcotest.(check int) "stale +50 not applied" 1 (Replica.state t.replicas.(2));
+  (* The rejection turned into catch-up: let it flow and converge. *)
+  H.deliver_all t;
+  Alcotest.(check int) "replica 2 caught up" 2 (Replica.commit_point t.replicas.(2));
+  Alcotest.(check int) "replica 2 has the chosen value" 8 (Replica.state t.replicas.(2))
+
 let test_snapshot_catchup_for_lagging_follower () =
   (* A follower that missed whole instances fetches a snapshot instead of
      replaying entries. *)
@@ -302,6 +376,8 @@ let suite =
           test_read_reflects_committed_only;
         Alcotest.test_case "dedup resend" `Quick test_dedup_resend;
         Alcotest.test_case "stale ballot rejected" `Quick test_stale_ballot_rejected;
+        Alcotest.test_case "stale accept not committed" `Quick
+          test_stale_accept_not_committed;
         Alcotest.test_case "paper's recovery example (§3.3)" `Quick
           test_paper_recovery_example;
         Alcotest.test_case "snapshot catch-up" `Quick
