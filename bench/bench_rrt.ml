@@ -16,10 +16,13 @@ let paper_numbers = function
   | "wan" -> (70.82, 75.49, 106.73)
   | _ -> (nan, nan, nan)
 
-let run_one ~quick (scenario : Scenario.t) =
+let run_one ~quick ~id (scenario : Scenario.t) =
   let trials = if quick then 8 else 40 in
   let reqs = 20 in
-  let measure rtype = Experiment.rrt ~scenario ~rtype ~trials ~reqs () in
+  let measure rtype =
+    let label = Format.asprintf "%a" pp_rtype rtype in
+    Experiment.rrt ~report:(id, label) ~scenario ~rtype ~trials ~reqs ()
+  in
   let original = measure Original in
   let read = measure Read in
   let write = measure Write in
@@ -55,6 +58,6 @@ let run ~quick ~only =
         Experiment.section
           (Printf.sprintf "%s — request response time (§4.1), scenario %s" id
              scenario.Scenario.name);
-        run_one ~quick scenario
+        run_one ~quick ~id scenario
       end)
     cases

@@ -9,7 +9,7 @@ module Stats = Grid_util.Stats
 module T = Grid_util.Text_table
 open Grid_paxos.Types
 
-let run_figure ~quick ~scenario ~client_counts ~total () =
+let run_figure ~quick ~id ~scenario ~client_counts ~total () =
   let trials = if quick then 3 else 10 in
   let table =
     T.create
@@ -20,7 +20,9 @@ let run_figure ~quick ~scenario ~client_counts ~total () =
   List.iter
     (fun clients ->
       let measure rtype =
-        Experiment.throughput ~scenario ~rtype ~clients ~total ~trials ()
+        let label = Format.asprintf "%a c=%d" pp_rtype rtype clients in
+        Experiment.throughput ~report:(id, label) ~scenario ~rtype ~clients ~total
+          ~trials ()
       in
       let read = measure Read in
       let write = measure Write in
@@ -39,25 +41,25 @@ let run ~quick ~only =
     end
   in
   maybe "fig5" "Sysnet service throughput, 1–16 clients (Figure 5)" (fun () ->
-      run_figure ~quick ~scenario:Scenario.sysnet ~client_counts:[ 1; 2; 4; 8; 16 ]
-        ~total:1000 ();
+      run_figure ~quick ~id:"fig5" ~scenario:Scenario.sysnet
+        ~client_counts:[ 1; 2; 4; 8; 16 ] ~total:1000 ();
       print_endline
         "Paper shape: original > read > write; reads at least 13% above writes.");
   maybe "fig6" "Sysnet service throughput, 8–128 clients (Figure 6)" (fun () ->
-      run_figure ~quick ~scenario:Scenario.sysnet
+      run_figure ~quick ~id:"fig6" ~scenario:Scenario.sysnet
         ~client_counts:[ 8; 16; 32; 64; 128 ] ~total:(if quick then 1024 else 2048) ();
       print_endline
         "Paper shape: basic protocol and X-Paxos peak between 32 and 64 clients.");
   maybe "fig7" "Berkeley → Princeton throughput (Figure 7)" (fun () ->
-      run_figure ~quick ~scenario:Scenario.princeton ~client_counts:[ 1; 2; 4; 8; 16 ]
-        ~total:(if quick then 200 else 1000) ();
+      run_figure ~quick ~id:"fig7" ~scenario:Scenario.princeton
+        ~client_counts:[ 1; 2; 4; 8; 16 ] ~total:(if quick then 200 else 1000) ();
       print_endline
         "Paper shape: read ≈ write ≈ original — replica coordination is cheap\n\
          next to the client WAN, so replication is almost free here.");
   maybe "fig8" "WAN (leader UIUC, replicas Utah/UT-Austin) throughput (Figure 8)"
     (fun () ->
-      run_figure ~quick ~scenario:Scenario.wan ~client_counts:[ 1; 2; 4; 8; 16 ]
-        ~total:(if quick then 200 else 1000) ();
+      run_figure ~quick ~id:"fig8" ~scenario:Scenario.wan
+        ~client_counts:[ 1; 2; 4; 8; 16 ] ~total:(if quick then 200 else 1000) ();
       print_endline
         "Paper shape: original > read > write, with X-Paxos clearly beating the\n\
          basic protocol when replicas are spread across sites.")

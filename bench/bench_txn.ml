@@ -37,7 +37,9 @@ let run_table1 ~quick () =
       List.iter
         (fun reqs_per_txn ->
           let acc =
-            Experiment.txn_rrt ~scenario ~mode ~reqs_per_txn ~txns ~trials ()
+            Experiment.txn_rrt
+              ~report:("table1", Printf.sprintf "%s r=%d" (mode_name mode) reqs_per_txn)
+              ~scenario ~mode ~reqs_per_txn ~txns ~trials ()
           in
           T.add_row table
             [ mode_name mode; string_of_int reqs_per_txn;
@@ -51,7 +53,7 @@ let run_table1 ~quick () =
   print_endline
     "Paper shape: T-Paxos cuts TRT by 28–34% (3 requests) and 31–39% (5 requests)."
 
-let run_fig9 ~quick ~reqs_per_txn () =
+let run_fig9 ~quick ~id ~reqs_per_txn () =
   let trials = if quick then 3 else 10 in
   let txns_total = if quick then 120 else 400 in
   let table =
@@ -63,8 +65,9 @@ let run_fig9 ~quick ~reqs_per_txn () =
   List.iter
     (fun clients ->
       let measure mode =
-        Experiment.txn_throughput ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
-          ~trials ()
+        Experiment.txn_throughput
+          ~report:(id, Printf.sprintf "%s c=%d" (mode_name mode) clients)
+          ~scenario ~mode ~reqs_per_txn ~clients ~txns_total ~trials ()
       in
       let rw = measure Experiment.Read_write in
       let wo = measure Write_only in
@@ -94,7 +97,8 @@ let run_txn_wan ~quick () =
   List.iter
     (fun mode ->
       let acc =
-        Experiment.txn_rrt ~scenario ~mode ~reqs_per_txn:3 ~txns ~trials ()
+        Experiment.txn_rrt ~report:("txn-wan", mode_name mode) ~scenario ~mode
+          ~reqs_per_txn:3 ~txns ~trials ()
       in
       T.add_row table
         [ mode_name mode; "3"; T.cell_f ~decimals:1 (Stats.mean acc);
@@ -117,7 +121,7 @@ let run ~quick ~only =
   in
   maybe "table1" "Transaction response time on Sysnet (Table 1)" (run_table1 ~quick);
   maybe "fig9a" "Transaction throughput, 3 requests/transaction (Figure 9a)"
-    (run_fig9 ~quick ~reqs_per_txn:3);
+    (run_fig9 ~quick ~id:"fig9a" ~reqs_per_txn:3);
   maybe "fig9b" "Transaction throughput, 5 requests/transaction (Figure 9b)"
-    (run_fig9 ~quick ~reqs_per_txn:5);
+    (run_fig9 ~quick ~id:"fig9b" ~reqs_per_txn:5);
   maybe "txn-wan" "Transaction response time across the WAN (ours)" (run_txn_wan ~quick)

@@ -37,10 +37,19 @@ let rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed () =
   let lats = RT.latencies results in
   Array.fold_left ( +. ) 0.0 lats /. Float.of_int (Array.length lats)
 
-let rrt ?cfg_tweak ~scenario ~rtype ~trials ~reqs () =
+(* [report = (experiment, config)] also feeds the trial samples to
+   {!Report} for the BENCH_*.json telemetry files. *)
+let record report v =
+  match report with
+  | Some (experiment, config) -> Report.sample ~experiment ~config v
+  | None -> ()
+
+let rrt ?cfg_tweak ?report ~scenario ~rtype ~trials ~reqs () =
   let acc = Stats.create () in
   for seed = 1 to trials do
-    Stats.add acc (rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed ())
+    let v = rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed () in
+    Stats.add acc v;
+    record report v
   done;
   acc
 
@@ -57,10 +66,12 @@ let throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed () =
   in
   RT.throughput_rps results
 
-let throughput ?cfg_tweak ~scenario ~rtype ~clients ~total ~trials () =
+let throughput ?cfg_tweak ?report ~scenario ~rtype ~clients ~total ~trials () =
   let acc = Stats.create () in
   for seed = 1 to trials do
-    Stats.add acc (throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed ())
+    let v = throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed () in
+    Stats.add acc v;
+    record report v
   done;
   acc
 
@@ -143,10 +154,12 @@ let txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed () =
   group_sums ordered;
   Stats.mean acc
 
-let txn_rrt ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~trials () =
+let txn_rrt ?cfg_tweak ?report ~scenario ~mode ~reqs_per_txn ~txns ~trials () =
   let acc = Stats.create () in
   for seed = 1 to trials do
-    Stats.add acc (txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed ())
+    let v = txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed () in
+    Stats.add acc v;
+    record report v
   done;
   acc
 
@@ -164,13 +177,16 @@ let txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns
   let dur_ms = results.finished_at -. results.started_at in
   Float.of_int (clients * txns) /. dur_ms *. 1000.0
 
-let txn_throughput ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total ~trials
-    () =
+let txn_throughput ?cfg_tweak ?report ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
+    ~trials () =
   let acc = Stats.create () in
   for seed = 1 to trials do
-    Stats.add acc
-      (txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
-         ~seed ())
+    let v =
+      txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns_total
+        ~seed ()
+    in
+    Stats.add acc v;
+    record report v
   done;
   acc
 

@@ -47,7 +47,8 @@ let run_all ~quick ~only =
   Bench_openloop.run ~quick ~only;
   Bench_semi_passive.run ~quick ~only;
   Bench_micro.run ~quick ~only;
-  print_newline ()
+  print_newline ();
+  Report.flush ()
 
 open Cmdliner
 
@@ -63,14 +64,24 @@ let list_flag =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
-let main quick only list_flag =
+let json_dir =
+  let doc =
+    "Also write machine-readable BENCH_<id>.json telemetry (n/mean/ci99/p50/p99 \
+     and raw samples per config) into $(docv)."
+  in
+  Arg.(value & opt (some dir) None & info [ "json-dir" ] ~docv:"DIR" ~doc)
+
+let main quick only list_flag json_dir =
   if list_flag then
     List.iter (fun (id, d) -> Printf.printf "%-18s %s\n" id d) experiments
-  else run_all ~quick ~only
+  else begin
+    (match json_dir with Some dir -> Report.enable ~dir | None -> ());
+    run_all ~quick ~only
+  end
 
 let cmd =
   let doc = "Regenerate the tables and figures of the paper's evaluation" in
   let info = Cmd.info "grid-replication-bench" ~doc in
-  Cmd.v info Term.(const main $ quick $ only $ list_flag)
+  Cmd.v info Term.(const main $ quick $ only $ list_flag $ json_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -32,9 +32,10 @@ let rtype_conv =
   in
   Arg.conv (parse, fun ppf r -> pp_rtype ppf r)
 
-let run scenario rtype clients requests seed trace =
+let run scenario rtype clients requests seed trace trace_dump =
   let cfg = Grid_paxos.Config.default ~n:3 in
-  let t = RT.create ~cfg ~scenario ~seed ~trace () in
+  let tracing = trace || trace_dump <> None in
+  let t = RT.create ~cfg ~scenario ~seed ~trace:tracing () in
   let payload =
     Noop.encode_op (match rtype with Read -> Noop.Noop_read | _ -> Noop.Noop_write)
   in
@@ -51,7 +52,20 @@ let run scenario rtype clients requests seed trace =
     (results.finished_at -. results.started_at);
   Printf.printf "  throughput: %.1f req/s\n" (RT.throughput_rps results);
   Printf.printf "  RRT:        %s\n" (Format.asprintf "%a" Stats.pp_summary summary);
-  if trace then Format.printf "trace:@.%a@." Grid_sim.Trace.pp (RT.trace t)
+  if tracing then begin
+    let events = Grid_obs.Span.Recorder.events (RT.obs t) in
+    Format.printf "%a@." Grid_obs.Lifecycle.pp_phase_stats
+      (Grid_obs.Lifecycle.phase_stats events);
+    match trace_dump with
+    | Some file ->
+      (try Grid_obs.Span.dump_file file events
+       with Sys_error e ->
+         Printf.eprintf "trace-dump failed: %s\n" e;
+         exit 1);
+      Printf.printf "trace:      %d events -> %s (query with bin/tracestat.exe)\n"
+        (List.length events) file
+    | None -> if trace then Format.printf "trace:@.%a@." Grid_sim.Trace.pp (RT.trace t)
+  end
 
 let scenario_arg =
   Arg.(
@@ -71,12 +85,19 @@ let requests_arg =
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Simulation seed.")
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the protocol trace.")
 
+let trace_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dump" ] ~docv:"FILE"
+        ~doc:"Record lifecycle spans and dump them as JSONL to $(docv).")
+
 let cmd =
   let doc = "Run a simulation scenario and print latency/throughput" in
   Cmd.v
     (Cmd.info "grid-simrun" ~doc)
     Term.(
       const run $ scenario_arg $ rtype_arg $ clients_arg $ requests_arg $ seed_arg
-      $ trace_arg)
+      $ trace_arg $ trace_dump_arg)
 
 let () = exit (Cmd.eval cmd)

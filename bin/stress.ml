@@ -34,14 +34,32 @@ let print_failures failures =
 
 (* Run one seed per selected service, then re-run it from the recorded
    fault plan and insist the replay reproduces the outcome exactly. *)
-let run_single ~services ~seed ~steps ~nem ~disable_dedup =
+let run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump =
   let ok = ref true in
   List.iter
     (fun service ->
-      let o, failure =
-        Stress.run_one ~service ~steps ~nemesis:nem ~disable_dedup ~shrink:true
-          ~seed ()
+      let obs =
+        match trace_dump with
+        | None -> None
+        | Some _ -> Some (Grid_obs.Span.Recorder.create ~enabled:true ())
       in
+      let o, failure =
+        Stress.run_one ~service ?obs ~steps ~nemesis:nem ~disable_dedup
+          ~shrink:true ~seed ()
+      in
+      (match (trace_dump, obs) with
+      | Some file, Some obs ->
+        let file =
+          if List.length services > 1 then file ^ "." ^ Stress.service_name service
+          else file
+        in
+        let events = Grid_obs.Span.Recorder.events obs in
+        (try Grid_obs.Span.dump_file file events
+         with Sys_error e ->
+           Printf.eprintf "trace-dump failed: %s\n" e;
+           exit 1);
+        Format.printf "trace: %d events -> %s@." (List.length events) file
+      | _ -> ());
       Format.printf "seed %d (%s): %d delivered, %d replies, commit points [%s]@."
         seed
         (Stress.service_name service)
@@ -159,13 +177,13 @@ let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup ~shrink
   if summary.failures = [] then 0 else 1
 
 let main schedules seed base_seed steps service crash torn dup reorder meta_drop
-    plant_dedup disable_dedup no_shrink quiet =
+    plant_dedup disable_dedup no_shrink quiet trace_dump =
   let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop in
   let services = services_of service in
   if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
   else
     match seed with
-    | Some seed -> run_single ~services ~seed ~steps ~nem ~disable_dedup
+    | Some seed -> run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump
     | None ->
       run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
         ~shrink:(not no_shrink) ~quiet
@@ -229,6 +247,15 @@ let no_shrink_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
 
+let trace_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dump" ] ~docv:"FILE"
+        ~doc:
+          "With --seed: record the replicas' lifecycle spans (virtual-clock \
+           timestamps, deterministic per seed) and dump them as JSONL to $(docv).")
+
 let cmd =
   let doc = "Nemesis stress harness for the replicated-service protocol" in
   Cmd.v
@@ -236,6 +263,7 @@ let cmd =
     Term.(
       const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
       $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
-      $ meta_drop_arg $ plant_arg $ disable_dedup_arg $ no_shrink_arg $ quiet_arg)
+      $ meta_drop_arg $ plant_arg $ disable_dedup_arg $ no_shrink_arg $ quiet_arg
+      $ trace_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

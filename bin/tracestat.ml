@@ -1,0 +1,91 @@
+(* Query a JSONL trace dump produced by simrun/stress [--trace-dump]:
+   per-protocol phase breakdowns (the paper's M / E / m decomposition),
+   the slowest requests, per-actor message counts, and the full lifecycle
+   timeline of a single request.
+
+     dune exec bin/tracestat.exe -- trace.jsonl
+     dune exec bin/tracestat.exe -- trace.jsonl --req 'c0#2' *)
+
+open Cmdliner
+module Ids = Grid_util.Ids
+module Span = Grid_obs.Span
+module Lifecycle = Grid_obs.Lifecycle
+
+let parse_req s =
+  (* "c0#2" — the [Ids.Request_id.pp] rendering used in traces. *)
+  match String.index_opt s '#' with
+  | Some i when i > 1 && s.[0] = 'c' -> (
+    match
+      ( int_of_string_opt (String.sub s 1 (i - 1)),
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    with
+    | Some client, Some seq ->
+      Stdlib.Ok { Ids.Request_id.client = Ids.Client_id.of_int client; seq }
+    | _ -> Error (`Msg (Printf.sprintf "bad request id %S (expected e.g. c0#2)" s)))
+  | _ -> Error (`Msg (Printf.sprintf "bad request id %S (expected e.g. c0#2)" s))
+
+let req_conv = Arg.conv (parse_req, Ids.Request_id.pp)
+
+let print_timeline events req =
+  match Lifecycle.find events req with
+  | None ->
+    Format.printf "request %a: not found in trace@." Ids.Request_id.pp req;
+    exit 1
+  | Some tl ->
+    Format.printf "%a@." Lifecycle.pp_timeline tl;
+    (match Lifecycle.breakdown tl with
+    | Some b -> Format.printf "breakdown: %a@." Lifecycle.pp_breakdown b
+    | None -> Format.printf "breakdown: incomplete (no client-side spans)@.")
+
+let print_report events slowest_n =
+  let timelines = Lifecycle.timelines events in
+  let completed = List.filter Lifecycle.completed timelines in
+  Format.printf "%d events, %d requests (%d completed)@.@." (List.length events)
+    (List.length timelines) (List.length completed);
+  Format.printf "%a@.@." Lifecycle.pp_phase_stats (Lifecycle.phase_stats events);
+  (match Lifecycle.slowest ~n:slowest_n events with
+  | [] -> ()
+  | slow ->
+    Format.printf "@[<v2>slowest %d requests:" (List.length slow);
+    List.iter
+      (fun ((tl : Lifecycle.timeline), (b : Lifecycle.breakdown)) ->
+        Format.printf "@ %a  total %.3f ms  (%a)" Ids.Request_id.pp tl.req b.total
+          Lifecycle.pp_breakdown b)
+      slow;
+    Format.printf "@]@.@.");
+  match Lifecycle.message_counts events with
+  | [] -> ()
+  | counts ->
+    Format.printf "@[<v2>messages sent per actor:";
+    List.iter
+      (fun (actor, kind, n) -> Format.printf "@ %-6s %-14s %d" actor kind n)
+      counts;
+    Format.printf "@]@."
+
+let run file req slowest_n =
+  let events = Span.load_file file in
+  if events = [] then begin
+    Printf.eprintf "%s: no trace events\n" file;
+    exit 1
+  end;
+  match req with
+  | Some r -> print_timeline events r
+  | None -> print_report events slowest_n
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace dump.")
+
+let req_arg =
+  Arg.(
+    value
+    & opt (some req_conv) None
+    & info [ "req" ] ~docv:"ID" ~doc:"Print the timeline of one request (e.g. c0#2).")
+
+let slowest_arg =
+  Arg.(value & opt int 10 & info [ "slowest" ] ~docv:"N" ~doc:"How many slow requests to list.")
+
+let cmd =
+  let doc = "Analyze a request-lifecycle trace dump" in
+  Cmd.v (Cmd.info "grid-tracestat" ~doc) Term.(const run $ file_arg $ req_arg $ slowest_arg)
+
+let () = exit (Cmd.eval cmd)

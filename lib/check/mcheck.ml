@@ -143,6 +143,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     oracle : (int, string * string) Hashtbl.t;
     mutable durability : string list;
     mutable crashes : int;
+    (* Lifecycle spans recorded by the replicas, timed on [vnow] — fully
+       deterministic for a given seed, which the trace tests exploit. *)
+    obs : Grid_obs.Span.Recorder.t;
   }
 
   let record sched ev = sched.plan_rev <- ev :: sched.plan_rev
@@ -246,7 +249,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     sched.ctls.(back).tear_rate <- 0.0;
     let r =
       R.create ~cfg:sched.cfg ~id:back ~seed:(sched.base_seed + back)
-        ~storage:sched.stores.(back) ()
+        ~storage:sched.stores.(back) ~obs:sched.obs ()
     in
     R.load r (sched.reads.(back) ());
     sched.replicas.(back) <- r;
@@ -414,8 +417,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   (* ---------------------------------------------------------------- *)
   (* Runs                                                              *)
 
-  let run_mode ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
-      ~mode () =
+  let run_mode ?(obs = Grid_obs.Span.Recorder.disabled) ~seed ~steps ~max_down
+      ~meta_drop_prob ~disable_dedup ~requests ~mode () =
     let rng = Rng.of_int seed in
     let cfg =
       { (Grid_paxos.Config.default ~n:3) with record_history = true;
@@ -454,7 +457,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         cfg;
         replicas =
           Array.init cfg.n (fun i ->
-              R.create ~cfg ~id:i ~seed:(seed + i) ~storage:stores.(i) ());
+              R.create ~cfg ~id:i ~seed:(seed + i) ~storage:stores.(i) ~obs ());
         down = Array.make cfg.n false;
         stores;
         reads;
@@ -471,6 +474,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         oracle = Hashtbl.create 64;
         durability = [];
         crashes = 0;
+        obs;
       }
     in
     Array.iteri (fun i r -> exec_actions sched i (R.bootstrap r)) sched.replicas;
@@ -578,23 +582,23 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       reordered = count (function Reorder_at _ -> true | _ -> false);
     }
 
-  let explore ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(nemesis = no_faults)
+  let explore ?obs ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(nemesis = no_faults)
       ?(disable_dedup = false) ?(requests = []) () =
-    run_mode ~seed ~steps ~max_down ~meta_drop_prob:nemesis.meta_drop_prob
+    run_mode ?obs ~seed ~steps ~max_down ~meta_drop_prob:nemesis.meta_drop_prob
       ~disable_dedup ~requests
       ~mode:(Record { nem = nemesis; frng = Rng.of_int (seed lxor 0x6e656d) })
       ()
 
-  let replay ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
+  let replay ?obs ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
       ?(disable_dedup = false) ?(requests = []) ~plan () =
     let tbl = Hashtbl.create (List.length plan) in
     List.iter (fun ev -> Hashtbl.replace tbl (fault_step ev) ev) plan;
-    run_mode ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
+    run_mode ?obs ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
       ~mode:(Replay tbl) ()
 
-  let run ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
+  let run ?obs ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
       ?(requests = []) () =
-    explore ~seed ~steps ~max_down
+    explore ?obs ~seed ~steps ~max_down
       ~nemesis:{ no_faults with crash_prob }
       ~requests ()
 

@@ -91,6 +91,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)
 
   val explore :
+    ?obs:Grid_obs.Span.Recorder.t ->
     ?seed:int ->
     ?steps:int ->
     ?max_down:int ->
@@ -99,7 +100,9 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
     unit ->
     outcome
-  (** Explore one schedule over a 3-replica group. [requests] are
+  (** Explore one schedule over a 3-replica group. [obs] receives the
+      replicas' lifecycle spans, timed on the scheduler's virtual clock —
+      deterministic for a given seed. [requests] are
       (client id, rtype, payload) triples; each client's requests are
       injected in order (closed loop) and retransmitted until answered.
       After [steps] scheduling choices the nemesis stops, every replica
@@ -109,6 +112,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       checkers and shrinker catch it). *)
 
   val replay :
+    ?obs:Grid_obs.Span.Recorder.t ->
     ?seed:int ->
     ?steps:int ->
     ?max_down:int ->
@@ -138,6 +142,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       predicate. *)
 
   val run :
+    ?obs:Grid_obs.Span.Recorder.t ->
     ?seed:int ->
     ?steps:int ->
     ?crash_prob:float ->

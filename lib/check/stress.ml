@@ -221,10 +221,10 @@ module Harness (Spec : SPEC) = struct
   (* Run one seeded schedule; on failure optionally shrink its fault plan
      to a minimal one that still fails (under deterministic replay with
      the same seed and workload). *)
-  let run_one ?(steps = 1_200) ?(nemesis = default_nemesis)
+  let run_one ?obs ?(steps = 1_200) ?(nemesis = default_nemesis)
       ?(disable_dedup = false) ?(shrink = true) ~seed () =
     let requests = requests_for ~seed in
-    let o = MC.explore ~seed ~steps ~nemesis ~disable_dedup ~requests () in
+    let o = MC.explore ?obs ~seed ~steps ~nemesis ~disable_dedup ~requests () in
     match reasons_of requests o with
     | [] -> (o, None)
     | reasons ->

@@ -45,6 +45,7 @@ type summary = {
 
 val run_one :
   service:service ->
+  ?obs:Grid_obs.Span.Recorder.t ->
   ?steps:int ->
   ?nemesis:Mcheck.nemesis ->
   ?disable_dedup:bool ->
@@ -53,7 +54,8 @@ val run_one :
   unit ->
   Mcheck.outcome * failure option
 (** One seeded schedule over a generated workload (3 closed-loop clients,
-    mixed reads and writes, derived from the seed). [disable_dedup]
+    mixed reads and writes, derived from the seed). [obs] receives the
+    replicas' lifecycle spans (deterministic per seed). [disable_dedup]
     plants the double-commit bug for shrinker demonstrations. *)
 
 val run :
@@ -79,6 +81,7 @@ module Counter_harness : sig
   val requests_for : seed:int -> (int * Grid_paxos.Types.rtype * string) list
 
   val run_one :
+    ?obs:Grid_obs.Span.Recorder.t ->
     ?steps:int ->
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->
@@ -105,6 +108,7 @@ module Kv_harness : sig
   val requests_for : seed:int -> (int * Grid_paxos.Types.rtype * string) list
 
   val run_one :
+    ?obs:Grid_obs.Span.Recorder.t ->
     ?steps:int ->
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->

@@ -1,7 +1,42 @@
 open Grid_paxos.Types
 module Rng = Grid_util.Rng
+module Span = Grid_obs.Span
+module Metrics = Grid_obs.Metrics
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Transport counters, one registry per node. Unlike the simulator's
+   metrics these count real socket traffic: dial attempts and failures
+   feed the backoff story, sent/received feed throughput sanity checks. *)
+type net_meters = {
+  registry : Metrics.t;
+  nm_sent : Metrics.counter;
+  nm_received : Metrics.counter;
+  nm_dials : Metrics.counter;
+  nm_dial_failures : Metrics.counter;
+  nm_conns : Metrics.gauge;
+}
+
+let make_meters () =
+  let registry = Metrics.create () in
+  {
+    registry;
+    nm_sent =
+      Metrics.counter registry "grid_net_messages_sent_total"
+        ~help:"Protocol messages written to peer sockets";
+    nm_received =
+      Metrics.counter registry "grid_net_messages_received_total"
+        ~help:"Protocol messages read off peer sockets";
+    nm_dials =
+      Metrics.counter registry "grid_net_dials_total"
+        ~help:"Outbound connection attempts";
+    nm_dial_failures =
+      Metrics.counter registry "grid_net_dial_failures_total"
+        ~help:"Failed dials (peer enters reconnect backoff)";
+    nm_conns =
+      Metrics.gauge registry "grid_net_connections"
+        ~help:"Currently established peer connections";
+  }
 
 (* Reconnect backoff: a peer that refused a dial is not redialed before a
    delay that doubles per consecutive failure, from [backoff_base_ms] up
@@ -30,9 +65,12 @@ type core = {
   (* peer -> (earliest next dial in ms, current backoff delay in ms) *)
   backoff : (int, float * float) Hashtbl.t;
   rng : Rng.t;  (* jitter; guarded by [mutex] *)
+  obs : Span.Recorder.t;  (* spans timed on the wall clock (ms) *)
+  actor : string;
+  meters : net_meters;
 }
 
-let create_core ~node_id ~addresses =
+let create_core ?(obs = Span.Recorder.disabled) ~node_id ~actor ~addresses () =
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
   {
@@ -48,6 +86,9 @@ let create_core ~node_id ~addresses =
     addresses;
     backoff = Hashtbl.create 8;
     rng = Rng.of_int (0x7cb1 + node_id);
+    obs;
+    actor;
+    meters = make_meters ();
   }
 
 let wake core = try ignore (Unix.write_substring core.pipe_w "x" 0 1) with _ -> ()
@@ -57,6 +98,7 @@ let with_lock core f =
   Fun.protect ~finally:(fun () -> Mutex.unlock core.mutex) f
 
 let enqueue_msg core src msg =
+  Metrics.inc core.meters.nm_received;
   with_lock core (fun () -> Queue.add (src, msg) core.inbox);
   wake core
 
@@ -66,10 +108,13 @@ let inject core thunk =
 
 let register_conn core peer fd =
   with_lock core (fun () ->
-      core.conns <- (peer, fd) :: List.remove_assoc peer core.conns)
+      core.conns <- (peer, fd) :: List.remove_assoc peer core.conns;
+      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)))
 
 let drop_conn core peer =
-  with_lock core (fun () -> core.conns <- List.remove_assoc peer core.conns)
+  with_lock core (fun () ->
+      core.conns <- List.remove_assoc peer core.conns;
+      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)))
 
 (* Reader thread: handshake already done; pump messages into the inbox. *)
 let reader_thread core peer fd =
@@ -100,6 +145,7 @@ let connection core peer =
       in
       if backing_off then None
       else (
+        Metrics.inc core.meters.nm_dials;
         try
           let fd = Unix.socket PF_INET SOCK_STREAM 0 in
           Unix.setsockopt fd TCP_NODELAY true;
@@ -110,6 +156,7 @@ let connection core peer =
           ignore (Thread.create (fun () -> reader_thread core peer fd) ());
           Some fd
         with Unix.Unix_error _ ->
+          Metrics.inc core.meters.nm_dial_failures;
           with_lock core (fun () ->
               let prev =
                 match Hashtbl.find_opt core.backoff peer with
@@ -126,10 +173,15 @@ let connection core peer =
           None))
 
 let send_msg core ~dst msg =
+  if Span.Recorder.enabled core.obs then
+    Span.Recorder.msg core.obs ~time:(now_ms ()) ~actor:core.actor
+      ~kind:(msg_kind msg) ~dst;
   match connection core dst with
   | None -> ()  (* unreachable peer: retransmission recovers *)
   | Some fd -> (
-    try Framing.write_msg fd msg
+    try
+      Framing.write_msg fd msg;
+      Metrics.inc core.meters.nm_sent
     with Framing.Closed | Unix.Unix_error _ -> drop_conn core dst)
 
 let arm_timer core ~due timer =
@@ -144,7 +196,9 @@ let run_actions core actions =
     (function
       | Send { dst; msg } -> send_msg core ~dst msg
       | After { delay; timer } -> arm_timer core ~due:(now_ms () +. delay) timer
-      | Note _ -> ())
+      | Note s ->
+        if Span.Recorder.enabled core.obs then
+          Span.Recorder.note core.obs ~time:(now_ms ()) ~actor:core.actor s)
     actions
 
 (* The main loop: [handle] processes one input and returns actions. *)
@@ -222,9 +276,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       done
     with Unix.Unix_error _ -> ()
 
-  let start_replica ~cfg ~id ~port ~peers ?storage () =
-    let core = create_core ~node_id:id ~addresses:peers in
-    let replica = R.create ~cfg ~id ?storage () in
+  let start_replica ~cfg ~id ~port ~peers ?storage ?obs () =
+    let actor = "r" ^ string_of_int id in
+    let core = create_core ?obs ~node_id:id ~actor ~addresses:peers () in
+    let replica = R.create ~cfg ~id ?storage ?obs () in
     let listener = Unix.socket PF_INET SOCK_STREAM 0 in
     Unix.setsockopt listener SO_REUSEADDR true;
     Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, port));
@@ -256,6 +311,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let replica_is_leader h = on_loop h (fun () -> R.is_leader h.replica)
   let replica_commit_point h = on_loop h (fun () -> R.commit_point h.replica)
   let replica_state h = on_loop h (fun () -> R.state h.replica)
+  let replica_metrics h = h.r_core.meters.registry
 
   let stop_replica h =
     shutdown h.r_core;
@@ -273,12 +329,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     c_reply : reply option ref;
   }
 
-  let start_client ~id ~replicas ?(retry_ms = 200.0) () =
+  let start_client ~id ~replicas ?(retry_ms = 200.0) ?obs () =
     let cid = Grid_util.Ids.Client_id.of_int id in
     let client =
-      Client.create ~id:cid ~replicas:(List.map fst replicas) ~retry_ms ()
+      Client.create ~id:cid ~replicas:(List.map fst replicas) ~retry_ms ?obs ()
     in
-    let core = create_core ~node_id:(client_node cid) ~addresses:replicas in
+    let core =
+      create_core ?obs ~node_id:(client_node cid)
+        ~actor:("c" ^ string_of_int id) ~addresses:replicas ()
+    in
     let c_mutex = Mutex.create () in
     let c_cond = Condition.create () in
     let c_reply = ref None in
@@ -301,7 +360,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     h.c_reply := None;
     Mutex.unlock h.c_mutex;
     inject h.c_core (fun () ->
-        run_actions h.c_core (Client.submit h.client rtype ~payload));
+        run_actions h.c_core (Client.submit h.client ~now:(now_ms ()) rtype ~payload));
     let deadline = Unix.gettimeofday () +. timeout_s in
     Mutex.lock h.c_mutex;
     let rec wait () =
@@ -323,6 +382,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         end
     in
     wait ()
+
+  let client_metrics h = h.c_core.meters.registry
 
   let stop_client h =
     shutdown h.c_core;

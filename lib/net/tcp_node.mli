@@ -29,23 +29,37 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     port:int ->
     peers:(int * Unix.sockaddr) list ->
     ?storage:Grid_paxos.Storage.t ->
+    ?obs:Grid_obs.Span.Recorder.t ->
     unit ->
     replica_handle
   (** Bind [port], bootstrap the replica engine, and serve until
       {!stop_replica}. [peers] maps the other replica ids to their
-      addresses. *)
+      addresses. [obs] receives the engine's lifecycle spans and the
+      transport's message events, timed on the wall clock (ms since the
+      epoch). *)
 
   val replica_is_leader : replica_handle -> bool
   val replica_commit_point : replica_handle -> int
   val replica_state : replica_handle -> S.state
+
+  val replica_metrics : replica_handle -> Grid_obs.Metrics.t
+  (** Transport counters for this node: messages sent/received, dial
+      attempts and failures, established connections. *)
+
   val stop_replica : replica_handle -> unit
 
   type client_handle
 
   val start_client :
-    id:int -> replicas:(int * Unix.sockaddr) list -> ?retry_ms:float -> unit -> client_handle
+    id:int ->
+    replicas:(int * Unix.sockaddr) list ->
+    ?retry_ms:float ->
+    ?obs:Grid_obs.Span.Recorder.t ->
+    unit ->
+    client_handle
   (** Connect to every replica. The client keeps no listening socket;
-      replies arrive on the dialed connections. *)
+      replies arrive on the dialed connections. [obs] is as for
+      {!start_replica} (client-send and reply spans). *)
 
   val call :
     client_handle ->
@@ -57,5 +71,6 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       leader's reply (with protocol-level retransmission), [None] on
       timeout. *)
 
+  val client_metrics : client_handle -> Grid_obs.Metrics.t
   val stop_client : client_handle -> unit
 end

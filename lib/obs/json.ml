@@ -1,0 +1,266 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let int i = Num (Float.of_int i)
+
+(* Emit numbers with enough digits to round-trip (shortest of %.12g/%.17g
+   that parses back exactly), but render integers without an exponent so
+   the files stay readable and byte-stable across runs. *)
+let string_of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+    (* JSON has no NaN/Infinity literals. *)
+    if Float.is_finite f then Buffer.add_string buf (string_of_float f)
+    else Buffer.add_string buf "null"
+  | Str s -> escape buf s
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* Pretty printer: two-space indent, keys in given order. Used for the
+   BENCH_*.json files so diffs across PRs stay readable. *)
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go indent = function
+    | (Null | Bool _ | Num _ | Str _) as v -> write buf v
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          go (indent + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          go (indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — a small recursive-descent parser for the subset we emit.  *)
+
+exception Parse_error of { pos : int; msg : string }
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail p msg = raise (Parse_error { pos = p.pos; msg })
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    p.pos <- p.pos + 1;
+    skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> p.pos <- p.pos + 1
+  | _ -> fail p (Printf.sprintf "expected %c" c)
+
+let literal p word v =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else fail p (Printf.sprintf "expected %s" word)
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> p.pos <- p.pos + 1
+    | Some '\\' -> (
+      p.pos <- p.pos + 1;
+      match peek p with
+      | Some '"' -> Buffer.add_char buf '"'; p.pos <- p.pos + 1; go ()
+      | Some '\\' -> Buffer.add_char buf '\\'; p.pos <- p.pos + 1; go ()
+      | Some '/' -> Buffer.add_char buf '/'; p.pos <- p.pos + 1; go ()
+      | Some 'n' -> Buffer.add_char buf '\n'; p.pos <- p.pos + 1; go ()
+      | Some 'r' -> Buffer.add_char buf '\r'; p.pos <- p.pos + 1; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; p.pos <- p.pos + 1; go ()
+      | Some 'b' -> Buffer.add_char buf '\b'; p.pos <- p.pos + 1; go ()
+      | Some 'f' -> Buffer.add_char buf '\012'; p.pos <- p.pos + 1; go ()
+      | Some 'u' ->
+        if p.pos + 5 > String.length p.src then fail p "truncated \\u escape";
+        let hex = String.sub p.src (p.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail p "bad \\u escape"
+        in
+        (* Encode the code point as UTF-8 (surrogates left as-is bytes). *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        p.pos <- p.pos + 5;
+        go ()
+      | _ -> fail p "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      p.pos <- p.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c when is_num_char c -> true | _ -> false) do
+    p.pos <- p.pos + 1
+  done;
+  if p.pos = start then fail p "expected number";
+  match float_of_string_opt (String.sub p.src start (p.pos - start)) with
+  | Some f -> Num f
+  | None -> fail p "malformed number"
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some '{' ->
+    p.pos <- p.pos + 1;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      p.pos <- p.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws p;
+        let k = parse_string p in
+        skip_ws p;
+        expect p ':';
+        let v = parse_value p in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          p.pos <- p.pos + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          p.pos <- p.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail p "expected , or }"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    p.pos <- p.pos + 1;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      p.pos <- p.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value p in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          p.pos <- p.pos + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          p.pos <- p.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail p "expected , or ]"
+      in
+      Arr (elements [])
+    end
+  | Some '"' -> Str (parse_string p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some _ -> parse_number p
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail p "trailing garbage";
+  v
+
+(* Accessors for decoded documents; total (option-returning) so callers
+   can degrade gracefully on hand-edited files. *)
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_int = function Num f -> Some (int_of_float f) | _ -> None
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,36 @@
+(** Minimal JSON emitter/parser for the observability layer: trace dumps
+    (JSONL), metric snapshots and the machine-readable bench telemetry.
+
+    Deliberately tiny — the repo carries no external JSON dependency. The
+    emitter is deterministic (stable float formatting, caller-controlled
+    key order), which the trace-determinism tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int i] is [Num (float_of_int i)]. *)
+
+val to_string : t -> string
+(** Compact, single-line rendering (used for JSONL). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering (used for BENCH_*.json files). *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val of_string : string -> t
+(** Parse one JSON document; raises {!Parse_error} on malformed input or
+    trailing garbage. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,220 @@
+module Ids = Grid_util.Ids
+
+type protocol = Basic | Xpaxos_read | Tpaxos | Unreplicated | Unknown
+
+let protocol_name = function
+  | Basic -> "basic"
+  | Xpaxos_read -> "x-paxos read"
+  | Tpaxos -> "t-paxos"
+  | Unreplicated -> "unreplicated"
+  | Unknown -> "unknown"
+
+(* The leader records the request type as a constant label on the
+   [Leader_receive] span; that label is the only protocol information the
+   analysis needs, keeping [grid_obs] independent of [grid_paxos]. *)
+let protocol_of_detail = function
+  | "read" -> Xpaxos_read
+  | "write" -> Basic
+  | "original" -> Unreplicated
+  | "txn_op" | "txn_commit" | "txn_abort" -> Tpaxos
+  | _ -> Unknown
+
+type timeline = {
+  req : Ids.Request_id.t;
+  protocol : protocol;
+  spans : Span.event list;  (** this request's span events, in time order *)
+  phases : (Span.phase * float) list;
+      (** first occurrence time of each recorded phase, in lifecycle order *)
+}
+
+type breakdown = {
+  m_wan : float;  (** M: client send -> leader receive (one WAN hop) *)
+  exec : float;  (** E: leader receive -> apply at the leader *)
+  m_lan2 : float;  (** 2m: propose -> accept quorum (LAN round trip) *)
+  total : float;  (** client send -> reply *)
+}
+
+let phase_time tl p = List.assoc_opt p tl.phases
+
+let breakdown tl =
+  let ( let* ) = Option.bind in
+  let* send = phase_time tl Span.Client_send in
+  let* reply = phase_time tl Span.Reply in
+  let recv = phase_time tl Span.Leader_receive in
+  let apply = phase_time tl Span.Apply in
+  let propose = phase_time tl Span.Propose in
+  let quorum = phase_time tl Span.Accept_quorum in
+  let diff a b = match (a, b) with Some a, Some b -> b -. a | _ -> nan in
+  Some
+    {
+      m_wan = diff (Some send) recv;
+      exec = diff recv apply;
+      m_lan2 = diff propose quorum;
+      total = reply -. send;
+    }
+
+let compare_req (a : Ids.Request_id.t) b = Ids.Request_id.compare a b
+
+(* Group the span events of a trace into per-request timelines, ordered by
+   first appearance in the trace. *)
+let timelines (events : Span.event list) : timeline list =
+  let module M = Map.Make (struct
+    type t = Ids.Request_id.t
+
+    let compare = compare_req
+  end) in
+  let order = ref [] in
+  let acc = ref M.empty in
+  List.iter
+    (fun (e : Span.event) ->
+      match e.body with
+      | Span { req; _ } ->
+        (match M.find_opt req !acc with
+        | None ->
+          order := req :: !order;
+          acc := M.add req [ e ] !acc
+        | Some es -> acc := M.add req (e :: es) !acc)
+      | Msg _ | Note _ -> ())
+    events;
+  List.rev_map
+    (fun req ->
+      let spans =
+        List.stable_sort
+          (fun (a : Span.event) b -> Float.compare a.time b.time)
+          (List.rev (M.find req !acc))
+      in
+      let phases =
+        List.filter_map
+          (fun p ->
+            List.find_map
+              (fun (e : Span.event) ->
+                match e.body with
+                | Span s when s.phase = p -> Some (p, e.time)
+                | _ -> None)
+              spans)
+          Span.all_phases
+      in
+      let protocol =
+        match
+          List.find_map
+            (fun (e : Span.event) ->
+              match e.body with
+              | Span { phase = Leader_receive; detail; _ } -> Some detail
+              | _ -> None)
+            spans
+        with
+        | Some d -> protocol_of_detail d
+        | None -> Unknown
+      in
+      { req; protocol; spans; phases })
+    !order
+  |> List.rev
+
+let find events req = List.find_opt (fun tl -> compare_req tl.req req = 0) (timelines events)
+
+let completed tl = phase_time tl Span.Reply <> None
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+
+type phase_stats = {
+  protocol : protocol;
+  count : int;  (** completed requests of this protocol class *)
+  mean_m_wan : float;
+  mean_exec : float;
+  mean_m_lan2 : float;
+  mean_total : float;
+}
+
+let protocol_order = [ Basic; Xpaxos_read; Tpaxos; Unreplicated; Unknown ]
+
+let phase_stats events =
+  let tls = timelines events in
+  List.filter_map
+    (fun proto ->
+      let bds =
+        List.filter_map
+          (fun (tl : timeline) -> if tl.protocol = proto then breakdown tl else None)
+          tls
+      in
+      match bds with
+      | [] -> None
+      | _ ->
+        let n = List.length bds in
+        (* Per-component means ignore requests missing that component
+           (e.g. reads never record propose/accept_quorum). *)
+        let mean_of f =
+          let xs = List.filter Float.is_finite (List.map f bds) in
+          match xs with
+          | [] -> nan
+          | _ -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+        in
+        Some
+          {
+            protocol = proto;
+            count = n;
+            mean_m_wan = mean_of (fun b -> b.m_wan);
+            mean_exec = mean_of (fun b -> b.exec);
+            mean_m_lan2 = mean_of (fun b -> b.m_lan2);
+            mean_total = mean_of (fun b -> b.total);
+          })
+    protocol_order
+
+let slowest ?(n = 10) events =
+  timelines events
+  |> List.filter_map (fun tl ->
+         match breakdown tl with Some b -> Some (tl, b) | None -> None)
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b.total a.total)
+  |> List.filteri (fun i _ -> i < n)
+
+let message_counts events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Span.event) ->
+      match e.body with
+      | Msg { kind; _ } ->
+        let key = (e.actor, kind) in
+        Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun (actor, kind) n acc -> (actor, kind, n) :: acc) tbl []
+  |> List.sort (fun (a1, k1, _) (a2, k2, _) ->
+         match String.compare a1 a2 with 0 -> String.compare k1 k2 | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let pp_breakdown ppf b =
+  let cell v = if Float.is_finite v then Printf.sprintf "%8.3f" v else "       -" in
+  Format.fprintf ppf "M=%s E=%s 2m=%s total=%s" (cell b.m_wan) (cell b.exec)
+    (cell b.m_lan2) (cell b.total)
+
+let pp_timeline ppf tl =
+  Format.fprintf ppf "%a (%s)@." Ids.Request_id.pp tl.req (protocol_name tl.protocol);
+  (match tl.phases with
+  | [] -> ()
+  | (_, t0) :: _ ->
+    List.iter
+      (fun (e : Span.event) ->
+        match e.body with
+        | Span { phase; instance; detail; _ } ->
+          Format.fprintf ppf "  +%9.3f %-8s %-14s%s%s@." (e.time -. t0) e.actor
+            (Span.phase_name phase)
+            (if instance >= 0 then Printf.sprintf " i=%d" instance else "")
+            (if detail = "" then "" else " " ^ detail)
+        | _ -> ())
+      tl.spans);
+  match breakdown tl with
+  | Some b -> Format.fprintf ppf "  %a@." pp_breakdown b
+  | None -> Format.fprintf ppf "  (incomplete: no reply recorded)@."
+
+let pp_phase_stats ppf stats =
+  Format.fprintf ppf "%-14s %6s %10s %10s %10s %10s@." "protocol" "n" "M" "E" "2m"
+    "total";
+  List.iter
+    (fun s ->
+      let cell v = if Float.is_finite v then Printf.sprintf "%10.3f" v else "         -" in
+      Format.fprintf ppf "%-14s %6d %s %s %s %s@." (protocol_name s.protocol) s.count
+        (cell s.mean_m_wan) (cell s.mean_exec) (cell s.mean_m_lan2)
+        (cell s.mean_total))
+    stats

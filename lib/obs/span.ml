@@ -1,0 +1,180 @@
+module Ids = Grid_util.Ids
+module Ring_buffer = Grid_util.Ring_buffer
+
+type phase =
+  | Client_send
+  | Leader_receive
+  | Propose
+  | Accept_quorum
+  | Commit
+  | State_ship
+  | Apply
+  | Reply
+
+let all_phases =
+  [ Client_send; Leader_receive; Propose; Accept_quorum; Commit; State_ship;
+    Apply; Reply ]
+
+let phase_name = function
+  | Client_send -> "client_send"
+  | Leader_receive -> "leader_receive"
+  | Propose -> "propose"
+  | Accept_quorum -> "accept_quorum"
+  | Commit -> "commit"
+  | State_ship -> "state_ship"
+  | Apply -> "apply"
+  | Reply -> "reply"
+
+let phase_of_name = function
+  | "client_send" -> Some Client_send
+  | "leader_receive" -> Some Leader_receive
+  | "propose" -> Some Propose
+  | "accept_quorum" -> Some Accept_quorum
+  | "commit" -> Some Commit
+  | "state_ship" -> Some State_ship
+  | "apply" -> Some Apply
+  | "reply" -> Some Reply
+  | _ -> None
+
+let pp_phase ppf p = Format.pp_print_string ppf (phase_name p)
+
+type body =
+  | Span of { req : Ids.Request_id.t; phase : phase; instance : int; detail : string }
+      (** one lifecycle point of a request; [instance = -1] when the
+          event is not tied to a consensus instance, [detail = ""] unless
+          the recording site has a label to attach (e.g. the rtype at
+          [Leader_receive]) *)
+  | Msg of { kind : string; dst : int }  (** one wire message sent *)
+  | Note of string  (** free-form annotation (the old [Sim.Trace] lines) *)
+
+type event = { time : float; actor : string; body : body }
+
+let pp_event ppf e =
+  match e.body with
+  | Span { req; phase; instance; detail } ->
+    Format.fprintf ppf "%10.3f %-8s %a %a%s%s" e.time e.actor Ids.Request_id.pp req
+      pp_phase phase
+      (if instance >= 0 then Printf.sprintf " i=%d" instance else "")
+      (if detail = "" then "" else " " ^ detail)
+  | Msg { kind; dst } -> Format.fprintf ppf "%10.3f %-8s send %s ->%d" e.time e.actor kind dst
+  | Note s -> Format.fprintf ppf "%10.3f %-8s %s" e.time e.actor s
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+
+module Recorder = struct
+  type t = { buf : event Ring_buffer.t; enabled : bool }
+
+  let create ?(capacity = 65536) ~enabled () =
+    { buf = Ring_buffer.create capacity; enabled }
+
+  let disabled = create ~capacity:1 ~enabled:false ()
+  let enabled t = t.enabled
+
+  (* Every record function is a single branch when disabled: no event is
+     constructed, no string is built. Call sites must likewise avoid
+     building arguments eagerly (pass preformatted actor names, constant
+     detail strings). *)
+
+  let span t ~time ~actor ~req ~instance ~detail phase =
+    if t.enabled then
+      Ring_buffer.push t.buf { time; actor; body = Span { req; phase; instance; detail } }
+
+  let msg t ~time ~actor ~kind ~dst =
+    if t.enabled then Ring_buffer.push t.buf { time; actor; body = Msg { kind; dst } }
+
+  let note t ~time ~actor text =
+    if t.enabled then Ring_buffer.push t.buf { time; actor; body = Note text }
+
+  let notef t ~time ~actor fmt =
+    if t.enabled then
+      Format.kasprintf
+        (fun text -> Ring_buffer.push t.buf { time; actor; body = Note text })
+        fmt
+    else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+  let events t = Ring_buffer.to_list t.buf
+  let length t = Ring_buffer.length t.buf
+  let clear t = Ring_buffer.clear t.buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL serialization                                                 *)
+
+let event_to_json (e : event) : Json.t =
+  let base = [ ("t", Json.Num e.time); ("actor", Json.Str e.actor) ] in
+  match e.body with
+  | Span { req; phase; instance; detail } ->
+    Json.Obj
+      (base
+      @ [ ("type", Json.Str "span");
+          ("client", Json.int (Ids.Client_id.to_int req.client));
+          ("seq", Json.int req.seq);
+          ("phase", Json.Str (phase_name phase)) ]
+      @ (if instance >= 0 then [ ("instance", Json.int instance) ] else [])
+      @ if detail = "" then [] else [ ("detail", Json.Str detail) ])
+  | Msg { kind; dst } ->
+    Json.Obj
+      (base @ [ ("type", Json.Str "msg"); ("kind", Json.Str kind); ("dst", Json.int dst) ])
+  | Note text -> Json.Obj (base @ [ ("type", Json.Str "note"); ("text", Json.Str text) ])
+
+let event_of_json (j : Json.t) : event option =
+  let ( let* ) = Option.bind in
+  let* time = Option.bind (Json.member "t" j) Json.to_float in
+  let* actor = Option.bind (Json.member "actor" j) Json.to_str in
+  let* kind = Option.bind (Json.member "type" j) Json.to_str in
+  match kind with
+  | "span" ->
+    let* client = Option.bind (Json.member "client" j) Json.to_int in
+    let* seq = Option.bind (Json.member "seq" j) Json.to_int in
+    let* phase =
+      Option.bind (Json.member "phase" j) (fun p ->
+          Option.bind (Json.to_str p) phase_of_name)
+    in
+    let instance =
+      Option.value ~default:(-1) (Option.bind (Json.member "instance" j) Json.to_int)
+    in
+    let detail =
+      Option.value ~default:"" (Option.bind (Json.member "detail" j) Json.to_str)
+    in
+    let req = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq in
+    Some { time; actor; body = Span { req; phase; instance; detail } }
+  | "msg" ->
+    let* mkind = Option.bind (Json.member "kind" j) Json.to_str in
+    let dst = Option.value ~default:(-1) (Option.bind (Json.member "dst" j) Json.to_int) in
+    Some { time; actor; body = Msg { kind = mkind; dst } }
+  | "note" ->
+    let* text = Option.bind (Json.member "text" j) Json.to_str in
+    Some { time; actor; body = Note text }
+  | _ -> None
+
+let dump_string events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let dump_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_string events))
+
+let load_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match Json.of_string line with
+           | j -> event_of_json j
+           | exception Json.Parse_error _ -> None)
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> load_string (really_input_string ic (in_channel_length ic)))

@@ -1,6 +1,7 @@
 open Types
 module Ids = Grid_util.Ids
 module Rng = Grid_util.Rng
+module Span = Grid_obs.Span
 
 type t = {
   cid : Ids.Client_id.t;
@@ -11,9 +12,11 @@ type t = {
   mutable pending : request option;
   mutable sent : int;
   mutable retries : int;
+  obs : Span.Recorder.t;
+  actor : string;  (* precomputed "c<id>" so recording allocates nothing *)
 }
 
-let create ~id ~replicas ?(retry_ms = 500.0) ?seed () =
+let create ~id ~replicas ?(retry_ms = 500.0) ?seed ?(obs = Span.Recorder.disabled) () =
   if replicas = [] then invalid_arg "Client.create: no replicas";
   let seed = match seed with Some s -> s | None -> 0xC11E47 + Ids.Client_id.to_int id in
   {
@@ -25,6 +28,8 @@ let create ~id ~replicas ?(retry_ms = 500.0) ?seed () =
     pending = None;
     sent = 0;
     retries = 0;
+    obs;
+    actor = "c" ^ string_of_int (Ids.Client_id.to_int id);
   }
 
 (* Retransmission intervals are jittered ±25% so retries cannot phase-lock
@@ -40,7 +45,7 @@ let retry_count t = t.retries
 let broadcast t (r : request) =
   List.map (fun dst -> send ~dst (Client_req r)) t.replicas
 
-let submit t rtype ~payload =
+let submit t ?(now = 0.0) rtype ~payload =
   (match t.pending with
   | Some r ->
     invalid_arg
@@ -53,9 +58,11 @@ let submit t rtype ~payload =
   in
   t.pending <- Some r;
   t.sent <- t.sent + 1;
+  Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:r.id ~instance:(-1)
+    ~detail:"" Span.Client_send;
   broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry t.seq) ]
 
-let handle t ~now:_ input =
+let handle t ~now input =
   match input with
   | Timer (Client_retry seq) -> (
     match t.pending with
@@ -68,6 +75,8 @@ let handle t ~now:_ input =
     match t.pending with
     | Some r when Ids.Request_id.equal r.id reply.req ->
       t.pending <- None;
+      Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:reply.req ~instance:(-1)
+        ~detail:"" Span.Reply;
       ([], Some reply)
     | _ -> ([], None) (* duplicate or stale reply *))
   | Receive _ -> ([], None)

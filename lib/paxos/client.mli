@@ -14,20 +14,23 @@ val create :
   replicas:int list ->
   ?retry_ms:float ->
   ?seed:int ->
+  ?obs:Grid_obs.Span.Recorder.t ->
   unit ->
   t
 (** [retry_ms] defaults to 500; actual retransmission delays are jittered
     ±25% (seeded by [seed], default derived from [id]) so that retries
-    cannot phase-lock with periodic failures. *)
+    cannot phase-lock with periodic failures. [obs] receives
+    [Client_send]/[Reply] lifecycle spans (default: disabled recorder). *)
 
 val id : t -> Grid_util.Ids.Client_id.t
 val node : t -> int
 (** The node id this client occupies (see {!Types.client_node}). *)
 
-val submit : t -> Types.rtype -> payload:string -> Types.action list
+val submit : t -> ?now:float -> Types.rtype -> payload:string -> Types.action list
 (** Issue the next request (closed loop: at most one outstanding; raises
     [Invalid_argument] if one is pending). Returns the broadcast and the
-    retransmission timer. *)
+    retransmission timer. [now] (default 0) timestamps the [Client_send]
+    span; pass the driver clock when tracing. *)
 
 val handle : t -> now:float -> Types.input -> Types.action list * Types.reply option
 (** Feed a reply or timer. The returned reply is [Some] exactly when it

@@ -2,6 +2,17 @@ open Types
 module Rng = Grid_util.Rng
 module Bitset = Grid_util.Bitset
 module Ids = Grid_util.Ids
+module Span = Grid_obs.Span
+
+(* Constant labels attached to [Leader_receive] spans; returning string
+   literals keeps the instrumented path allocation-free. *)
+let rtype_label = function
+  | Read -> "read"
+  | Write -> "write"
+  | Original -> "original"
+  | Txn_op _ -> "txn_op"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
 
 module Make (S : Service_intf.S) = struct
   type work = W_write of request | W_txn_commit of request
@@ -86,9 +97,13 @@ module Make (S : Service_intf.S) = struct
     (* checker support *)
     mutable history : (int * request list * string) list;  (* reversed *)
     mutable commits_seen : int;
+    (* observability: lifecycle span recorder plus the precomputed actor
+       label, so the disabled path costs one branch and no allocation *)
+    obs : Span.Recorder.t;
+    actor : string;
   }
 
-  let create ~cfg ~id ?(storage = Storage.null ()) ?seed () =
+  let create ~cfg ~id ?(storage = Storage.null ()) ?seed ?(obs = Span.Recorder.disabled) () =
     let seed = match seed with Some s -> s | None -> 0x5eed + id in
     {
       cfg;
@@ -110,7 +125,19 @@ module Make (S : Service_intf.S) = struct
       recent_footprints = Hashtbl.create 64;
       history = [];
       commits_seen = 0;
+      obs;
+      actor = "r" ^ string_of_int id;
     }
+
+  (* Record one span for every request of a proposal (e.g. all members of
+     a batched instance hit [Propose]/[Accept_quorum]/[Commit] together). *)
+  let span_requests t phase ~instance (requests : request list) =
+    if Span.Recorder.enabled t.obs then
+      List.iter
+        (fun (r : request) ->
+          Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance
+            ~detail:"" phase)
+        requests
 
   let id t = t.rid
   let promised t = t.promised
@@ -274,6 +301,7 @@ module Make (S : Service_intf.S) = struct
   let broadcast t msg = List.map (fun dst -> send ~dst msg) (others t)
 
   let start_accept t (l : leadership) ~instance ~proposal ~post_state ~to_send =
+    span_requests t Span.Propose ~instance proposal.requests;
     let acks = Bitset.create t.cfg.n in
     Bitset.set acks t.rid;
     ignore (Plog.accept t.log ~instance ~ballot:l.l_ballot proposal);
@@ -296,6 +324,7 @@ module Make (S : Service_intf.S) = struct
 
   (* Commit the in-flight instance (majority of accept-acks reached). *)
   let rec do_commit t (l : leadership) (fl : inflight) =
+    span_requests t Span.Accept_quorum ~instance:fl.fl_instance fl.fl_proposal.requests;
     ignore (Plog.commit t.log ~instance:fl.fl_instance);
     t.storage.persist_commit (Plog.commit_point t.log);
     t.app_state <- fl.fl_post_state;
@@ -304,6 +333,7 @@ module Make (S : Service_intf.S) = struct
       (fun (r : request) -> Hashtbl.remove l.l_queued_ids r.id)
       fl.fl_proposal.requests;
     l.l_phase <- None;
+    span_requests t Span.Commit ~instance:fl.fl_instance fl.fl_proposal.requests;
     broadcast t (Commit { ballot = l.l_ballot; instance = fl.fl_instance })
     @ reply_actions fl.fl_to_send
     @ pump t
@@ -526,6 +556,7 @@ module Make (S : Service_intf.S) = struct
         in
         let proposal = { requests; update; replies = List.rev !replies } in
         let instance = Plog.commit_point t.log + 1 in
+        span_requests t Span.Apply ~instance requests;
         let acts =
           start_accept t l ~instance ~proposal ~post_state:!batch_state
             ~to_send:(List.rev !to_send)
@@ -545,12 +576,16 @@ module Make (S : Service_intf.S) = struct
         (* Reads must not change state; the post-state is discarded. *)
         pr.pr_exec_done <- true;
         pr.pr_result <- S.encode_result outcome.result;
+        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
+          ~detail:"" Span.Apply;
         check_read_ready t l pr)
     | Exec_original r ->
       (* Unreplicated baseline: execute and answer with no coordination. *)
       let op = S.decode_op r.payload in
       let outcome = S.apply ~rng:t.rng ~now:t.now t.app_state op in
       t.app_state <- outcome.state;
+      Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
+        ~detail:"" Span.Apply;
       reply_actions [ { req = r.id; status = Ok; payload = S.encode_result outcome.result } ]
     | Exec_txn_op r -> (
       match r.rtype with
@@ -579,6 +614,8 @@ module Make (S : Service_intf.S) = struct
         List.iter (fun k -> Hashtbl.replace txn.tx_footprint k ()) (S.footprint op);
         let reply = { req = r.id; status = Ok; payload = S.encode_result outcome.result } in
         txn.tx_replies <- reply :: txn.tx_replies;
+        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
+          ~detail:"" Span.Apply;
         reply_actions [ reply ]
       | _ -> [])
 
@@ -611,6 +648,8 @@ module Make (S : Service_intf.S) = struct
     end
 
   let leader_handle_client t (l : leadership) (r : request) =
+    Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
+      ~detail:(rtype_label r.rtype) Span.Leader_receive;
     match r.rtype with
     | Read -> leader_handle_read t l r
     | Original -> begin_execution t l (Exec_original r)
@@ -821,6 +860,7 @@ module Make (S : Service_intf.S) = struct
             match Plog.get t.log i with
             | Some entry ->
               apply_update t entry.proposal;
+              span_requests t Span.State_ship ~instance:i entry.proposal.requests;
               record_commit_bookkeeping t ~instance:i entry.proposal;
               apply_from (i + 1) acc
             | None -> acc

@@ -41,9 +41,17 @@ module Make (S : Service_intf.S) : sig
   type t
 
   val create :
-    cfg:Config.t -> id:int -> ?storage:Storage.t -> ?seed:int -> unit -> t
+    cfg:Config.t ->
+    id:int ->
+    ?storage:Storage.t ->
+    ?seed:int ->
+    ?obs:Grid_obs.Span.Recorder.t ->
+    unit ->
+    t
   (** [seed] initializes the replica-local RNG handed to the service
-      (defaults to a function of [id]). *)
+      (defaults to a function of [id]). [obs] receives request-lifecycle
+      spans ({!Grid_obs.Span.phase}); defaults to the shared disabled
+      recorder, in which case instrumentation costs one branch per site. *)
 
   val bootstrap : t -> Types.action list
   (** Initial timers (heartbeat and suspicion ticks). Call once before

@@ -9,6 +9,8 @@
 module Engine = Grid_sim.Engine
 module Network = Grid_sim.Network
 module Trace = Grid_sim.Trace
+module Span = Grid_obs.Span
+module Metrics = Grid_obs.Metrics
 module Rng = Grid_util.Rng
 module Ids = Grid_util.Ids
 module Config = Grid_paxos.Config
@@ -18,7 +20,20 @@ open Grid_paxos.Types
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
 
-  type client_slot = { client : Client.t; mutable on_reply : reply -> unit }
+  type client_slot = {
+    client : Client.t;
+    actor : string;  (* precomputed node label for event recording *)
+    mutable on_reply : reply -> unit;
+  }
+
+  (* The handles the runtime updates on its hot paths; registered once at
+     creation so an update is a single store. *)
+  type meters = {
+    m_requests : Metrics.counter;
+    m_replies : Metrics.counter;
+    m_msgs : Metrics.counter;
+    m_latency : Grid_util.Stats.Histogram.h;
+  }
 
   type t = {
     eng : Engine.t;
@@ -33,6 +48,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     msg_counts : (string, int) Hashtbl.t;  (* sends by message kind *)
     mutable load_applied : float;  (* server load factor currently in force *)
     trace : Trace.t;
+    obs : Span.Recorder.t;  (* the recorder behind [trace] *)
+    replica_actors : string array;  (* precomputed "r<i>" labels *)
+    metrics : Metrics.t;
+    meters : meters;
     mutable next_client_id : int;  (* fresh ids for successive workloads *)
   }
 
@@ -40,10 +59,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let network t = t.net
   let config t = t.cfg
   let trace t = t.trace
+  let obs t = t.obs
+  let metrics t = t.metrics
   let replica t i = t.replicas.(i)
   let now t = Engine.now t.eng
 
   let count_msg t msg =
+    Metrics.inc t.meters.m_msgs;
     let k = msg_kind msg in
     Hashtbl.replace t.msg_counts k (1 + Option.value ~default:0 (Hashtbl.find_opt t.msg_counts k))
 
@@ -52,6 +74,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   and run_action t i = function
     | Send { dst; msg } ->
       count_msg t msg;
+      Span.Recorder.msg t.obs ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i)
+        ~kind:(msg_kind msg) ~dst;
       Network.send t.net ~src:i ~dst msg
     | After { delay; timer } ->
       let armed_in = t.incarnation.(i) in
@@ -63,15 +87,21 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
                dispatch_replica t i
                  (R.handle t.replicas.(i) ~now:(Engine.now t.eng) (Timer timer))))
     | Note s ->
-      Trace.record t.trace ~time:(Engine.now t.eng) ~actor:(Printf.sprintf "r%d" i) s
+      Trace.record t.trace ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i) s
 
   let rec dispatch_client t node actions reply =
     List.iter
-      (function
-        | Send { dst; msg } ->
+      (fun action ->
+        match (action, Hashtbl.find_opt t.clients node) with
+        | Send { dst; msg }, slot ->
           count_msg t msg;
+          (match slot with
+          | Some s ->
+            Span.Recorder.msg t.obs ~time:(Engine.now t.eng) ~actor:s.actor
+              ~kind:(msg_kind msg) ~dst
+          | None -> ());
           Network.send t.net ~src:node ~dst msg
-        | After { delay; timer } ->
+        | After { delay; timer }, _ ->
           ignore
             (Engine.schedule t.eng ~delay (fun () ->
                  match Hashtbl.find_opt t.clients node with
@@ -81,23 +111,42 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
                      Client.handle slot.client ~now:(Engine.now t.eng) (Timer timer)
                    in
                    dispatch_client t node actions reply))
-        | Note s ->
-          Trace.record t.trace ~time:(Engine.now t.eng)
-            ~actor:(Printf.sprintf "n%d" node) s)
+        | Note s, slot ->
+          let actor =
+            match slot with Some sl -> sl.actor | None -> Printf.sprintf "n%d" node
+          in
+          Trace.record t.trace ~time:(Engine.now t.eng) ~actor s)
       actions;
     match (reply, Hashtbl.find_opt t.clients node) with
     | Some r, Some slot -> slot.on_reply r
     | _ -> ()
 
-  let create ?(seed = 42) ?(trace = false) ~cfg ~scenario:(sc : Scenario.t) () =
+  let create ?(seed = 42) ?(trace = false) ?trace_capacity ~cfg ~scenario:(sc : Scenario.t) () =
     let cfg = sc.tune { cfg with Config.n = sc.n } in
     let eng = Engine.create () in
     let root = Rng.of_int seed in
     let net = Network.create eng (Rng.split root) in
-    let trace = Trace.create ~enabled:trace () in
+    let obs = Span.Recorder.create ?capacity:trace_capacity ~enabled:trace () in
+    let trace = Trace.of_recorder obs in
     let replicas =
       Array.init cfg.n (fun i ->
-          R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ())
+          R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ~obs ())
+    in
+    let metrics = Metrics.create () in
+    let meters =
+      {
+        m_requests =
+          Metrics.counter metrics "grid_requests_total" ~help:"Requests submitted by clients";
+        m_replies =
+          Metrics.counter metrics "grid_replies_total" ~help:"Replies delivered to clients";
+        m_msgs =
+          Metrics.counter metrics "grid_messages_sent_total"
+            ~help:"Protocol messages handed to the network";
+        m_latency =
+          Metrics.histogram metrics "grid_request_latency_ms"
+            ~help:"Closed-loop request latency (simulated ms)" ~lo:0.01 ~hi:100_000.0
+            ~bins:64;
+      }
     in
     let t =
       {
@@ -112,6 +161,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         msg_counts = Hashtbl.create 16;
         load_applied = 1.0;
         trace;
+        obs;
+        replica_actors = Array.init cfg.n (fun i -> "r" ^ string_of_int i);
+        metrics;
+        meters;
         next_client_id = 0;
       }
     in
@@ -138,10 +191,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     let client =
       Client.create ~id:cid
         ~replicas:(Config.replica_ids t.cfg)
-        ~retry_ms:t.cfg.client_retry_ms ()
+        ~retry_ms:t.cfg.client_retry_ms ~obs:t.obs ()
     in
     let node = Client.node client in
-    let slot = { client; on_reply } in
+    let slot = { client; actor = "c" ^ string_of_int id; on_reply } in
     Hashtbl.replace t.clients node slot;
     let share = Float.of_int machine_share in
     Network.add_node t.net ~id:node
@@ -169,7 +222,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | None -> invalid_arg "Runtime.set_on_reply: unknown client"
 
   let submit t client rtype ~payload =
-    dispatch_client t (Client.node client) (Client.submit client rtype ~payload) None
+    Metrics.inc t.meters.m_requests;
+    dispatch_client t (Client.node client)
+      (Client.submit client ~now:(Engine.now t.eng) rtype ~payload)
+      None
 
   (** {1 Failure control} *)
 
@@ -288,6 +344,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         incr completions;
         incr total;
         finished_at := now t;
+        Metrics.inc t.meters.m_replies;
+        Metrics.observe t.meters.m_latency (now t -. !sent_at);
         records :=
           {
             rec_client = c;

@@ -12,13 +12,17 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val create :
     ?seed:int ->
     ?trace:bool ->
+    ?trace_capacity:int ->
     cfg:Grid_paxos.Config.t ->
     scenario:Scenario.t ->
     unit ->
     t
   (** Build the cluster described by [scenario] (its replica count
       overrides [cfg.n]), register the replicas on the simulated network
-      and arm their bootstrap timers. *)
+      and arm their bootstrap timers. With [trace:true] every replica and
+      client records request-lifecycle spans, message sends and notes into
+      one shared {!Grid_obs.Span.Recorder} (ring buffer of
+      [trace_capacity] events, default 65536). *)
 
   (** {1 Accessors} *)
 
@@ -26,6 +30,14 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
   val config : t -> Grid_paxos.Config.t
   val trace : t -> Grid_sim.Trace.t
+  val obs : t -> Grid_obs.Span.Recorder.t
+  (** The structured event stream behind {!trace}: lifecycle spans,
+      message events and notes. Empty unless created with [~trace:true]. *)
+
+  val metrics : t -> Grid_obs.Metrics.t
+  (** Registry with request/reply/message counters and the closed-loop
+      latency histogram; always live (metrics are cheap). *)
+
   val replica : t -> int -> R.t
   val now : t -> float
 

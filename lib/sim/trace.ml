@@ -1,23 +1,28 @@
-module Ring_buffer = Grid_util.Ring_buffer
+module Span = Grid_obs.Span
 
-type t = { buf : (float * string * string) Ring_buffer.t; enabled : bool }
+(* A trace is now a thin view over the structured span recorder
+   ([Grid_obs.Span.Recorder]): [record]/[recordf] append [Note] events,
+   and [to_list] projects the notes back out, so pre-existing consumers
+   keep working while drivers share one event stream for notes, spans
+   and message events. *)
+type t = Span.Recorder.t
 
-let create ?(capacity = 4096) ~enabled () = { buf = Ring_buffer.create capacity; enabled }
-let enabled t = t.enabled
+let create ?(capacity = 4096) ~enabled () = Span.Recorder.create ~capacity ~enabled ()
+let of_recorder r = r
+let recorder t = t
+let enabled = Span.Recorder.enabled
+let record t ~time ~actor msg = Span.Recorder.note t ~time ~actor msg
+let recordf t ~time ~actor fmt = Span.Recorder.notef t ~time ~actor fmt
 
-let record t ~time ~actor msg =
-  if t.enabled then Ring_buffer.push t.buf (time, actor, msg)
-
-let recordf t ~time ~actor fmt =
-  if t.enabled then
-    Format.kasprintf (fun msg -> Ring_buffer.push t.buf (time, actor, msg)) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-
-let to_list t = Ring_buffer.to_list t.buf
+let to_list t =
+  List.filter_map
+    (fun (e : Span.event) ->
+      match e.body with Note msg -> Some (e.time, e.actor, msg) | _ -> None)
+    (Span.Recorder.events t)
 
 let pp ppf t =
   List.iter
-    (fun (time, actor, msg) -> Format.fprintf ppf "%10.3f %-8s %s@." time actor msg)
-    (to_list t)
+    (fun e -> Format.fprintf ppf "%a@." Span.pp_event e)
+    (Span.Recorder.events t)
 
-let clear t = Ring_buffer.clear t.buf
+let clear = Span.Recorder.clear

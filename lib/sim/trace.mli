@@ -1,13 +1,21 @@
 (** Bounded event trace for debugging simulation runs.
 
-    A trace keeps the last [capacity] entries; protocols record decisions
-    (elections, proposals, commits) and the failover example prints the
-    tail. Disabled traces cost one branch per record. *)
+    Since the observability layer landed, a trace is a thin compatibility
+    view over a {!Grid_obs.Span.Recorder}: {!record} appends [Note]
+    events to the shared stream, {!to_list} projects them back out, and
+    {!recorder} exposes the underlying recorder so drivers can also emit
+    structured lifecycle spans and message events into the same buffer.
+    Disabled traces still cost one branch per record. *)
 
 type t
 
 val create : ?capacity:int -> enabled:bool -> unit -> t
-(** Default capacity: 4096 entries. *)
+(** Default capacity: 4096 entries (oldest evicted first). *)
+
+val of_recorder : Grid_obs.Span.Recorder.t -> t
+val recorder : t -> Grid_obs.Span.Recorder.t
+(** The underlying structured-event recorder ([of_recorder]/[recorder]
+    are inverse views, not copies). *)
 
 val enabled : t -> bool
 val record : t -> time:float -> actor:string -> string -> unit
@@ -19,7 +27,10 @@ val recordf :
     trace is disabled. *)
 
 val to_list : t -> (float * string * string) list
-(** Oldest first. *)
+(** The [Note] events only, oldest first (the historical trace view). *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints every event in the underlying recorder — notes, lifecycle
+    spans and message events. *)
+
 val clear : t -> unit

@@ -113,6 +113,10 @@ let confidence_interval ?(confidence = 0.99) t =
 let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  (* Sort a copy: callers hand us their sample arrays and a statistics
+     query must not mutate its input (it used to sort in place, which
+     silently reordered benchmark records). *)
+  let xs = Array.copy xs in
   Array.sort Float.compare xs;
   let n = Array.length xs in
   if n = 1 then xs.(0)
@@ -141,7 +145,20 @@ let summarize xs =
   if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
   let acc = create () in
   Array.iter (add acc) xs;
-  let copy = Array.copy xs in
+  (* One shared sorted copy for both percentiles. *)
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let of_sorted p =
+    let n = Array.length sorted in
+    if n = 1 then sorted.(0)
+    else begin
+      let rank = p /. 100.0 *. Float.of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. Float.of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
+  in
   {
     n = count acc;
     mean = mean acc;
@@ -149,8 +166,8 @@ let summarize xs =
     ci99 = confidence_interval ~confidence:0.99 acc;
     min = min_value acc;
     max = max_value acc;
-    p50 = percentile copy 50.0;
-    p99 = percentile copy 99.0;
+    p50 = of_sorted 50.0;
+    p99 = of_sorted 99.0;
   }
 
 let pp_summary ppf s =
@@ -158,40 +175,97 @@ let pp_summary ppf s =
     s.n s.mean s.ci99 s.stddev s.min s.p50 s.p99 s.max
 
 module Histogram = struct
-  type h = { lo : float; hi : float; counts : int array; mutable total : int }
+  (* [Linear] keeps the original fixed-width layout; [Log ratio] buckets
+     grow geometrically by [ratio] per bin — the right shape for latency
+     distributions spanning several decades (the metrics registry's
+     default). *)
+  type scale = Linear | Log of float
+
+  type h = {
+    lo : float;
+    hi : float;
+    scale : scale;
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+  }
 
   let create ~lo ~hi ~bins =
     if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
     if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
-    { lo; hi; counts = Array.make bins 0; total = 0 }
+    { lo; hi; scale = Linear; counts = Array.make bins 0; total = 0; sum = 0.0 }
+
+  let create_log ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create_log: bins must be positive";
+    if not (lo > 0.0) then invalid_arg "Histogram.create_log: lo must be positive";
+    if not (hi > lo) then invalid_arg "Histogram.create_log: hi must exceed lo";
+    let ratio = Float.exp (Float.log (hi /. lo) /. Float.of_int bins) in
+    { lo; hi; scale = Log ratio; counts = Array.make bins 0; total = 0; sum = 0.0 }
+
+  let clamp h i =
+    let bins = Array.length h.counts in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
 
   let bin_index h x =
-    let bins = Array.length h.counts in
-    let i = int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. Float.of_int bins) in
-    if i < 0 then 0 else if i >= bins then bins - 1 else i
+    match h.scale with
+    | Linear ->
+      let bins = Array.length h.counts in
+      clamp h (int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. Float.of_int bins))
+    | Log ratio ->
+      if x <= h.lo then 0
+      else clamp h (int_of_float (Float.log (x /. h.lo) /. Float.log ratio))
 
   let add h x =
     h.counts.(bin_index h x) <- h.counts.(bin_index h x) + 1;
-    h.total <- h.total + 1
+    h.total <- h.total + 1;
+    h.sum <- h.sum +. x
 
   let counts h = Array.copy h.counts
   let total h = h.total
+  let sum h = h.sum
+  let mean h = if h.total = 0 then nan else h.sum /. Float.of_int h.total
 
-  let bin_edges h =
-    let bins = Array.length h.counts in
-    let width = (h.hi -. h.lo) /. Float.of_int bins in
-    Array.init (bins + 1) (fun i -> h.lo +. (Float.of_int i *. width))
+  let edge h i =
+    match h.scale with
+    | Linear ->
+      let bins = Array.length h.counts in
+      h.lo +. (Float.of_int i *. (h.hi -. h.lo) /. Float.of_int bins)
+    | Log ratio -> h.lo *. (ratio ** Float.of_int i)
+
+  let bin_edges h = Array.init (Array.length h.counts + 1) (edge h)
+
+  (* Percentile estimate from bucket counts: find the bucket holding the
+     rank and interpolate linearly inside it. Accuracy is bounded by the
+     bucket width — with log buckets, a constant relative error. *)
+  let percentile_estimate h p =
+    if h.total = 0 then nan
+    else begin
+      let rank = p /. 100.0 *. Float.of_int h.total in
+      let rec find i seen =
+        if i >= Array.length h.counts then edge h (Array.length h.counts)
+        else begin
+          let seen' = seen + h.counts.(i) in
+          if Float.of_int seen' >= rank && h.counts.(i) > 0 then begin
+            let within =
+              (rank -. Float.of_int seen) /. Float.of_int h.counts.(i)
+            in
+            let lo = edge h i and hi = edge h (i + 1) in
+            lo +. (Float.max 0.0 (Float.min 1.0 within) *. (hi -. lo))
+          end
+          else find (i + 1) seen'
+        end
+      in
+      find 0 0
+    end
 
   let pp ppf h =
     let bins = Array.length h.counts in
-    let width = (h.hi -. h.lo) /. Float.of_int bins in
     let max_count = Array.fold_left Stdlib.max 1 h.counts in
     for i = 0 to bins - 1 do
       if h.counts.(i) > 0 then begin
         let bar = 50 * h.counts.(i) / max_count in
-        Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@."
-          (h.lo +. (Float.of_int i *. width))
-          (h.lo +. (Float.of_int (i + 1) *. width))
+        Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@." (edge h i)
+          (edge h (i + 1))
           h.counts.(i)
           (String.make bar '#')
       end

@@ -42,7 +42,7 @@ val confidence_interval : ?confidence:float -> t -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation between
-    order statistics. The array is sorted in place. *)
+    order statistics. Sorts a copy — the input array is never mutated. *)
 
 val median : float array -> float
 
@@ -66,14 +66,33 @@ val pp_summary : Format.formatter -> summary -> unit
 
 module Histogram : sig
   type h
-  (** Fixed-width bin histogram over [\[lo, hi)]; values outside the range
-      are clamped into the first/last bin. *)
+  (** Binned histogram over [\[lo, hi)]; values outside the range are
+      clamped into the first/last bin. Buckets are either fixed-width
+      ({!create}) or exponentially growing ({!create_log}) — the latter
+      is the shape latency distributions need (constant *relative*
+      resolution across decades). *)
 
   val create : lo:float -> hi:float -> bins:int -> h
+  (** Fixed-width buckets. *)
+
+  val create_log : lo:float -> hi:float -> bins:int -> h
+  (** Exponential buckets: bin [i] covers [\[lo·r^i, lo·r^(i+1))] with
+      [r = (hi/lo)^(1/bins)]. Requires [lo > 0]. Non-positive samples are
+      clamped into the first bin. *)
+
   val add : h -> float -> unit
   val counts : h -> int array
   val total : h -> int
+  val sum : h -> float
+  val mean : h -> float
+  (** [nan] when empty. *)
+
   val bin_edges : h -> float array
+  val percentile_estimate : h -> float -> float
+  (** Percentile estimated from bucket counts (linear interpolation
+      within the covering bucket); [nan] when empty. With log buckets the
+      error is a constant relative factor bounded by the bucket ratio. *)
+
   val pp : Format.formatter -> h -> unit
   (** Render as an ASCII bar chart, one line per non-empty bin. *)
 end

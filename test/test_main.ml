@@ -5,6 +5,7 @@ let () =
     (List.concat
        [
          Test_util.suite;
+         Test_obs.suite;
          Test_codec.suite;
          Test_sim.suite;
          Test_paxos_unit.suite;

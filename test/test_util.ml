@@ -196,6 +196,36 @@ let test_percentiles () =
 let test_percentile_interpolation () =
   check_float "interpolated" 1.5 (Stats.percentile [| 1.0; 2.0 |] 50.0)
 
+(* Regression: [percentile] once sorted its argument in place, silently
+   reordering callers' sample arrays. *)
+let test_percentile_no_mutation () =
+  let xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  let before = Array.copy xs in
+  ignore (Stats.percentile xs 50.0);
+  ignore (Stats.summarize xs);
+  Alcotest.(check (array (float 0.0))) "input untouched" before xs
+
+let test_log_histogram () =
+  let h = Stats.Histogram.create_log ~lo:0.1 ~hi:1000.0 ~bins:40 in
+  List.iter (Stats.Histogram.add h) [ 0.05; 0.5; 5.0; 50.0; 500.0; 5000.0 ];
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  let edges = Stats.Histogram.bin_edges h in
+  Alcotest.(check int) "edges" 41 (Array.length edges);
+  check_floatish "first edge" ~eps:1e-9 0.1 edges.(0);
+  check_floatish "last edge" ~eps:1e-6 1000.0 edges.(40);
+  (* Exponential growth: constant edge ratio. *)
+  let r0 = edges.(1) /. edges.(0) and r20 = edges.(21) /. edges.(20) in
+  check_floatish "constant ratio" ~eps:1e-9 r0 r20;
+  (* Percentile estimate lands within a bucket of the true value. *)
+  let h2 = Stats.Histogram.create_log ~lo:1.0 ~hi:1000.0 ~bins:60 in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h2 (Float.of_int i)
+  done;
+  let p50 = Stats.Histogram.percentile_estimate h2 50.0 in
+  Alcotest.(check bool) "p50 near 500" true (p50 > 440.0 && p50 < 560.0);
+  let p99 = Stats.Histogram.percentile_estimate h2 99.0 in
+  Alcotest.(check bool) "p99 near 990" true (p99 > 890.0 && p99 < 1090.0)
+
 let test_summarize () =
   let s = Stats.summarize (Array.init 100 (fun i -> Float.of_int i)) in
   Alcotest.(check int) "n" 100 s.n;
@@ -403,8 +433,11 @@ let suite =
         Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
         Alcotest.test_case "percentiles" `Quick test_percentiles;
         Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+        Alcotest.test_case "percentile leaves input unsorted" `Quick
+          test_percentile_no_mutation;
         Alcotest.test_case "summarize" `Quick test_summarize;
         Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "log histogram" `Quick test_log_histogram;
       ] );
     ( "util.heap",
       Alcotest.test_case "empty heap" `Quick test_heap_empty
