@@ -23,12 +23,8 @@ module RT = Experiment.RT
 
 let churn_trial ~rtype ~period ~seed =
   let cfg =
-    { (Grid_paxos.Config.default ~n:3) with
-      suspicion_ms = 20.0;
-      stability_ms = 5.0;
-      hb_period_ms = 5.0;
-      client_retry_ms = 60.0;
-      accept_retry_ms = 20.0 }
+    Grid_paxos.Config.make ~n:3 ~suspicion_ms:20.0 ~stability_ms:5.0 ~hb_period_ms:5.0
+      ~client_retry_ms:60.0 ~accept_retry_ms:20.0 ()
   in
   let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
   ignore (RT.await_leader t);
@@ -47,20 +43,16 @@ let churn_trial ~rtype ~period ~seed =
      arm ());
   let total = 2_000 in
   let results =
-    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients:4
+    RT.run_closed_loop_ops t ~max_sim_ms:3_600_000.0 ~clients:4
       ~requests_per_client:(total / 4) ~gen:(fun ~client:_ () ->
-        Some (rtype, Experiment.noop_payload rtype))
+        Some (Experiment.noop_item rtype))
   in
   RT.throughput_rps results
 
 let txn_churn_trial ~period ~seed =
   let cfg =
-    { (Grid_paxos.Config.default ~n:3) with
-      suspicion_ms = 20.0;
-      stability_ms = 5.0;
-      hb_period_ms = 5.0;
-      client_retry_ms = 60.0;
-      accept_retry_ms = 20.0 }
+    Grid_paxos.Config.make ~n:3 ~suspicion_ms:20.0 ~stability_ms:5.0 ~hb_period_ms:5.0
+      ~client_retry_ms:60.0 ~accept_retry_ms:20.0 ()
   in
   let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
   ignore (RT.await_leader t);
@@ -80,7 +72,7 @@ let txn_churn_trial ~period ~seed =
   let txns = 400 in
   let reqs_per_txn = 3 in
   let results =
-    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients:2
+    RT.run_closed_loop_ops t ~max_sim_ms:3_600_000.0 ~clients:2
       ~requests_per_client:(txns / 2 * (reqs_per_txn + 1))
       ~gen:(Experiment.txn_gen Experiment.Optimized ~reqs_per_txn ~txns:(txns / 2))
   in
@@ -137,14 +129,14 @@ let run_leader_switch ~quick () =
    under full-state, delta and witness shipping, over a 1 Gb/s LAN. *)
 
 let state_size_trial ~ship ~size ~seed =
-  let cfg = { (Grid_paxos.Config.default ~n:3) with ship } in
+  let cfg = Grid_paxos.Config.make ~n:3 ~ship () in
   let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
   Network.set_sizer (RT.network t) msg_size;
   Network.set_bandwidth (RT.network t) 125_000.0 (* 1 Gb/s in bytes/ms *);
-  let payload = Noop.encode_op (Noop.Noop_sized_write size) in
   let results =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:20 ~gen:(fun ~client:_ () ->
-        Some (Write, payload))
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:20
+      ~gen:(fun ~client:_ () ->
+        Some (Grid_runtime.Runtime.Do (Noop.Noop_sized_write size)))
   in
   let lats = RT.latencies results in
   (* Skip the first write: it legitimately ships the newly-grown padding

@@ -25,7 +25,7 @@ let per_request_messages ~gen ~requests ~seed =
   let t = RT.create ~cfg:(Grid_paxos.Config.default ~n:3) ~scenario:(Scenario.uniform ()) ~seed () in
   ignore (RT.await_leader t);
   RT.reset_message_counts t;
-  let _ = RT.run_closed_loop t ~clients:1 ~requests_per_client:requests ~gen in
+  let _ = RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:requests ~gen in
   let counts = RT.message_counts t in
   let total_no_hb =
     List.fold_left
@@ -41,7 +41,7 @@ let run ~quick:_ ~only =
     let requests = 200 in
     let simple rtype =
       per_request_messages ~requests ~seed:3 ~gen:(fun ~client:_ () ->
-          Some (rtype, Experiment.noop_payload rtype))
+          Some (Experiment.noop_item rtype))
     in
     let txn () =
       (* 3-op optimized transactions: 4 requests per txn. *)

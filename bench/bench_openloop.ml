@@ -16,10 +16,13 @@ let latency_at ~rtype ~rps ~seed ~duration_ms =
     OL.RT.create ~cfg:(Grid_paxos.Config.default ~n:3) ~scenario:Scenario.sysnet ~seed ()
   in
   ignore (OL.RT.await_leader t);
-  let payload =
-    Noop.encode_op (match rtype with Read -> Noop.Noop_read | _ -> Noop.Noop_write)
+  let item : Noop.op Grid_runtime.Runtime.item =
+    match rtype with
+    | Read -> Do Noop.Noop_read
+    | Original -> Unreplicated Noop.Noop_write
+    | _ -> Do Noop.Noop_write
   in
-  let r = OL.run t ~seed:(seed + 100) ~rps ~duration_ms ~rtype ~payload in
+  let r = OL.run t ~seed:(seed + 100) ~rps ~duration_ms ~item in
   if Array.length r.latencies_ms = 0 then nan
   else begin
     let copy = Array.copy r.latencies_ms in

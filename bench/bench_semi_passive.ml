@@ -91,7 +91,9 @@ let sp_client_run t ~(scenario : Scenario.t) ~count ~on_progress =
     | None -> ()
   and submit () =
     sent_at := Engine.now t.eng;
-    dispatch (Client.submit client Write ~payload:(Noop.encode_op Noop.Noop_write)) None
+    match Client.submit client Write ~payload:(Noop.encode_op Noop.Noop_write) with
+    | `Sent actions -> dispatch actions None
+    | `Busy -> ()
   in
   Network.add_node t.net ~id:node ~recv_cost:scenario.client_recv_cost
     ~send_cost:scenario.client_send_cost (fun ~src msg ->
@@ -108,8 +110,7 @@ let sp_client_run t ~(scenario : Scenario.t) ~count ~on_progress =
   drive ();
   Array.of_list (List.rev !latencies)
 
-let sp_cfg () =
-  { (Grid_paxos.Config.default ~n:3) with suspicion_ms = 100.0 }
+let sp_cfg () = Grid_paxos.Config.make ~n:3 ~suspicion_ms:100.0 ()
 
 (* Failure-free write RRT under semi-passive. *)
 let sp_rrt ~seed =
@@ -138,16 +139,14 @@ let sp_failover_gap ~seed =
 (* The paper's protocol under an identical crash (same suspicion
    timeout), using the standard runtime. *)
 let basic_failover_gap ~seed =
-  let cfg =
-    { (Grid_paxos.Config.default ~n:3) with suspicion_ms = 100.0; stability_ms = 30.0 }
-  in
+  let cfg = Grid_paxos.Config.make ~n:3 ~suspicion_ms:100.0 ~stability_ms:30.0 () in
   let t = RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
   ignore (RT.await_leader t);
   ignore
     (Engine.schedule (RT.engine t) ~delay:10.0 (fun () -> RT.crash_replica t 0));
   let results =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:40 ~gen:(fun ~client:_ () ->
-        Some (Write, Noop.encode_op Noop.Noop_write))
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:40
+      ~gen:(fun ~client:_ () -> Some (Grid_runtime.Runtime.Do Noop.Noop_write))
   in
   (* The request in flight during the switch absorbs the whole fail-over
      gap, so the maximum latency is the gap. *)

@@ -5,18 +5,21 @@
    the paper does. *)
 
 module Config = Grid_paxos.Config
+module Runtime = Grid_runtime.Runtime
 module Scenario = Grid_runtime.Scenario
 module Stats = Grid_util.Stats
 module Noop = Grid_services.Noop
-module Wire = Grid_codec.Wire
 open Grid_paxos.Types
 
 module RT = Grid_runtime.Runtime.Make (Noop)
 
-let noop_payload rtype =
+(* The typed item each request class submits; encoding stays inside the
+   runtime. *)
+let noop_item rtype : Noop.op Runtime.item =
   match rtype with
-  | Read -> Noop.encode_op Noop.Noop_read
-  | _ -> Noop.encode_op Noop.Noop_write
+  | Read -> Do Noop.Noop_read
+  | Original -> Unreplicated Noop.Noop_write
+  | _ -> Do Noop.Noop_write
 
 (* One runtime per trial; the seed varies so trials see independent
    latency draws, like the paper's repeated samples. *)
@@ -31,8 +34,8 @@ let make_runtime ?(cfg_tweak = Fun.id) ~scenario ~seed () =
 let rrt_trial ?cfg_tweak ~scenario ~rtype ~reqs ~seed () =
   let t = make_runtime ?cfg_tweak ~scenario ~seed () in
   let results =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:reqs ~gen:(fun ~client:_ () ->
-        Some (rtype, noop_payload rtype))
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:reqs
+      ~gen:(fun ~client:_ () -> Some (noop_item rtype))
   in
   let lats = RT.latencies results in
   Array.fold_left ( +. ) 0.0 lats /. Float.of_int (Array.length lats)
@@ -61,8 +64,9 @@ let throughput_trial ?cfg_tweak ~scenario ~rtype ~clients ~total ~seed () =
   let t = make_runtime ?cfg_tweak ~scenario ~seed () in
   let per_client = Stdlib.max 1 (total / clients) in
   let results =
-    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients ~requests_per_client:per_client
-      ~gen:(fun ~client:_ () -> Some (rtype, noop_payload rtype))
+    RT.run_closed_loop_ops t ~max_sim_ms:3_600_000.0 ~clients
+      ~requests_per_client:per_client
+      ~gen:(fun ~client:_ () -> Some (noop_item rtype))
   in
   RT.throughput_rps results
 
@@ -85,21 +89,21 @@ let throughput ?cfg_tweak ?report ~scenario ~rtype ~clients ~total ~trials () =
 
 type txn_mode = Read_write | Write_only | Optimized
 
-let txn_requests mode ~reqs_per_txn ~txn_index =
+let txn_requests mode ~reqs_per_txn ~txn_index : Noop.op Runtime.item list =
   match mode with
   | Read_write ->
     let writes = reqs_per_txn / 2 in
     let reads = reqs_per_txn - writes in
-    List.init reads (fun _ -> (Read, noop_payload Read))
-    @ List.init writes (fun _ -> (Write, noop_payload Write))
-    @ [ (Write, noop_payload Write) ]  (* the commit coordinates too *)
+    List.init reads (fun _ -> noop_item Read)
+    @ List.init writes (fun _ -> noop_item Write)
+    @ [ noop_item Write ]  (* the commit coordinates too *)
   | Write_only ->
-    List.init reqs_per_txn (fun _ -> (Write, noop_payload Write))
-    @ [ (Write, noop_payload Write) ]
+    List.init reqs_per_txn (fun _ -> noop_item Write)
+    @ [ noop_item Write ]
   | Optimized ->
     let tid = txn_index + 1 in
-    List.init reqs_per_txn (fun _ -> (Txn_op tid, noop_payload Write))
-    @ [ (Txn_commit tid, Wire.encode (fun e -> Wire.Encoder.uint e reqs_per_txn)) ]
+    List.init reqs_per_txn (fun _ -> Runtime.In_txn (tid, Noop.Noop_write))
+    @ [ Runtime.Commit_txn { tid; ops = reqs_per_txn } ]
 
 (* A client session of [txns] back-to-back transactions. *)
 let txn_gen mode ~reqs_per_txn ~txns ~client:_ =
@@ -132,7 +136,7 @@ let txn_rrt_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~txns ~seed () =
   let t = make_runtime ?cfg_tweak ~scenario ~seed () in
   let group = reqs_per_txn + 1 in
   let results =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:(txns * group)
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:(txns * group)
       ~gen:(txn_gen mode ~reqs_per_txn ~txns)
   in
   (* Group per-client-ordered latencies into transactions. *)
@@ -170,7 +174,7 @@ let txn_throughput_trial ?cfg_tweak ~scenario ~mode ~reqs_per_txn ~clients ~txns
   let group = reqs_per_txn + 1 in
   let txns = Stdlib.max 1 (txns_total / clients) in
   let results =
-    RT.run_closed_loop t ~max_sim_ms:3_600_000.0 ~clients
+    RT.run_closed_loop_ops t ~max_sim_ms:3_600_000.0 ~clients
       ~requests_per_client:(txns * group)
       ~gen:(txn_gen mode ~reqs_per_txn ~txns)
   in

@@ -9,7 +9,6 @@
 
 open Cmdliner
 module Stats = Grid_util.Stats
-open Grid_paxos.Types
 
 type workload = W_read | W_write | W_original | W_mixed
 
@@ -32,21 +31,22 @@ let workload_conv =
   Arg.conv (parse, print)
 
 let run cluster service workload count client_id =
-  let start (module S : Grid_paxos.Service_intf.S) ~read_op ~write_op =
+  let start (type a) (module S : Grid_paxos.Service_intf.S with type op = a)
+      ~(read_op : a) ~(write_op : a) =
     let module Tcp = Grid_net.Tcp_node.Make (S) in
     let client = Tcp.start_client ~id:client_id ~replicas:cluster () in
     let acc = Stats.create () in
     let failures = ref 0 in
     let request k =
-      let rtype, payload =
+      let unreplicated, op =
         match workload with
-        | W_read -> (Read, read_op)
-        | W_write -> (Write, write_op)
-        | W_original -> (Original, write_op)
-        | W_mixed -> if k mod 2 = 0 then (Read, read_op) else (Write, write_op)
+        | W_read -> (false, read_op)
+        | W_write -> (false, write_op)
+        | W_original -> (true, write_op)
+        | W_mixed -> (false, if k mod 2 = 0 then read_op else write_op)
       in
       let t0 = Unix.gettimeofday () in
-      match Tcp.call client rtype ~payload ~timeout_s:10.0 with
+      match Tcp.call_op client ~unreplicated op ~timeout_s:10.0 with
       | Some _ -> Stats.add acc ((Unix.gettimeofday () -. t0) *. 1000.0)
       | None -> incr failures
     in
@@ -63,20 +63,18 @@ let run cluster service workload count client_id =
   | Service_select.Counter ->
     start
       (module Grid_services.Counter)
-      ~read_op:(Grid_services.Counter.encode_op Grid_services.Counter.Get)
-      ~write_op:(Grid_services.Counter.encode_op (Grid_services.Counter.Add 1))
+      ~read_op:Grid_services.Counter.Get
+      ~write_op:(Grid_services.Counter.Add 1)
   | Service_select.Kv ->
     start
       (module Grid_services.Kv_store)
-      ~read_op:(Grid_services.Kv_store.encode_op (Grid_services.Kv_store.Get "k"))
-      ~write_op:
-        (Grid_services.Kv_store.encode_op
-           (Grid_services.Kv_store.Put { key = "k"; value = "v" }))
+      ~read_op:(Grid_services.Kv_store.Get "k")
+      ~write_op:(Grid_services.Kv_store.Put { key = "k"; value = "v" })
   | Service_select.Noop ->
     start
       (module Grid_services.Noop)
-      ~read_op:(Grid_services.Noop.encode_op Grid_services.Noop.Noop_read)
-      ~write_op:(Grid_services.Noop.encode_op Grid_services.Noop.Noop_write)
+      ~read_op:Grid_services.Noop.Noop_read
+      ~write_op:Grid_services.Noop.Noop_write
 
 let cluster_arg =
   Arg.(

@@ -20,11 +20,8 @@ let run id cluster service storage verbose =
   in
   let peers = List.filter (fun (i, _) -> i <> id) cluster in
   let cfg =
-    { (Grid_paxos.Config.default ~n:(List.length cluster)) with
-      hb_period_ms = 50.0;
-      suspicion_ms = 300.0;
-      stability_ms = 100.0;
-      accept_retry_ms = 100.0 }
+    Grid_paxos.Config.make ~n:(List.length cluster) ~hb_period_ms:50.0
+      ~suspicion_ms:300.0 ~stability_ms:100.0 ~accept_retry_ms:100.0 ()
   in
   let storage =
     match storage with

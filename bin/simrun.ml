@@ -33,15 +33,19 @@ let rtype_conv =
   Arg.conv (parse, fun ppf r -> pp_rtype ppf r)
 
 let run scenario rtype clients requests seed trace trace_dump =
-  let cfg = Grid_paxos.Config.default ~n:3 in
+  let cfg = Grid_paxos.Config.make ~n:3 () in
   let tracing = trace || trace_dump <> None in
   let t = RT.create ~cfg ~scenario ~seed ~trace:tracing () in
-  let payload =
-    Noop.encode_op (match rtype with Read -> Noop.Noop_read | _ -> Noop.Noop_write)
+  let item : Noop.op Grid_runtime.Runtime.item =
+    match rtype with
+    | Read -> Do Noop.Noop_read
+    | Original -> Unreplicated Noop.Noop_write
+    | _ -> Do Noop.Noop_write
   in
   let results =
-    RT.run_closed_loop t ~clients ~requests_per_client:(Stdlib.max 1 (requests / clients))
-      ~gen:(fun ~client:_ () -> Some (rtype, payload))
+    RT.run_closed_loop_ops t ~clients
+      ~requests_per_client:(Stdlib.max 1 (requests / clients))
+      ~gen:(fun ~client:_ () -> Some item)
   in
   let lats = RT.latencies results in
   let summary = Stats.summarize lats in
@@ -64,7 +68,13 @@ let run scenario rtype clients requests seed trace trace_dump =
          exit 1);
       Printf.printf "trace:      %d events -> %s (query with bin/tracestat.exe)\n"
         (List.length events) file
-    | None -> if trace then Format.printf "trace:@.%a@." Grid_sim.Trace.pp (RT.trace t)
+    | None ->
+      if trace then begin
+        Format.printf "trace:@.";
+        List.iter
+          (fun ev -> Format.printf "  %a@." Grid_obs.Span.pp_event ev)
+          (Grid_obs.Span.Recorder.events (RT.obs t))
+      end
   end
 
 let scenario_arg =

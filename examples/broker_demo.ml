@@ -10,7 +10,6 @@
 
 module Broker = Grid_services.Resource_broker
 module RT = Grid_runtime.Runtime.Make (Broker)
-open Grid_paxos.Types
 
 (* Two sites with four machines each; then a burst of randomized
    selections from site-0 clients, some spilling to the remote site. *)
@@ -24,17 +23,17 @@ let workload =
     ]
 
 let run coordination =
-  let cfg = { (Grid_paxos.Config.default ~n:3) with coordination } in
+  let cfg = Grid_paxos.Config.make ~n:3 ~coordination () in
   let t = RT.create ~cfg ~scenario:(Grid_runtime.Scenario.uniform ()) () in
   let remaining = ref workload in
   let _ =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:(List.length workload)
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:(List.length workload)
       ~gen:(fun ~client:_ () ->
         match !remaining with
         | [] -> None
         | op :: rest ->
           remaining := rest;
-          Some (Write, Broker.encode_op op))
+          Some (Grid_runtime.Runtime.Do op))
   in
   RT.run_until t (RT.now t +. 200.0);
   Array.init 3 (fun i -> RT.R.state (RT.replica t i))

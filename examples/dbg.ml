@@ -3,11 +3,11 @@ module Counter = Grid_services.Counter
 open Grid_paxos.Types
 
 let mc_requests =
-  [ (1, Write, Counter.encode_op (Counter.Add 5));
-    (2, Write, Counter.encode_op (Counter.Add 7));
-    (1, Read, Counter.encode_op Counter.Get);
-    (2, Write, Counter.encode_op (Counter.Add 1));
-    (3, Read, Counter.encode_op Counter.Get) ]
+  [ MC.request 1 (Counter.Add 5);
+    MC.request 2 (Counter.Add 7);
+    MC.request 1 Counter.Get;
+    MC.request 2 (Counter.Add 1);
+    MC.request 3 Counter.Get ]
 
 let () =
   let o = MC.run ~seed:34 ~steps:2000 ~crash_prob:0.0 ~requests:mc_requests () in

@@ -6,10 +6,9 @@
 
 module Counter = Grid_services.Counter
 module RT = Grid_runtime.Runtime.Make (Counter)
-open Grid_paxos.Types
 
 let () =
-  let cfg = { (Grid_paxos.Config.default ~n:3) with record_history = true } in
+  let cfg = Grid_paxos.Config.make ~n:3 ~record_history:true () in
   let scenario = Grid_runtime.Scenario.uniform () in
   let t = RT.create ~cfg ~scenario ~trace:true () in
   let leader0 = Option.get (RT.await_leader t) in
@@ -27,8 +26,8 @@ let () =
          RT.recover_replica t leader0));
 
   let results =
-    RT.run_closed_loop t ~clients:2 ~requests_per_client:30 ~gen:(fun ~client:_ ->
-        fun () -> Some (Write, Counter.encode_op (Counter.Add 1)))
+    RT.run_closed_loop_ops t ~clients:2 ~requests_per_client:30 ~gen:(fun ~client:_ ->
+        fun () -> Some (Grid_runtime.Runtime.Do (Counter.Add 1)))
   in
   Printf.printf "workload: %d/%d requests answered, %.1f ms total\n"
     results.total_completed 60
@@ -48,4 +47,9 @@ let () =
   Printf.printf "agreement violations: %d\n" (List.length violations);
 
   print_endline "\nprotocol trace (elections, prepares, re-proposals):";
-  Format.printf "%a@." Grid_sim.Trace.pp (RT.trace t)
+  List.iter
+    (fun (ev : Grid_obs.Span.event) ->
+      match ev.body with
+      | Grid_obs.Span.Note _ -> Format.printf "  %a@." Grid_obs.Span.pp_event ev
+      | _ -> ())
+    (Grid_obs.Span.Recorder.events (RT.obs t))

@@ -27,16 +27,16 @@ let () =
   let last = ref Lease.Released in
   let client = RT.add_client t ~id:1 ~on_reply:(fun r ->
       last := Lease.decode_result r.payload) () in
-  let call rtype op =
-    RT.submit t client rtype ~payload:(Lease.encode_op op);
+  let call op =
+    RT.submit_op t client op;
     RT.run_until t (RT.now t +. 50.0);
     !last
   in
 
   Printf.printf "t=%6.0f site 1 acquires the tape silo for 60 s: %s\n" (RT.now t)
-    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
+    (show (call (Lease.Acquire { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
   Printf.printf "t=%6.0f site 2 tries to grab it:              %s\n" (RT.now t)
-    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
+    (show (call (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
 
   let leader = Option.get (RT.leader t) in
   Printf.printf "t=%6.0f *** leader (replica %d) crashes ***\n" (RT.now t) leader;
@@ -45,11 +45,11 @@ let () =
   Printf.printf "t=%6.0f new leader: replica %d\n" (RT.now t) (Option.get (RT.leader t));
 
   Printf.printf "t=%6.0f lease after failover:                 %s\n" (RT.now t)
-    (show (call Read (Lease.Holder_of "tape-silo")));
+    (show (call (Lease.Holder_of "tape-silo")));
   Printf.printf "t=%6.0f site 2 still denied:                  %s\n" (RT.now t)
-    (show (call Write (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
+    (show (call (Lease.Acquire { resource = "tape-silo"; holder = 2; ttl_ms = 60_000.0 })));
   Printf.printf "t=%6.0f site 1 renews through the NEW leader: %s\n" (RT.now t)
-    (show (call Write (Lease.Renew { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
+    (show (call (Lease.Renew { resource = "tape-silo"; holder = 1; ttl_ms = 60_000.0 })));
 
   print_endline
     "\nThe grant deadline was computed from the ORIGINAL leader's clock and\n\

@@ -22,12 +22,12 @@ let () =
 
   (* One closed-loop client: ten increments, then a read. *)
   let results =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:11 ~gen:(fun ~client:_ ->
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:11 ~gen:(fun ~client:_ ->
         let n = ref 0 in
         fun () ->
           incr n;
-          if !n <= 10 then Some (Write, Counter.encode_op (Counter.Add !n))
-          else Some (Read, Counter.encode_op Counter.Get))
+          if !n <= 10 then Some (Grid_runtime.Runtime.Do (Counter.Add !n))
+          else Some (Grid_runtime.Runtime.Do Counter.Get))
   in
   List.iter
     (fun r ->

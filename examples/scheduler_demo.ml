@@ -8,7 +8,6 @@
 module Sched = Grid_services.Grid_scheduler
 module Rng = Grid_util.Rng
 module RT = Grid_runtime.Runtime.Make (Sched)
-open Grid_paxos.Types
 
 (* Part 1: the unreplicated race (§2). Job A arrives at t1; job B, with
    higher priority, at t2 > t1. A fast scheduler that examines the queue
@@ -53,7 +52,7 @@ let race_demo () =
    random machine choices, because decisions ship as state. *)
 let replicated_demo () =
   print_endline "Part 2 — the same service actively replicated (3 replicas):";
-  let cfg = { (Grid_paxos.Config.default ~n:3) with record_history = true } in
+  let cfg = Grid_paxos.Config.make ~n:3 ~record_history:true () in
   let t = RT.create ~cfg ~scenario:(Grid_runtime.Scenario.uniform ()) () in
   let ops =
     List.concat
@@ -67,13 +66,13 @@ let replicated_demo () =
   in
   let remaining = ref ops in
   let _ =
-    RT.run_closed_loop t ~clients:1 ~requests_per_client:(List.length ops)
+    RT.run_closed_loop_ops t ~clients:1 ~requests_per_client:(List.length ops)
       ~gen:(fun ~client:_ () ->
         match !remaining with
         | [] -> None
         | op :: rest ->
           remaining := rest;
-          Some (Write, Sched.encode_op op))
+          Some (Grid_runtime.Runtime.Do op))
   in
   RT.run_until t (RT.now t +. 200.0);
   let st0 = RT.R.state (RT.replica t 0) in

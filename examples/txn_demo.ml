@@ -5,11 +5,9 @@
      dune exec examples/txn_demo.exe *)
 
 module Kv = Grid_services.Kv_store
-module Wire = Grid_codec.Wire
-module RT = Grid_runtime.Runtime.Make (Kv)
+module Runtime = Grid_runtime.Runtime
+module RT = Runtime.Make (Kv)
 open Grid_paxos.Types
-
-let commit_payload n_ops = Wire.encode (fun e -> Wire.Encoder.uint e n_ops)
 
 let show_status (s : status) =
   Format.asprintf "%a" pp_status s
@@ -31,13 +29,13 @@ let () =
 
   print_endline "1. Alice runs a 3-op transaction; ops are answered instantly,";
   print_endline "   only the commit waits for the accept phase:";
-  RT.submit t alice (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "job/1"; value = "queued" }));
+  RT.submit_item t alice (Runtime.In_txn (1, Kv.Put { key = "job/1"; value = "queued" }));
   RT.run_until t (RT.now t +. 10.0);
-  RT.submit t alice (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "job/2"; value = "queued" }));
+  RT.submit_item t alice (Runtime.In_txn (1, Kv.Put { key = "job/2"; value = "queued" }));
   RT.run_until t (RT.now t +. 10.0);
-  RT.submit t alice (Txn_op 1) ~payload:(Kv.encode_op (Kv.Append { key = "audit"; value = "alice;" }));
+  RT.submit_item t alice (Runtime.In_txn (1, Kv.Append { key = "audit"; value = "alice;" }));
   RT.run_until t (RT.now t +. 10.0);
-  RT.submit t alice (Txn_commit 1) ~payload:(commit_payload 3);
+  RT.submit_item t alice (Runtime.Commit_txn { tid = 1; ops = 3 });
   RT.run_until t (RT.now t +. 20.0);
   List.iter
     (fun (who, seq, status, _) ->
@@ -46,12 +44,12 @@ let () =
   log := [];
 
   print_endline "\n2. Alice and Bob race on the same key; first committer wins:";
-  RT.submit t alice (Txn_op 2) ~payload:(Kv.encode_op (Kv.Put { key = "lock"; value = "alice" }));
-  RT.submit t bob (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "lock"; value = "bob" }));
+  RT.submit_item t alice (Runtime.In_txn (2, Kv.Put { key = "lock"; value = "alice" }));
+  RT.submit_item t bob (Runtime.In_txn (1, Kv.Put { key = "lock"; value = "bob" }));
   RT.run_until t (RT.now t +. 10.0);
-  RT.submit t alice (Txn_commit 2) ~payload:(commit_payload 1);
+  RT.submit_item t alice (Runtime.Commit_txn { tid = 2; ops = 1 });
   RT.run_until t (RT.now t +. 20.0);
-  RT.submit t bob (Txn_commit 1) ~payload:(commit_payload 1);
+  RT.submit_item t bob (Runtime.Commit_txn { tid = 1; ops = 1 });
   RT.run_until t (RT.now t +. 20.0);
   List.iter
     (fun (who, seq, status, _) ->
@@ -62,14 +60,14 @@ let () =
   log := [];
 
   print_endline "\n3. A leader switch mid-transaction aborts it (§3.6):";
-  RT.submit t bob (Txn_op 2) ~payload:(Kv.encode_op (Kv.Put { key = "doomed"; value = "x" }));
+  RT.submit_item t bob (Runtime.In_txn (2, Kv.Put { key = "doomed"; value = "x" }));
   RT.run_until t (RT.now t +. 10.0);
   let l = Option.get (RT.leader t) in
   Printf.printf "   crashing leader (replica %d) before Bob commits...\n" l;
   RT.crash_replica t l;
   RT.run_until t (RT.now t +. 500.0);
   Printf.printf "   new leader: replica %d\n" (Option.get (RT.leader t));
-  RT.submit t bob (Txn_commit 2) ~payload:(commit_payload 1);
+  RT.submit_item t bob (Runtime.Commit_txn { tid = 2; ops = 1 });
   RT.run_until t (RT.now t +. 500.0);
   List.iter
     (fun (who, seq, status, _) ->

@@ -420,10 +420,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let run_mode ?(obs = Grid_obs.Span.Recorder.disabled) ~seed ~steps ~max_down
       ~meta_drop_prob ~disable_dedup ~requests ~mode () =
     let rng = Rng.of_int seed in
-    let cfg =
-      { (Grid_paxos.Config.default ~n:3) with record_history = true;
-        disable_dedup }
-    in
+    let cfg = Grid_paxos.Config.make ~n:3 ~record_history:true ~disable_dedup () in
     let stores = Array.make cfg.n (Grid_paxos.Storage.null ()) in
     let reads =
       Array.make cfg.n (fun () ->
@@ -581,6 +578,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       duplicated = count (function Duplicate_at _ -> true | _ -> false);
       reordered = count (function Reorder_at _ -> true | _ -> false);
     }
+
+  (* Typed request triple: the class comes from [S.classify] and the
+     payload from [S.encode_op], so callers never build wire strings. *)
+  let request client op =
+    ( client,
+      (match S.classify op with `Read -> Read | `Write -> Write),
+      S.encode_op op )
 
   let explore ?obs ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(nemesis = no_faults)
       ?(disable_dedup = false) ?(requests = []) () =

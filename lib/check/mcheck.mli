@@ -90,6 +90,11 @@ val failed : outcome -> bool
 module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)
 
+  val request : int -> S.op -> int * Grid_paxos.Types.rtype * string
+  (** [request client op] builds a typed request triple for [requests]:
+      the class comes from [S.classify] and the payload from
+      [S.encode_op], so callers never construct wire strings. *)
+
   val explore :
     ?obs:Grid_obs.Span.Recorder.t ->
     ?seed:int ->

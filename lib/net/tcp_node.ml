@@ -360,7 +360,12 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     h.c_reply := None;
     Mutex.unlock h.c_mutex;
     inject h.c_core (fun () ->
-        run_actions h.c_core (Client.submit h.client ~now:(now_ms ()) rtype ~payload));
+        match Client.submit h.client ~now:(now_ms ()) rtype ~payload with
+        | `Sent actions -> run_actions h.c_core actions
+        | `Busy ->
+          (* Closed-loop contract violated by the caller; leave the
+             previous request outstanding and let this call time out. *)
+          ());
     let deadline = Unix.gettimeofday () +. timeout_s in
     Mutex.lock h.c_mutex;
     let rec wait () =
@@ -382,6 +387,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         end
     in
     wait ()
+
+  (* Typed entrypoint: classification and encoding stay inside the
+     library, so callers never build wire payloads by hand. *)
+  let call_op h ?(unreplicated = false) op ~timeout_s =
+    let rtype : rtype =
+      if unreplicated then Original
+      else match S.classify op with `Read -> Read | `Write -> Write
+    in
+    call h rtype ~payload:(S.encode_op op) ~timeout_s
 
   let client_metrics h = h.c_core.meters.registry
 

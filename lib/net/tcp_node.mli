@@ -71,6 +71,16 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       leader's reply (with protocol-level retransmission), [None] on
       timeout. *)
 
+  val call_op :
+    client_handle ->
+    ?unreplicated:bool ->
+    S.op ->
+    timeout_s:float ->
+    Grid_paxos.Types.reply option
+  (** Typed {!call}: the request class comes from [S.classify] (or
+      [Original] when [unreplicated] is set) and the payload from
+      [S.encode_op], so callers never construct wire strings. *)
+
   val client_metrics : client_handle -> Grid_obs.Metrics.t
   val stop_client : client_handle -> unit
 end

@@ -46,21 +46,18 @@ let broadcast t (r : request) =
   List.map (fun dst -> send ~dst (Client_req r)) t.replicas
 
 let submit t ?(now = 0.0) rtype ~payload =
-  (match t.pending with
-  | Some r ->
-    invalid_arg
-      (Format.asprintf "Client.submit: request %a still outstanding" Ids.Request_id.pp
-         r.id)
-  | None -> ());
-  t.seq <- t.seq + 1;
-  let r =
-    { id = Ids.Request_id.make ~client:t.cid ~seq:t.seq; rtype; payload }
-  in
-  t.pending <- Some r;
-  t.sent <- t.sent + 1;
-  Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:r.id ~instance:(-1)
-    ~detail:"" Span.Client_send;
-  broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry t.seq) ]
+  match t.pending with
+  | Some _ -> `Busy
+  | None ->
+    t.seq <- t.seq + 1;
+    let r =
+      { id = Ids.Request_id.make ~client:t.cid ~seq:t.seq; rtype; payload }
+    in
+    t.pending <- Some r;
+    t.sent <- t.sent + 1;
+    Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:r.id ~instance:(-1)
+      ~detail:"" Span.Client_send;
+    `Sent (broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry t.seq) ])
 
 let handle t ~now input =
   match input with

@@ -26,11 +26,17 @@ val id : t -> Grid_util.Ids.Client_id.t
 val node : t -> int
 (** The node id this client occupies (see {!Types.client_node}). *)
 
-val submit : t -> ?now:float -> Types.rtype -> payload:string -> Types.action list
-(** Issue the next request (closed loop: at most one outstanding; raises
-    [Invalid_argument] if one is pending). Returns the broadcast and the
-    retransmission timer. [now] (default 0) timestamps the [Client_send]
-    span; pass the driver clock when tracing. *)
+val submit :
+  t ->
+  ?now:float ->
+  Types.rtype ->
+  payload:string ->
+  [ `Busy | `Sent of Types.action list ]
+(** Issue the next request. The client is closed-loop — at most one
+    outstanding request — so [`Busy] is returned when one is already
+    pending. [`Sent] carries the broadcast and the retransmission timer
+    for the driver to interpret. [now] (default 0) timestamps the
+    [Client_send] span; pass the driver clock when tracing. *)
 
 val handle : t -> now:float -> Types.input -> Types.action list * Types.reply option
 (** Feed a reply or timer. The returned reply is [Some] exactly when it

@@ -2,9 +2,13 @@
 
     All durations are milliseconds of (simulated or real) time. The
     defaults suit the LAN scenario; WAN scenarios scale the election
-    timeouts up via {!with_wan_timeouts}. *)
+    timeouts up via {!with_wan_timeouts}.
 
-type t = {
+    The record is [private]: read fields freely, but build values with
+    {!default}, {!make} or the [with_*] helpers so every configuration
+    goes through the same validation. *)
+
+type t = private {
   n : int;  (** number of replicas; ids are [0 .. n-1] *)
   execution_cost_ms : float;
       (** the paper's E: service execution time per request *)
@@ -44,67 +48,42 @@ type t = {
           prevents. Never enable outside tests. *)
 }
 
-let default ~n =
-  if n < 1 then invalid_arg "Config.default: need at least one replica";
-  {
-    n;
-    execution_cost_ms = 0.0;
-    accept_retry_ms = 50.0;
-    prepare_retry_ms = 50.0;
-    hb_period_ms = 20.0;
-    suspicion_ms = 100.0;
-    stability_ms = 30.0;
-    client_retry_ms = 500.0;
-    record_history = false;
-    ship = `Delta;
-    snapshot_interval = 64;
-    max_batch = 6;
-    coordination = `State_shipping;
-    disable_dedup = false;
-  }
+val default : n:int -> t
+(** LAN defaults for an [n]-replica group. Raises [Invalid_argument] if
+    [n < 1]. *)
 
-let make ?base ?n ?execution_cost_ms ?accept_retry_ms ?prepare_retry_ms ?hb_period_ms
-    ?suspicion_ms ?stability_ms ?client_retry_ms ?record_history ?ship ?snapshot_interval
-    ?max_batch ?coordination ?disable_dedup () =
-  let base =
-    match base with
-    | Some b -> b
-    | None -> default ~n:(Option.value n ~default:3)
-  in
-  let n = Option.value n ~default:base.n in
-  if n < 1 then invalid_arg "Config.make: need at least one replica";
-  let v field override = Option.value override ~default:field in
-  {
-    n;
-    execution_cost_ms = v base.execution_cost_ms execution_cost_ms;
-    accept_retry_ms = v base.accept_retry_ms accept_retry_ms;
-    prepare_retry_ms = v base.prepare_retry_ms prepare_retry_ms;
-    hb_period_ms = v base.hb_period_ms hb_period_ms;
-    suspicion_ms = v base.suspicion_ms suspicion_ms;
-    stability_ms = v base.stability_ms stability_ms;
-    client_retry_ms = v base.client_retry_ms client_retry_ms;
-    record_history = v base.record_history record_history;
-    ship = v base.ship ship;
-    snapshot_interval = v base.snapshot_interval snapshot_interval;
-    max_batch = v base.max_batch max_batch;
-    coordination = v base.coordination coordination;
-    disable_dedup = v base.disable_dedup disable_dedup;
-  }
+val make :
+  ?base:t ->
+  ?n:int ->
+  ?execution_cost_ms:float ->
+  ?accept_retry_ms:float ->
+  ?prepare_retry_ms:float ->
+  ?hb_period_ms:float ->
+  ?suspicion_ms:float ->
+  ?stability_ms:float ->
+  ?client_retry_ms:float ->
+  ?record_history:bool ->
+  ?ship:[ `Full | `Delta | `Witness ] ->
+  ?snapshot_interval:int ->
+  ?max_batch:int ->
+  ?coordination:[ `State_shipping | `Request_shipping ] ->
+  ?disable_dedup:bool ->
+  unit ->
+  t
+(** Smart constructor: start from [base] (default [default ~n], where [n]
+    defaults to 3) and override the named fields. [Config.make ()] is the
+    3-replica LAN default; [Config.make ~base:cfg ~ship:`Full ()] is the
+    record-update idiom. Raises [Invalid_argument] if the resulting [n]
+    is < 1. *)
 
-let with_n t n = make ~base:t ~n ()
+val with_n : t -> int -> t
+(** [with_n t n] is [t] resized to [n] replicas (scenario overrides). *)
 
-let with_wan_timeouts t =
-  {
-    t with
-    accept_retry_ms = 500.0;
-    prepare_retry_ms = 500.0;
-    hb_period_ms = 200.0;
-    suspicion_ms = 1000.0;
-    stability_ms = 300.0;
-    client_retry_ms = 3000.0;
-  }
+val with_wan_timeouts : t -> t
+(** Election and retransmission timeouts scaled for WAN latencies. *)
 
-let quorum t = (t.n / 2) + 1
+val quorum : t -> int
 (** Majority size: ⌈(n+1)/2⌉, tolerating ⌊(n−1)/2⌋ crashed replicas. *)
 
-let replica_ids t = List.init t.n Fun.id
+val replica_ids : t -> int list
+(** [0 .. n-1]. *)

@@ -4,11 +4,17 @@
 
     One [Make (S)] instantiation simulates one replicated service. All
     randomness derives from the seed passed to {!create}, so every run is
-    reproducible. *)
+    reproducible.
+
+    Several groups can share one engine/network (the sharded runtime in
+    [lib/shard]): each group occupies the node range
+    [node_base .. node_base + n - 1], and the dispatcher translates
+    between the engines' local replica ids and the global node space at
+    the send/receive boundary. Client nodes ([>= client_node_base]) are
+    global and pass through untranslated. *)
 
 module Engine = Grid_sim.Engine
 module Network = Grid_sim.Network
-module Trace = Grid_sim.Trace
 module Span = Grid_obs.Span
 module Metrics = Grid_obs.Metrics
 module Rng = Grid_util.Rng
@@ -16,6 +22,18 @@ module Ids = Grid_util.Ids
 module Config = Grid_paxos.Config
 module Client = Grid_paxos.Client
 open Grid_paxos.Types
+
+(** A typed request: what {!Make.submit_item} and the [_ops] workload
+    drivers consume instead of raw [(rtype, payload)] pairs. Encoding to
+    the wire representation happens inside the runtime, so services and
+    workloads never touch payload strings. *)
+type 'op item =
+  | Do of 'op  (** replicate; coordination class from [S.classify] *)
+  | Unreplicated of 'op  (** the paper's uncoordinated baseline *)
+  | In_txn of int * 'op  (** T-Paxos: operation inside transaction [tid] *)
+  | Commit_txn of { tid : int; ops : int }
+      (** close transaction [tid] after [ops] operations *)
+  | Abort_txn of int
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
@@ -40,6 +58,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     net : msg Network.t;
     cfg : Config.t;
     scenario : Scenario.t;
+    node_base : int;  (* global node id of replica 0 *)
+    actor_prefix : string;  (* "s<k>/" when hosting shard k, else "" *)
     replicas : R.t array;
     clients : (int, client_slot) Hashtbl.t;  (* node id -> slot *)
     down : bool array;
@@ -47,8 +67,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         (* bumped on recovery so timers armed in a previous life die *)
     msg_counts : (string, int) Hashtbl.t;  (* sends by message kind *)
     mutable load_applied : float;  (* server load factor currently in force *)
-    trace : Trace.t;
-    obs : Span.Recorder.t;  (* the recorder behind [trace] *)
+    obs : Span.Recorder.t;
     replica_actors : string array;  (* precomputed "r<i>" labels *)
     metrics : Metrics.t;
     meters : meters;
@@ -58,11 +77,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let engine t = t.eng
   let network t = t.net
   let config t = t.cfg
-  let trace t = t.trace
   let obs t = t.obs
   let metrics t = t.metrics
   let replica t i = t.replicas.(i)
+  let node_base t = t.node_base
   let now t = Engine.now t.eng
+
+  (* Local replica id <-> global node id. Client nodes are global. *)
+  let out_node t dst = if node_is_client dst then dst else t.node_base + dst
+  let in_node t src = if node_is_client src then src else src - t.node_base
 
   let count_msg t msg =
     Metrics.inc t.meters.m_msgs;
@@ -75,8 +98,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | Send { dst; msg } ->
       count_msg t msg;
       Span.Recorder.msg t.obs ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i)
-        ~kind:(msg_kind msg) ~dst;
-      Network.send t.net ~src:i ~dst msg
+        ~kind:(msg_kind msg) ~dst:(out_node t dst);
+      Network.send t.net ~src:(t.node_base + i) ~dst:(out_node t dst) msg
     | After { delay; timer } ->
       let armed_in = t.incarnation.(i) in
       ignore
@@ -87,7 +110,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
                dispatch_replica t i
                  (R.handle t.replicas.(i) ~now:(Engine.now t.eng) (Timer timer))))
     | Note s ->
-      Trace.record t.trace ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i) s
+      Span.Recorder.note t.obs ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i) s
 
   let rec dispatch_client t node actions reply =
     List.iter
@@ -98,9 +121,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           (match slot with
           | Some s ->
             Span.Recorder.msg t.obs ~time:(Engine.now t.eng) ~actor:s.actor
-              ~kind:(msg_kind msg) ~dst
+              ~kind:(msg_kind msg) ~dst:(out_node t dst)
           | None -> ());
-          Network.send t.net ~src:node ~dst msg
+          Network.send t.net ~src:node ~dst:(out_node t dst) msg
         | After { delay; timer }, _ ->
           ignore
             (Engine.schedule t.eng ~delay (fun () ->
@@ -115,19 +138,31 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           let actor =
             match slot with Some sl -> sl.actor | None -> Printf.sprintf "n%d" node
           in
-          Trace.record t.trace ~time:(Engine.now t.eng) ~actor s)
+          Span.Recorder.note t.obs ~time:(Engine.now t.eng) ~actor s)
       actions;
     match (reply, Hashtbl.find_opt t.clients node) with
     | Some r, Some slot -> slot.on_reply r
     | _ -> ()
 
-  let create ?(seed = 42) ?(trace = false) ?trace_capacity ~cfg ~scenario:(sc : Scenario.t) () =
-    let cfg = sc.tune { cfg with Config.n = sc.n } in
-    let eng = Engine.create () in
+  let create ?(seed = 42) ?(trace = false) ?trace_capacity ?attach ?obs ?(node_base = 0)
+      ?shard ~cfg ~scenario:(sc : Scenario.t) () =
+    let cfg = sc.tune (Config.with_n cfg sc.n) in
     let root = Rng.of_int seed in
-    let net = Network.create eng (Rng.split root) in
-    let obs = Span.Recorder.create ?capacity:trace_capacity ~enabled:trace () in
-    let trace = Trace.of_recorder obs in
+    let eng, net =
+      match attach with
+      | Some (eng, net) -> (eng, net)
+      | None ->
+        let eng = Engine.create () in
+        (eng, Network.create eng (Rng.split root))
+    in
+    let obs =
+      match obs with
+      | Some o -> o
+      | None -> Span.Recorder.create ?capacity:trace_capacity ~enabled:trace ()
+    in
+    let actor_prefix =
+      match shard with Some k -> "s" ^ string_of_int k ^ "/" | None -> ""
+    in
     let replicas =
       Array.init cfg.n (fun i ->
           R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ~obs ())
@@ -154,29 +189,35 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         net;
         cfg;
         scenario = sc;
+        node_base;
+        actor_prefix;
         replicas;
         clients = Hashtbl.create 16;
         down = Array.make cfg.n false;
         incarnation = Array.make cfg.n 0;
         msg_counts = Hashtbl.create 16;
         load_applied = 1.0;
-        trace;
         obs;
-        replica_actors = Array.init cfg.n (fun i -> "r" ^ string_of_int i);
+        replica_actors =
+          Array.init cfg.n (fun i -> actor_prefix ^ "r" ^ string_of_int i);
         metrics;
         meters;
         next_client_id = 0;
       }
     in
     for i = 0 to cfg.n - 1 do
-      Network.add_node net ~id:i ~recv_cost:sc.replica_recv_cost
+      Network.add_node net ~id:(node_base + i) ~recv_cost:sc.replica_recv_cost
         ~send_cost:sc.replica_send_cost (fun ~src msg ->
           if not t.down.(i) then
-            dispatch_replica t i (R.handle t.replicas.(i) ~now:(Engine.now eng) (Receive { src; msg })))
+            dispatch_replica t i
+              (R.handle t.replicas.(i) ~now:(Engine.now eng)
+                 (Receive { src = in_node t src; msg })))
     done;
     for i = 0 to cfg.n - 1 do
       for j = 0 to cfg.n - 1 do
-        if i <> j then Network.set_link net ~src:i ~dst:j (sc.replica_link i j)
+        if i <> j then
+          Network.set_link net ~src:(node_base + i) ~dst:(node_base + j)
+            (sc.replica_link i j)
       done
     done;
     Array.iteri (fun i r -> dispatch_replica t i (R.bootstrap r)) replicas;
@@ -194,7 +235,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         ~retry_ms:t.cfg.client_retry_ms ~obs:t.obs ()
     in
     let node = Client.node client in
-    let slot = { client; actor = "c" ^ string_of_int id; on_reply } in
+    let slot =
+      { client; actor = t.actor_prefix ^ "c" ^ string_of_int id; on_reply }
+    in
     Hashtbl.replace t.clients node slot;
     let share = Float.of_int machine_share in
     Network.add_node t.net ~id:node
@@ -202,11 +245,12 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       ~send_cost:(t.scenario.client_send_cost *. share)
       (fun ~src msg ->
         let actions, reply =
-          Client.handle slot.client ~now:(Engine.now t.eng) (Receive { src; msg })
+          Client.handle slot.client ~now:(Engine.now t.eng)
+            (Receive { src = in_node t src; msg })
         in
         dispatch_client t node actions reply);
     for r = 0 to t.cfg.n - 1 do
-      Network.set_link_sym t.net node r (t.scenario.client_link r)
+      Network.set_link_sym t.net node (t.node_base + r) (t.scenario.client_link r)
     done;
     client
 
@@ -221,24 +265,55 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | Some slot -> slot.on_reply <- f
     | None -> invalid_arg "Runtime.set_on_reply: unknown client"
 
+  let try_submit t client rtype ~payload =
+    match Client.submit client ~now:(Engine.now t.eng) rtype ~payload with
+    | `Busy -> `Busy
+    | `Sent actions ->
+      Metrics.inc t.meters.m_requests;
+      dispatch_client t (Client.node client) actions None;
+      `Submitted
+
   let submit t client rtype ~payload =
-    Metrics.inc t.meters.m_requests;
-    dispatch_client t (Client.node client)
-      (Client.submit client ~now:(Engine.now t.eng) rtype ~payload)
-      None
+    match try_submit t client rtype ~payload with
+    | `Submitted -> ()
+    | `Busy -> invalid_arg "Runtime.submit: client has a request outstanding"
+
+  (* Typed submission: classify and encode inside the runtime, so
+     workloads and examples never build payload strings. The commit
+     payload carries the op count on the wire (the replica's T-Paxos path
+     never decodes it, but the byte size matters to the network model). *)
+  let encode_item = function
+    | Do op ->
+      ((match S.classify op with `Read -> Read | `Write -> Write), S.encode_op op)
+    | Unreplicated op -> (Original, S.encode_op op)
+    | In_txn (tid, op) -> (Txn_op tid, S.encode_op op)
+    | Commit_txn { tid; ops } ->
+      ( Txn_commit tid,
+        Grid_codec.Wire.encode (fun e -> Grid_codec.Wire.Encoder.uint e ops) )
+    | Abort_txn tid -> (Txn_abort tid, "")
+
+  let submit_item t client it =
+    let rtype, payload = encode_item it in
+    submit t client rtype ~payload
+
+  let try_submit_item t client it =
+    let rtype, payload = encode_item it in
+    try_submit t client rtype ~payload
+
+  let submit_op t client op = submit_item t client (Do op)
 
   (** {1 Failure control} *)
 
   let crash_replica t i =
     t.down.(i) <- true;
-    Network.crash t.net i
+    Network.crash t.net (t.node_base + i)
 
   (** Recovery restarts the replica's volatile state (as a real process
       restart would) and re-arms its timers. *)
   let recover_replica t i =
     t.down.(i) <- false;
     t.incarnation.(i) <- t.incarnation.(i) + 1;
-    Network.recover t.net i;
+    Network.recover t.net (t.node_base + i);
     dispatch_replica t i (R.restart t.replicas.(i) ~now:(Engine.now t.eng))
 
   let replica_up t i = not t.down.(i)
@@ -319,7 +394,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     let load = t.scenario.server_load_factor clients in
     if load <> t.load_applied then begin
       for i = 0 to t.cfg.n - 1 do
-        Network.scale_node_costs t.net i ~factor:(load /. t.load_applied)
+        Network.scale_node_costs t.net (t.node_base + i) ~factor:(load /. t.load_applied)
       done;
       t.load_applied <- load
     end;
@@ -384,4 +459,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       finished_at = !finished_at;
       total_completed = !total;
     }
+
+  (** Typed-generator front end to {!run_closed_loop}: items are encoded
+      by the runtime, so generators deal only in [S.op]. *)
+  let run_closed_loop_ops ?max_sim_ms ~clients ~requests_per_client ~gen t =
+    run_closed_loop ?max_sim_ms ~clients ~requests_per_client
+      ~gen:(fun ~client ->
+        let next = gen ~client in
+        fun () -> Option.map encode_item (next ()))
+      t
 end

@@ -4,6 +4,18 @@
     replicated service; all randomness derives from the creation seed,
     so runs are reproducible. *)
 
+(** A typed request: what {!Make.submit_item} and the [_ops] workload
+    drivers consume instead of raw [(rtype, payload)] pairs. Encoding to
+    the wire representation happens inside the runtime, so services and
+    workloads never touch payload strings. *)
+type 'op item =
+  | Do of 'op  (** replicate; coordination class from [S.classify] *)
+  | Unreplicated of 'op  (** the paper's uncoordinated baseline *)
+  | In_txn of int * 'op  (** T-Paxos: operation inside transaction [tid] *)
+  | Commit_txn of { tid : int; ops : int }
+      (** close transaction [tid] after [ops] operations *)
+  | Abort_txn of int
+
 module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)
 
@@ -13,6 +25,10 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?seed:int ->
     ?trace:bool ->
     ?trace_capacity:int ->
+    ?attach:Grid_sim.Engine.t * Grid_paxos.Types.msg Grid_sim.Network.t ->
+    ?obs:Grid_obs.Span.Recorder.t ->
+    ?node_base:int ->
+    ?shard:int ->
     cfg:Grid_paxos.Config.t ->
     scenario:Scenario.t ->
     unit ->
@@ -22,23 +38,32 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       and arm their bootstrap timers. With [trace:true] every replica and
       client records request-lifecycle spans, message sends and notes into
       one shared {!Grid_obs.Span.Recorder} (ring buffer of
-      [trace_capacity] events, default 65536). *)
+      [trace_capacity] events, default 65536).
+
+      [attach] hosts this group on an existing engine/network instead of
+      creating its own — the sharded runtime places k groups on one
+      simulation this way. [node_base] (default 0) offsets the group's
+      replica ids in the shared node space; [shard] tags the group's
+      span actors with an ["s<k>/"] prefix; [obs] shares a recorder
+      across groups (overriding [trace]/[trace_capacity]). *)
 
   (** {1 Accessors} *)
 
   val engine : t -> Grid_sim.Engine.t
   val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
   val config : t -> Grid_paxos.Config.t
-  val trace : t -> Grid_sim.Trace.t
+
   val obs : t -> Grid_obs.Span.Recorder.t
-  (** The structured event stream behind {!trace}: lifecycle spans,
-      message events and notes. Empty unless created with [~trace:true]. *)
+  (** The structured event stream: lifecycle spans, message events and
+      notes. Empty unless created with [~trace:true] (or an enabled
+      [obs]). *)
 
   val metrics : t -> Grid_obs.Metrics.t
   (** Registry with request/reply/message counters and the closed-loop
       latency histogram; always live (metrics are cheap). *)
 
   val replica : t -> int -> R.t
+  val node_base : t -> int
   val now : t -> float
 
   (** {1 Clients} *)
@@ -51,13 +76,34 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     unit ->
     Grid_paxos.Client.t
   (** Register a client node. [machine_share] scales its per-message CPU
-      costs to model several client processes sharing one host. *)
+      costs to model several client processes sharing one host. Client
+      ids must be unique across every group sharing one network. *)
 
   val set_on_reply : t -> Grid_paxos.Client.t -> (Grid_paxos.Types.reply -> unit) -> unit
 
   val submit : t -> Grid_paxos.Client.t -> Grid_paxos.Types.rtype -> payload:string -> unit
-  (** Issue a request through the client engine (closed loop: the client
-      must have no outstanding request). *)
+  (** Issue a pre-encoded request through the client engine (closed loop:
+      the client must have no outstanding request; raises
+      [Invalid_argument] otherwise). Prefer {!submit_op}/{!submit_item},
+      which keep payload encoding inside the runtime. *)
+
+  val try_submit :
+    t ->
+    Grid_paxos.Client.t ->
+    Grid_paxos.Types.rtype ->
+    payload:string ->
+    [ `Busy | `Submitted ]
+  (** Like {!submit} but surfaces the closed-loop violation as a value. *)
+
+  val submit_op : t -> Grid_paxos.Client.t -> S.op -> unit
+  (** Typed entry point: classify via [S.classify], encode via
+      [S.encode_op], and submit. Equivalent to [submit_item t c (Do op)]. *)
+
+  val submit_item : t -> Grid_paxos.Client.t -> S.op item -> unit
+
+  val try_submit_item :
+    t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
+  (** {!submit_item} surfacing the closed-loop violation as a value. *)
 
   (** {1 Failure control} *)
 
@@ -115,6 +161,16 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       supply at least [requests_per_client] items. Raises [Failure] if
       the system stalls past [max_sim_ms] (default 600 s) of simulated
       time. *)
+
+  val run_closed_loop_ops :
+    ?max_sim_ms:float ->
+    clients:int ->
+    requests_per_client:int ->
+    gen:(client:int -> unit -> S.op item option) ->
+    t ->
+    results
+  (** Typed-generator front end to {!run_closed_loop}: items are encoded
+      by the runtime, so generators deal only in [S.op]. *)
 
   (** {1 Introspection} *)
 

@@ -2,29 +2,33 @@
     read/write mixes, Zipf-skewed key-value traffic, transaction scripts,
     and an open-loop (Poisson-arrival) driver that measures latency under
     a fixed offered load instead of the closed-loop saturation the
-    paper's methodology induces. *)
+    paper's methodology induces.
+
+    Generators are typed: they yield {!Runtime.item} values over the
+    service's own [op] type, and the runtime encodes them — no payload
+    strings at this layer. *)
 
 module Rng = Grid_util.Rng
 module Stats = Grid_util.Stats
-open Grid_paxos.Types
 
 (** {1 Request generators}
 
-    A generator is what {!Runtime.Make.run_closed_loop} consumes: per
-    client, a function producing successive [(rtype, payload)] items. *)
+    A generator is what {!Runtime.Make.run_closed_loop_ops} consumes: per
+    client, a function producing that client's successive typed items. *)
 
-type item = rtype * string
-
-(** Fixed number of requests with a given read fraction. *)
-let mix ~rng ~read_fraction ~count ~read_payload ~write_payload ~client:_ =
+(** Fixed number of requests with a given read fraction. The
+    read/write coordination class comes from [S.classify] at encode
+    time, so [read_op] should classify as a read and [write_op] as a
+    write. *)
+let mix ~rng ~read_fraction ~count ~read_op ~write_op ~client:_ =
   let rng = Rng.split rng in
   let remaining = ref count in
   fun () ->
     if !remaining <= 0 then None
     else begin
       decr remaining;
-      if Rng.float rng 1.0 < read_fraction then Some (Read, read_payload)
-      else Some (Write, write_payload)
+      if Rng.float rng 1.0 < read_fraction then Some (Runtime.Do read_op)
+      else Some (Runtime.Do write_op)
     end
 
 (** Zipf-skewed key-value traffic over [keys] keys with exponent [s]:
@@ -38,33 +42,27 @@ let kv_zipf ~rng ~read_fraction ~keys ~s ~count ~client =
     else begin
       decr remaining;
       let key = Printf.sprintf "key-%d" (Rng.zipf rng ~n:keys ~s) in
-      if Rng.float rng 1.0 < read_fraction then
-        Some (Read, Kv.encode_op (Kv.Get key))
+      if Rng.float rng 1.0 < read_fraction then Some (Runtime.Do (Kv.Get key))
       else
         Some
-          ( Write,
-            Kv.encode_op (Kv.Put { key; value = Printf.sprintf "v%d-%d" client !remaining })
-          )
+          (Runtime.Do (Kv.Put { key; value = Printf.sprintf "v%d-%d" client !remaining }))
     end
 
 (** T-Paxos transaction scripts: [txns] transactions of [ops_per_txn]
-    operations drawn from [op_payloads], each closed by a [Txn_commit]
-    whose payload carries the op count. *)
-let transactions ~ops_per_txn ~txns ~op_payload ~client:_ =
+    operations [op], each closed by a commit carrying the op count. *)
+let transactions ~ops_per_txn ~txns ~op ~client:_ =
   let txn = ref 0 and step = ref 0 in
   fun () ->
     if !txn >= txns then None
     else if !step < ops_per_txn then begin
       incr step;
-      Some (Txn_op (!txn + 1), op_payload)
+      Some (Runtime.In_txn (!txn + 1, op))
     end
     else begin
       let tid = !txn + 1 in
       step := 0;
       incr txn;
-      Some
-        ( Txn_commit tid,
-          Grid_codec.Wire.encode (fun e -> Grid_codec.Wire.Encoder.uint e ops_per_txn) )
+      Some (Runtime.Commit_txn { tid; ops = ops_per_txn })
     end
 
 (** {1 Open-loop driving}
@@ -86,11 +84,11 @@ type open_loop_results = {
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module RT = Runtime.Make (S)
 
-  (** [run t ~rps ~duration_ms ~payload ~rtype] offers [rps] requests per
-      second (Poisson arrivals) for [duration_ms] of simulated time and
-      returns the observed latencies. The runtime must have an elected
-      leader (see {!RT.await_leader}). *)
-  let run t ~seed ~rps ~duration_ms ~rtype ~payload =
+  (** [run t ~rps ~duration_ms ~item] offers [rps] requests per second
+      (Poisson arrivals) for [duration_ms] of simulated time and returns
+      the observed latencies. The runtime must have an elected leader
+      (see {!RT.await_leader}). *)
+  let run t ~seed ~rps ~duration_ms ~item =
     let eng = RT.engine t in
     let rng = Rng.of_int seed in
     let latencies = ref [] in
@@ -112,7 +110,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
               latencies := (RT.now t -. sent_at) :: !latencies)
             ()
         in
-        RT.submit t client rtype ~payload;
+        RT.submit_item t client item;
         let gap = Rng.exponential rng ~mean:(1000.0 /. rps) in
         ignore (Grid_sim.Engine.schedule eng ~delay:gap arrive)
       end

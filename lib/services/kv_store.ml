@@ -62,6 +62,11 @@ let footprint = function
   | Get key -> [ "kv/" ^ key ]
   | Size -> []
 
+(* Partition keys for the sharded runtime. [Size] conflicts with nothing
+   (empty footprint) but reads the whole keyspace, so for routing it
+   must advertise "*" — one shard's answer would be a slice. *)
+let route = function Size -> [ "*" ] | op -> footprint op
+
 (* --- codecs --- *)
 
 let encode_op op =

@@ -27,3 +27,12 @@ include
 
 val find : state -> string -> string option
 val cardinal : state -> int
+
+(** {1 Sharding} *)
+
+val route : op -> string list
+(** Partition keys for the sharded runtime ({!Grid_shard.Multi}): same
+    per-key footprint as {!footprint} for single-key operations, but
+    [Size] — whose {e conflict} footprint is empty — advertises ["*"] so
+    the router rejects it instead of answering from one shard's slice of
+    the keyspace. *)

@@ -1,0 +1,286 @@
+(* The sharded runtime: k independent replica groups over one shared
+   simulation, with a router that sends each client request to the group
+   owning its footprint keys.
+
+   Each group runs the full single-group protocol stack unchanged
+   (basic / X-Paxos / T-Paxos); groups never exchange messages. The
+   router rejects cross-shard operations with a typed error — the
+   single-shard restriction DESIGN.md §11 documents as a deviation. *)
+
+module Engine = Grid_sim.Engine
+module Network = Grid_sim.Network
+module Span = Grid_obs.Span
+module Rng = Grid_util.Rng
+module Runtime = Grid_runtime.Runtime
+module Scenario = Grid_runtime.Scenario
+open Grid_paxos.Types
+
+module Make (S : Grid_paxos.Service_intf.S) = struct
+  module Group = Runtime.Make (S)
+
+  (* A logical client holds one protocol engine per group (each with its
+     own globally unique client id), but the closed-loop contract is per
+     logical client: one outstanding request across all groups. *)
+  type client = {
+    id : int;
+    handles : Grid_paxos.Client.t array;  (* indexed by shard *)
+    txns : (int, int) Hashtbl.t;  (* open transaction -> pinned shard *)
+  }
+
+  type t = {
+    eng : Engine.t;
+    net : msg Network.t;
+    part : Partition.t;
+    route : S.op -> string list;
+    groups : Group.t array;
+    scenario : Scenario.t;
+    obs : Span.Recorder.t;
+    mutable next_client_id : int;
+  }
+
+  let create ?(seed = 42) ?(trace = false) ?trace_capacity ?spec
+      ?(route = S.footprint) ~cfg ~scenario:(sc : Scenario.t) ~shards () =
+    let root = Rng.of_int seed in
+    let eng = Engine.create () in
+    let net = Network.create eng (Rng.split root) in
+    let obs = Span.Recorder.create ?capacity:trace_capacity ~enabled:trace () in
+    let part = Partition.create ?spec ~shards () in
+    (* Group g occupies global nodes [g*n .. g*n + n - 1]; its spans are
+       tagged "s<g>/..." and its metrics live in its own registry. *)
+    let groups =
+      Array.init shards (fun g ->
+          Group.create ~seed:(seed + ((g + 1) * 7919)) ~attach:(eng, net) ~obs
+            ~node_base:(g * sc.n) ~shard:g ~cfg ~scenario:sc ())
+    in
+    { eng; net; part; route; groups; scenario = sc; obs; next_client_id = 0 }
+
+  let engine t = t.eng
+  let network t = t.net
+  let obs t = t.obs
+  let partition t = t.part
+  let shards t = Array.length t.groups
+  let group t g = t.groups.(g)
+  let metrics t ~shard = Group.metrics t.groups.(shard)
+  let now t = Engine.now t.eng
+
+  (* ---------------------------------------------------------------- *)
+  (* Clients and routing *)
+
+  let add_client t ~id ?machine_share ?on_reply () =
+    if id >= t.next_client_id then t.next_client_id <- id + 1;
+    let k = Array.length t.groups in
+    let handles =
+      Array.mapi
+        (fun g group ->
+          Group.add_client group ~id:((id * k) + g) ?machine_share ?on_reply ())
+        t.groups
+    in
+    { id; handles; txns = Hashtbl.create 4 }
+
+  let set_on_reply t cl f =
+    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
+
+  (* Resolve an item to its owning shard. Empty footprints route to
+     shard 0 (a documented deviation: the op conflicts with nothing, so
+     any single group may serve it, but a "global" read like Kv.Size
+     must advertise ["*"] to be rejected instead). Transaction items pin
+     their tid to the first op's shard; commit and abort follow the pin. *)
+  let route_item t cl (it : S.op Runtime.item) : (int, Partition.error) result =
+    let place op = Partition.place t.part (t.route op) in
+    match it with
+    | Runtime.Do op | Runtime.Unreplicated op -> (
+      match place op with
+      | Ok (Partition.Single s) -> Ok s
+      | Ok Partition.Any -> Ok 0
+      | Error e -> Error e)
+    | Runtime.In_txn (tid, op) -> (
+      match place op with
+      | Ok (Partition.Single s) -> (
+        match Hashtbl.find_opt cl.txns tid with
+        | None ->
+          Hashtbl.replace cl.txns tid s;
+          Ok s
+        | Some s' when s' = s -> Ok s
+        | Some s' ->
+          Error
+            (`Cross_shard
+               ((Printf.sprintf "txn/%d" tid, s')
+               :: List.map
+                    (fun k -> (k, Partition.owner_of_key t.part k))
+                    (t.route op))))
+      | Ok Partition.Any -> (
+        match Hashtbl.find_opt cl.txns tid with
+        | Some s -> Ok s
+        | None ->
+          Hashtbl.replace cl.txns tid 0;
+          Ok 0)
+      | Error e -> Error e)
+    | Runtime.Commit_txn { tid; _ } | Runtime.Abort_txn tid ->
+      let s = Option.value ~default:0 (Hashtbl.find_opt cl.txns tid) in
+      Hashtbl.remove cl.txns tid;
+      Ok s
+
+  type submit_error = [ Partition.error | `Busy ]
+
+  let pp_submit_error ppf (e : submit_error) =
+    match e with
+    | #Partition.error as e -> Partition.pp_error ppf e
+    | `Busy -> Format.pp_print_string ppf "client has a request outstanding"
+
+  let try_submit_item t cl it : (int, submit_error) result =
+    match route_item t cl it with
+    | Error e -> Error (e :> submit_error)
+    | Ok s -> (
+      match Group.try_submit_item t.groups.(s) cl.handles.(s) it with
+      | `Submitted -> Ok s
+      | `Busy -> Error `Busy)
+
+  let submit_item t cl it =
+    match try_submit_item t cl it with
+    | Ok s -> s
+    | Error e ->
+      invalid_arg (Format.asprintf "Multi.submit_item: %a" pp_submit_error e)
+
+  let try_submit_op t cl op = try_submit_item t cl (Runtime.Do op)
+  let submit_op t cl op = submit_item t cl (Runtime.Do op)
+
+  (* ---------------------------------------------------------------- *)
+  (* Failure control: per-group delegation. *)
+
+  let crash_replica t ~shard i = Group.crash_replica t.groups.(shard) i
+  let recover_replica t ~shard i = Group.recover_replica t.groups.(shard) i
+  let replica_up t ~shard i = Group.replica_up t.groups.(shard) i
+
+  (* ---------------------------------------------------------------- *)
+  (* Running *)
+
+  let run_until t horizon = Engine.run ~until:horizon t.eng
+
+  let await_leaders ?max_wait t =
+    let leaders = Array.map (fun g -> Group.await_leader ?max_wait g) t.groups in
+    if Array.for_all Option.is_some leaders then
+      Some (Array.map Option.get leaders)
+    else None
+
+  (* ---------------------------------------------------------------- *)
+  (* Aggregate closed-loop workload: all logical clients start at the
+     same instant and each keeps exactly one request outstanding; the
+     router spreads them across groups, so k disjoint keyspaces drive k
+     depth-one pipelines concurrently. *)
+
+  type record = {
+    rec_client : int;
+    rec_shard : int;  (** group that served the request *)
+    rec_seq : int;
+    rec_rtype : rtype;
+    rec_status : status;
+    rec_latency : float;
+  }
+
+  type results = {
+    records : record list;
+    started_at : float;
+    finished_at : float;
+    total_completed : int;
+  }
+
+  let latencies ?(filter = fun _ -> true) results =
+    List.filter filter results.records
+    |> List.map (fun r -> r.rec_latency)
+    |> Array.of_list
+
+  let throughput_rps results =
+    let dur_ms = results.finished_at -. results.started_at in
+    if dur_ms <= 0.0 then 0.0
+    else Float.of_int results.total_completed /. dur_ms *. 1000.0
+
+  let rtype_of_item : S.op Runtime.item -> rtype = function
+    | Runtime.Do op -> (
+      match S.classify op with `Read -> Read | `Write -> Write)
+    | Runtime.Unreplicated _ -> Original
+    | Runtime.In_txn (tid, _) -> Txn_op tid
+    | Runtime.Commit_txn { tid; _ } -> Txn_commit tid
+    | Runtime.Abort_txn tid -> Txn_abort tid
+
+  let run_closed_loop ?(max_sim_ms = 600_000.0) ~clients ~requests_per_client
+      ~gen t =
+    (match await_leaders t with
+    | Some _ -> ()
+    | None -> failwith "Multi.run_closed_loop: a group failed to elect a leader");
+    let records = ref [] in
+    let total = ref 0 in
+    let started_at = now t in
+    let finished_at = ref started_at in
+    let expected = clients * requests_per_client in
+    let machine_share = t.scenario.clients_per_machine clients in
+    (* Unlike the single-group driver we do not rescale replica CPU
+       costs with the client count: the O(connections) server-load model
+       was calibrated for one group serving every client, and here each
+       group serves only the clients whose keys it owns. *)
+    for c = 0 to clients - 1 do
+      let next = gen ~client:c in
+      let remaining = ref requests_per_client in
+      let sent_at = ref 0.0 in
+      let sent_rtype = ref Read in
+      let sent_shard = ref 0 in
+      let completions = ref 0 in
+      let client_ref = ref None in
+      let submit_next () =
+        match next () with
+        | None -> ()
+        | Some it -> (
+          match !client_ref with
+          | None -> ()
+          | Some cl -> (
+            sent_at := now t;
+            sent_rtype := rtype_of_item it;
+            match try_submit_item t cl it with
+            | Ok s -> sent_shard := s
+            | Error e ->
+              failwith
+                (Format.asprintf "Multi.run_closed_loop: client %d: %a" c
+                   pp_submit_error e)))
+      in
+      let on_reply (reply : reply) =
+        incr completions;
+        incr total;
+        finished_at := now t;
+        records :=
+          {
+            rec_client = c;
+            rec_shard = !sent_shard;
+            rec_seq = !completions;
+            rec_rtype = !sent_rtype;
+            rec_status = reply.status;
+            rec_latency = now t -. !sent_at;
+          }
+          :: !records;
+        decr remaining;
+        if !remaining > 0 then submit_next ()
+      in
+      let id = t.next_client_id in
+      t.next_client_id <- t.next_client_id + 1;
+      let cl = add_client t ~id ~machine_share ~on_reply () in
+      client_ref := Some cl;
+      ignore
+        (Engine.schedule t.eng ~delay:0.0 (fun () ->
+             if !remaining > 0 then submit_next ()))
+    done;
+    let deadline = started_at +. max_sim_ms in
+    let rec drive () =
+      if !total >= expected then ()
+      else if now t > deadline then
+        failwith
+          (Printf.sprintf "Multi.run_closed_loop: stalled at %d/%d completions"
+             !total expected)
+      else if Engine.step t.eng then drive ()
+      else ()
+    in
+    drive ();
+    {
+      records = List.rev !records;
+      started_at;
+      finished_at = !finished_at;
+      total_completed = !total;
+    }
+end

@@ -1,0 +1,138 @@
+(** The sharded runtime: k independent replica groups over one shared
+    simulation, and a router dispatching each client request to the group
+    owning its footprint keys.
+
+    Each group runs the full single-group protocol stack unchanged
+    (basic / X-Paxos / T-Paxos); groups never exchange messages. The
+    router rejects cross-shard operations with a typed error — the
+    single-shard restriction (DESIGN.md §11). *)
+
+module Make (S : Grid_paxos.Service_intf.S) : sig
+  module Group : module type of Grid_runtime.Runtime.Make (S)
+
+  type t
+
+  type client
+  (** A logical client: one protocol engine per group (each with a
+      globally unique client id), closed loop across all of them. *)
+
+  val create :
+    ?seed:int ->
+    ?trace:bool ->
+    ?trace_capacity:int ->
+    ?spec:Partition.spec ->
+    ?route:(S.op -> string list) ->
+    cfg:Grid_paxos.Config.t ->
+    scenario:Grid_runtime.Scenario.t ->
+    shards:int ->
+    unit ->
+    t
+  (** Build [shards] groups of [scenario.n] replicas each on one shared
+      engine/network. Group [g] occupies global nodes
+      [g*n .. g*n + n - 1]; its spans are tagged ["s<g>/"] in the shared
+      recorder and its counters live in a per-group registry
+      ({!metrics}). [route] maps an operation to its partition keys and
+      defaults to [S.footprint]; services whose footprint understates
+      routing (e.g. a global read with an empty conflict footprint)
+      supply their own (see {!Grid_services.Kv_store.route}). *)
+
+  (** {1 Accessors} *)
+
+  val engine : t -> Grid_sim.Engine.t
+  val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
+  val obs : t -> Grid_obs.Span.Recorder.t
+  val partition : t -> Partition.t
+  val shards : t -> int
+
+  val group : t -> int -> Group.t
+  (** The underlying single-group runtime for shard [g] — replicas,
+      leader, message counts, everything the single-group API exposes. *)
+
+  val metrics : t -> shard:int -> Grid_obs.Metrics.t
+  val now : t -> float
+
+  (** {1 Clients and routing} *)
+
+  val add_client :
+    t ->
+    id:int ->
+    ?machine_share:int ->
+    ?on_reply:(Grid_paxos.Types.reply -> unit) ->
+    unit ->
+    client
+  (** Register a logical client. Logical ids must be unique; the
+      underlying per-group client ids are [id * shards + g]. *)
+
+  val set_on_reply : t -> client -> (Grid_paxos.Types.reply -> unit) -> unit
+
+  type submit_error = [ Partition.error | `Busy ]
+
+  val pp_submit_error : Format.formatter -> submit_error -> unit
+
+  val try_submit_item :
+    t -> client -> S.op Grid_runtime.Runtime.item -> (int, submit_error) result
+  (** Route the item by its footprint keys and submit it to the owning
+      group; returns that group's shard id. Empty footprints route to
+      shard 0 (deviation: the op conflicts with nothing, so any single
+      group may serve it). Transaction items pin their [tid] to the
+      first operation's shard; commit/abort follow the pin. Cross-shard
+      operations return [`Cross_shard]/[`All_shards] without submitting
+      anything. *)
+
+  val submit_item : t -> client -> S.op Grid_runtime.Runtime.item -> int
+  (** {!try_submit_item}, raising [Invalid_argument] on any error. *)
+
+  val try_submit_op : t -> client -> S.op -> (int, submit_error) result
+  val submit_op : t -> client -> S.op -> int
+
+  (** {1 Failure control (per group)} *)
+
+  val crash_replica : t -> shard:int -> int -> unit
+  val recover_replica : t -> shard:int -> int -> unit
+  val replica_up : t -> shard:int -> int -> bool
+
+  (** {1 Running} *)
+
+  val run_until : t -> float -> unit
+
+  val await_leaders : ?max_wait:float -> t -> int array option
+  (** Step the engine until every group has a leader; [None] if any
+      group fails within [max_wait] simulated ms (default 10 s per
+      group). *)
+
+  (** {1 Aggregate closed-loop workload}
+
+      All logical clients start at the same instant; each keeps one
+      request outstanding. The router spreads requests across groups, so
+      k disjoint keyspaces drive k depth-one pipelines concurrently. *)
+
+  type record = {
+    rec_client : int;
+    rec_shard : int;  (** group that served the request *)
+    rec_seq : int;
+    rec_rtype : Grid_paxos.Types.rtype;
+    rec_status : Grid_paxos.Types.status;
+    rec_latency : float;
+  }
+
+  type results = {
+    records : record list;
+    started_at : float;
+    finished_at : float;
+    total_completed : int;
+  }
+
+  val latencies : ?filter:(record -> bool) -> results -> float array
+  val throughput_rps : results -> float
+
+  val run_closed_loop :
+    ?max_sim_ms:float ->
+    clients:int ->
+    requests_per_client:int ->
+    gen:(client:int -> unit -> S.op Grid_runtime.Runtime.item option) ->
+    t ->
+    results
+  (** Raises [Failure] if a generator yields an unroutable item or the
+      system stalls past [max_sim_ms] (default 600 s) of simulated
+      time. *)
+end

@@ -1,0 +1,73 @@
+(* The partition map: abstract footprint keys -> shard ids.
+
+   Ownership depends only on the key and the shard count — never on the
+   replica count inside a group — so reconfiguring a group (3 -> 5
+   replicas, different timeouts) cannot silently migrate keys. The hash
+   is a hand-rolled 64-bit FNV-1a: stable across OCaml versions and
+   architectures, unlike [Hashtbl.hash]. *)
+
+type spec =
+  | Hash
+  | Range of string list
+
+type t = { shards : int; spec : spec }
+
+let create ?(spec = Hash) ~shards () =
+  if shards < 1 then invalid_arg "Partition.create: need at least one shard";
+  (match spec with
+  | Hash -> ()
+  | Range cuts ->
+    if List.length cuts <> shards - 1 then
+      invalid_arg "Partition.create: a k-shard range map needs k-1 cut points";
+    let rec sorted = function
+      | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+      | _ -> true
+    in
+    if not (sorted cuts) then
+      invalid_arg "Partition.create: range cut points must be strictly increasing");
+  { shards; spec }
+
+let shards t = t.shards
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let owner_of_key t key =
+  match t.spec with
+  | Hash -> Int64.to_int (Int64.unsigned_rem (fnv1a64 key) (Int64.of_int t.shards))
+  | Range cuts ->
+    let rec find i = function
+      | [] -> i
+      | cut :: rest -> if String.compare key cut < 0 then i else find (i + 1) rest
+    in
+    find 0 cuts
+
+type placement = Single of int | Any
+
+type error =
+  [ `All_shards  (** a ["*"] footprint: the op touches every shard *)
+  | `Cross_shard of (string * int) list
+    (** keys owned by more than one shard, with each key's owner *) ]
+
+let pp_error ppf (e : error) =
+  match e with
+  | `All_shards -> Format.fprintf ppf "op touches all shards (footprint \"*\")"
+  | `Cross_shard keys ->
+    Format.fprintf ppf "op spans shards:";
+    List.iter (fun (k, s) -> Format.fprintf ppf " %s->s%d" k s) keys
+
+let place t keys : (placement, error) result =
+  if List.mem "*" keys then Error `All_shards
+  else
+    match keys with
+    | [] -> Ok Any
+    | first :: rest ->
+      let owner0 = owner_of_key t first in
+      if List.for_all (fun k -> owner_of_key t k = owner0) rest then
+        Ok (Single owner0)
+      else Error (`Cross_shard (List.map (fun k -> (k, owner_of_key t k)) keys))

@@ -1,0 +1,38 @@
+(** The partition map: abstract footprint keys (see
+    {!Grid_paxos.Service_intf.S.footprint}) to shard ids.
+
+    Ownership depends only on the key and the shard count — never on a
+    group's replica count or timeouts — so reconfiguring a group cannot
+    silently migrate keys. The default hash is 64-bit FNV-1a, stable
+    across OCaml versions and architectures. *)
+
+type spec =
+  | Hash  (** FNV-1a over the key bytes, modulo the shard count *)
+  | Range of string list
+      (** [k-1] strictly increasing cut points; shard [i] owns keys in
+          [\[cut_(i-1), cut_i)] under [String.compare] *)
+
+type t
+
+val create : ?spec:spec -> shards:int -> unit -> t
+(** Raises [Invalid_argument] if [shards < 1] or the range cuts are
+    malformed. *)
+
+val shards : t -> int
+val owner_of_key : t -> string -> int
+
+type placement =
+  | Single of int  (** every key owned by this shard *)
+  | Any  (** empty footprint: the op conflicts with nothing anywhere *)
+
+type error =
+  [ `All_shards  (** a ["*"] footprint: the op touches every shard *)
+  | `Cross_shard of (string * int) list
+    (** keys owned by more than one shard, with each key's owner *) ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val place : t -> string list -> (placement, error) result
+(** Resolve a footprint to its owning shard. Cross-shard operations are
+    rejected — the single-shard restriction this layer imposes (see
+    DESIGN.md §11). *)

@@ -34,7 +34,7 @@ let absorb t i actions =
     actions
 
 let create ?(n = 3) ?(cfg_tweak = Fun.id) () =
-  let cfg = cfg_tweak { (Grid_paxos.Config.default ~n) with record_history = true } in
+  let cfg = cfg_tweak (Grid_paxos.Config.make ~n ~record_history:true ()) in
   let replicas = Array.init n (fun i -> Replica.create ~cfg ~id:i ~seed:(100 + i) ()) in
   let t = { replicas; pending = []; timers = []; replies = []; now = 0.0 } in
   Array.iteri (fun i r -> absorb t i (Replica.bootstrap r)) replicas;

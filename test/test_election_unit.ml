@@ -132,7 +132,7 @@ module HK = struct
       actions
 
   let create () =
-    let cfg = { (Grid_paxos.Config.default ~n:3) with record_history = true } in
+    let cfg = Grid_paxos.Config.make ~n:3 ~record_history:true () in
     let replicas = Array.init 3 (fun i -> Replica.create ~cfg ~id:i ~seed:(7 + i) ()) in
     let t = { replicas; pending = []; timers = []; replies = []; now = 0.0 } in
     Array.iteri (fun i r -> absorb t i (Replica.bootstrap r)) replicas;

@@ -11,7 +11,7 @@ open Grid_paxos.Types
 module RT = Grid_runtime.Runtime.Make (Counter)
 module Replica = Grid_paxos.Replica.Make (Counter)
 
-let cfg () = { (Config.default ~n:3) with record_history = true }
+let cfg () = Config.make ~n:3 ~record_history:true ()
 
 let add_ops n = List.init n (fun _ -> Counter.Add 1)
 
@@ -148,7 +148,7 @@ let test_partition_minority_leader () =
   Alcotest.(check int) "old leader converged" 25 (RT.R.state (RT.replica t 0))
 
 let test_message_loss_resilience () =
-  let c = { (cfg ()) with accept_retry_ms = 15.0; client_retry_ms = 60.0 } in
+  let c = Config.make ~base:(cfg ()) ~accept_retry_ms:15.0 ~client_retry_ms:60.0 () in
   let t = RT.create ~cfg:c ~scenario:(Scenario.uniform ()) () in
   ignore (RT.await_leader t);
   Network.set_drop_rate (RT.network t) 0.25;
@@ -167,7 +167,7 @@ let test_duplication_and_reordering () =
   (* Retransmission-style duplicates, FIFO-escaping reorders and delay
      spikes, installed through the declarative fault schedule: every
      request still commits exactly once. *)
-  let c = { (cfg ()) with accept_retry_ms = 15.0; client_retry_ms = 60.0 } in
+  let c = Config.make ~base:(cfg ()) ~accept_retry_ms:15.0 ~client_retry_ms:60.0 () in
   let t = RT.create ~cfg:c ~scenario:(Scenario.uniform ()) () in
   ignore (RT.await_leader t);
   let net = RT.network t in
@@ -211,7 +211,7 @@ let test_file_storage_reload () =
       Unix.rmdir dir)
     (fun () ->
       let path = Filename.concat dir "r0" in
-      let c = { (Config.default ~n:3) with snapshot_interval = 5 } in
+      let c = Config.make ~n:3 ~snapshot_interval:5 () in
       (* Phase 1: drive a replica directly through the engine API with a
          file store, simulating the leader's persistence. *)
       let store, _, _ = Storage.file ~path in

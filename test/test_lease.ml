@@ -130,7 +130,7 @@ let test_diff_patch () =
 let test_replicated_leases_consistent () =
   (* End to end: replicas agree on every grant/deny even though the
      decisions are clock-dependent, and leases survive a leader switch. *)
-  let cfg = { (Config.default ~n:3) with record_history = true } in
+  let cfg = Config.make ~n:3 ~record_history:true () in
   let t = RT.create ~cfg ~scenario:(Scenario.uniform ()) () in
   ignore (RT.await_leader t);
   let results = ref [] in

@@ -22,4 +22,5 @@ let () =
          Test_net.suite;
          Test_workload.suite;
          Test_scenario.suite;
+         Test_shard.suite;
        ])

@@ -101,12 +101,8 @@ let test_loopback_cluster () =
     List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
   in
   let cfg =
-    { (Config.default ~n:3) with
-      hb_period_ms = 10.0;
-      suspicion_ms = 60.0;
-      stability_ms = 20.0;
-      client_retry_ms = 150.0;
-      accept_retry_ms = 50.0 }
+    Config.make ~n:3 ~hb_period_ms:10.0 ~suspicion_ms:60.0 ~stability_ms:20.0
+      ~client_retry_ms:150.0 ~accept_retry_ms:50.0 ()
   in
   let replicas =
     List.map
@@ -177,12 +173,8 @@ let test_loopback_duplicate_request () =
     List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
   in
   let cfg =
-    { (Config.default ~n:3) with
-      hb_period_ms = 10.0;
-      suspicion_ms = 60.0;
-      stability_ms = 20.0;
-      client_retry_ms = 150.0;
-      accept_retry_ms = 50.0 }
+    Config.make ~n:3 ~hb_period_ms:10.0 ~suspicion_ms:60.0 ~stability_ms:20.0
+      ~client_retry_ms:150.0 ~accept_retry_ms:50.0 ()
   in
   let replicas =
     List.map

@@ -275,7 +275,11 @@ let test_stale_accept_not_committed () =
 let test_snapshot_catchup_for_lagging_follower () =
   (* A follower that missed whole instances fetches a snapshot instead of
      replaying entries. *)
-  let t = H.create ~cfg_tweak:(fun c -> { c with snapshot_interval = 2 }) () in
+  let t =
+    H.create
+      ~cfg_tweak:(fun c -> Grid_paxos.Config.make ~base:c ~snapshot_interval:2 ())
+      ()
+  in
   H.elect t 0;
   (* Partition replica 2 away: it never sees these four instances. *)
   let not2 src dst _ = src <> 2 && dst <> 2 in

@@ -17,7 +17,7 @@ module RT_sched = Grid_runtime.Runtime.Make (Sched)
 module RT_noop = Grid_runtime.Runtime.Make (Noop)
 
 let base_cfg ?(history = true) () =
-  { (Config.default ~n:3) with record_history = history }
+  Config.make ~n:3 ~record_history:history ()
 
 let counter_gen ops ~client:_ =
   let remaining = ref ops in
@@ -98,7 +98,9 @@ let test_reads_reflect_writes () =
 
 let test_duplicate_suppression () =
   (* Lossy network: client retransmissions must not double-execute. *)
-  let cfg = { (base_cfg ()) with client_retry_ms = 50.0; accept_retry_ms = 20.0 } in
+  let cfg =
+    Config.make ~base:(base_cfg ()) ~client_retry_ms:50.0 ~accept_retry_ms:20.0 ()
+  in
   let t = RT_counter.create ~cfg ~scenario:(Scenario.uniform ()) () in
   ignore (RT_counter.await_leader t);
   Grid_sim.Network.set_drop_rate (RT_counter.network t) 0.15;
@@ -117,7 +119,7 @@ let test_duplicate_suppression () =
   done
 
 let run_ship_mode ship =
-  let cfg = { (base_cfg ()) with ship } in
+  let cfg = Config.make ~base:(base_cfg ()) ~ship () in
   let t = RT_counter.create ~cfg ~scenario:(Scenario.uniform ()) () in
   let _ =
     RT_counter.run_closed_loop t ~clients:2 ~requests_per_client:10
@@ -153,7 +155,7 @@ let broker_gen ~client:_ =
       Some (Write, Broker.encode_op op)
 
 let broker_states coordination =
-  let cfg = { (base_cfg ()) with coordination } in
+  let cfg = Config.make ~base:(base_cfg ()) ~coordination () in
   let t = RT_broker.create ~cfg ~scenario:(Scenario.uniform ()) () in
   let _ =
     RT_broker.run_closed_loop t ~clients:1 ~requests_per_client:(List.length broker_ops)
@@ -243,7 +245,7 @@ let test_execution_cost_parallelism () =
      writes cost ~2M + E + 2m: the max(E, m) term of §3.4. *)
   let run rtype =
     let sc = Scenario.uniform ~latency:(Grid_sim.Latency.Constant 1.0) () in
-    let cfg = { (Config.default ~n:3) with execution_cost_ms = 5.0 } in
+    let cfg = Config.make ~n:3 ~execution_cost_ms:5.0 () in
     let t = RT_noop.create ~cfg ~scenario:sc () in
     let op = match rtype with Read -> Noop.Noop_read | _ -> Noop.Noop_write in
     let results =
@@ -258,7 +260,7 @@ let test_execution_cost_parallelism () =
   Alcotest.(check (float 0.2)) "write = 2M + E + 2m" 9.0 write
 
 let test_five_replicas () =
-  let cfg = { (Config.default ~n:5) with record_history = true } in
+  let cfg = Config.make ~n:5 ~record_history:true () in
   let t = RT_counter.create ~cfg ~scenario:(Scenario.uniform ~n:5 ()) () in
   let results =
     RT_counter.run_closed_loop t ~clients:2 ~requests_per_client:10

@@ -21,7 +21,7 @@ module H = struct
   }
 
   let create ?(n = 3) () =
-    let cfg = { (Grid_paxos.Config.default ~n) with record_history = true } in
+    let cfg = Grid_paxos.Config.make ~n ~record_history:true () in
     let replicas = Array.init n (fun i -> SP.create ~cfg ~id:i ~seed:(50 + i) ()) in
     {
       replicas;

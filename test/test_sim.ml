@@ -5,7 +5,7 @@ module Engine = Grid_sim.Engine
 module Latency = Grid_sim.Latency
 module Network = Grid_sim.Network
 module Fault = Grid_sim.Fault
-module Trace = Grid_sim.Trace
+module Recorder = Grid_obs.Span.Recorder
 module Rng = Grid_util.Rng
 module Stats = Grid_util.Stats
 
@@ -316,19 +316,19 @@ let test_fault_periodic () =
     (List.map (fun (e : Fault.entry) -> e.at) crashes)
 
 (* ------------------------------------------------------------------ *)
-(* Trace *)
+(* Trace notes via the span recorder (what drivers use for Note actions) *)
 
 let test_trace () =
-  let tr = Trace.create ~capacity:3 ~enabled:true () in
-  Trace.record tr ~time:1.0 ~actor:"a" "one";
-  Trace.recordf tr ~time:2.0 ~actor:"b" "two %d" 2;
-  Trace.record tr ~time:3.0 ~actor:"c" "three";
-  Trace.record tr ~time:4.0 ~actor:"d" "four";
-  Alcotest.(check int) "bounded" 3 (List.length (Trace.to_list tr));
-  let disabled = Trace.create ~enabled:false () in
-  Trace.record disabled ~time:1.0 ~actor:"x" "ignored";
-  Trace.recordf disabled ~time:1.0 ~actor:"x" "ignored %d" 1;
-  Alcotest.(check int) "disabled records nothing" 0 (List.length (Trace.to_list disabled))
+  let tr = Recorder.create ~capacity:3 ~enabled:true () in
+  Recorder.note tr ~time:1.0 ~actor:"a" "one";
+  Recorder.notef tr ~time:2.0 ~actor:"b" "two %d" 2;
+  Recorder.note tr ~time:3.0 ~actor:"c" "three";
+  Recorder.note tr ~time:4.0 ~actor:"d" "four";
+  Alcotest.(check int) "bounded" 3 (List.length (Recorder.events tr));
+  let disabled = Recorder.create ~enabled:false () in
+  Recorder.note disabled ~time:1.0 ~actor:"x" "ignored";
+  Recorder.notef disabled ~time:1.0 ~actor:"x" "ignored %d" 1;
+  Alcotest.(check int) "disabled records nothing" 0 (List.length (Recorder.events disabled))
 
 let suite =
   [

@@ -10,7 +10,7 @@ open Grid_paxos.Types
 
 module RT = Grid_runtime.Runtime.Make (Kv)
 
-let cfg () = { (Config.default ~n:3) with record_history = true }
+let cfg () = Config.make ~n:3 ~record_history:true ()
 
 (* A transaction script: ops as Txn_op, then Txn_commit whose payload
    carries the op count (the leader aborts on mismatch). *)

@@ -1,12 +1,12 @@
 (* Tests for the workload generators and the open-loop driver. *)
 
+module Runtime = Grid_runtime.Runtime
 module Workload = Grid_runtime.Workload
 module Scenario = Grid_runtime.Scenario
 module Config = Grid_paxos.Config
 module Rng = Grid_util.Rng
 module Kv = Grid_services.Kv_store
 module Noop = Grid_services.Noop
-open Grid_paxos.Types
 
 let drain gen =
   let rec go acc = match gen () with None -> List.rev acc | Some x -> go (x :: acc) in
@@ -16,36 +16,38 @@ let test_mix_counts_and_fraction () =
   let rng = Rng.of_int 1 in
   let items =
     drain
-      (Workload.mix ~rng ~read_fraction:0.7 ~count:2000 ~read_payload:"r"
-         ~write_payload:"w" ~client:0)
+      (Workload.mix ~rng ~read_fraction:0.7 ~count:2000 ~read_op:Noop.Noop_read
+         ~write_op:Noop.Noop_write ~client:0)
   in
   Alcotest.(check int) "count" 2000 (List.length items);
-  let reads = List.length (List.filter (fun (rt, _) -> rt = Read) items) in
+  let reads =
+    List.length (List.filter (fun it -> it = Runtime.Do Noop.Noop_read) items)
+  in
   Alcotest.(check bool)
     (Printf.sprintf "read fraction ~0.7 (%d/2000)" reads)
     true
     (reads > 1300 && reads < 1500);
   List.iter
-    (fun (rt, payload) ->
-      match rt with
-      | Read -> Alcotest.(check string) "read payload" "r" payload
-      | Write -> Alcotest.(check string) "write payload" "w" payload
-      | _ -> Alcotest.fail "unexpected rtype")
+    (fun it ->
+      match it with
+      | Runtime.Do Noop.Noop_read | Runtime.Do Noop.Noop_write -> ()
+      | _ -> Alcotest.fail "unexpected item")
     items
 
 let test_mix_extremes () =
   let rng = Rng.of_int 2 in
   let all_reads =
-    drain (Workload.mix ~rng ~read_fraction:1.0 ~count:50 ~read_payload:"r"
-             ~write_payload:"w" ~client:0)
+    drain (Workload.mix ~rng ~read_fraction:1.0 ~count:50 ~read_op:Noop.Noop_read
+             ~write_op:Noop.Noop_write ~client:0)
   in
-  Alcotest.(check bool) "all reads" true (List.for_all (fun (rt, _) -> rt = Read) all_reads);
+  Alcotest.(check bool) "all reads" true
+    (List.for_all (fun it -> it = Runtime.Do Noop.Noop_read) all_reads);
   let all_writes =
-    drain (Workload.mix ~rng ~read_fraction:0.0 ~count:50 ~read_payload:"r"
-             ~write_payload:"w" ~client:0)
+    drain (Workload.mix ~rng ~read_fraction:0.0 ~count:50 ~read_op:Noop.Noop_read
+             ~write_op:Noop.Noop_write ~client:0)
   in
   Alcotest.(check bool) "all writes" true
-    (List.for_all (fun (rt, _) -> rt = Write) all_writes)
+    (List.for_all (fun it -> it = Runtime.Do Noop.Noop_write) all_writes)
 
 let test_kv_zipf_skew () =
   let rng = Rng.of_int 3 in
@@ -53,12 +55,12 @@ let test_kv_zipf_skew () =
     drain (Workload.kv_zipf ~rng ~read_fraction:0.0 ~keys:20 ~s:1.2 ~count:3000 ~client:1)
   in
   Alcotest.(check int) "count" 3000 (List.length items);
-  (* Decode keys; rank 1 should dominate. *)
+  (* Rank 1 should dominate. *)
   let freq = Hashtbl.create 20 in
   List.iter
-    (fun (_, payload) ->
-      match Kv.decode_op payload with
-      | Kv.Put { key; _ } ->
+    (fun it ->
+      match it with
+      | Runtime.Do (Kv.Put { key; _ }) ->
         Hashtbl.replace freq key (1 + Option.value ~default:0 (Hashtbl.find_opt freq key))
       | _ -> Alcotest.fail "expected Put")
     items;
@@ -67,16 +69,18 @@ let test_kv_zipf_skew () =
     (count "key-1" > count "key-2" && count "key-2" > count "key-10")
 
 let test_transactions_script () =
-  let items = drain (Workload.transactions ~ops_per_txn:3 ~txns:4 ~op_payload:"p" ~client:0) in
+  let items =
+    drain (Workload.transactions ~ops_per_txn:3 ~txns:4 ~op:Noop.Noop_write ~client:0)
+  in
   Alcotest.(check int) "4 txns x 4 items" 16 (List.length items);
   (* Check structure: 3 ops then one commit carrying the op count, with
      fresh txn ids. *)
   let rec check_txns expected_tid = function
     | [] -> ()
-    | (Txn_op a, _) :: (Txn_op b, _) :: (Txn_op c, _) :: (Txn_commit d, payload) :: rest
+    | Runtime.In_txn (a, _) :: Runtime.In_txn (b, _) :: Runtime.In_txn (c, _)
+      :: Runtime.Commit_txn { tid = d; ops } :: rest
       when a = expected_tid && b = expected_tid && c = expected_tid && d = expected_tid ->
-      let n = Grid_codec.Wire.decode payload Grid_codec.Wire.Decoder.uint in
-      Alcotest.(check int) "commit op count" 3 n;
+      Alcotest.(check int) "commit op count" 3 ops;
       check_txns (expected_tid + 1) rest
     | _ -> Alcotest.fail "malformed transaction script"
   in
@@ -93,8 +97,7 @@ let test_open_loop_light_load () =
   in
   ignore (OL.RT.await_leader t);
   let r =
-    OL.run t ~seed:7 ~rps:2000.0 ~duration_ms:500.0 ~rtype:Write
-      ~payload:(Noop.encode_op Noop.Noop_write)
+    OL.run t ~seed:7 ~rps:2000.0 ~duration_ms:500.0 ~item:(Runtime.Do Noop.Noop_write)
   in
   (* ~1000 arrivals expected; all should complete with latencies near the
      unloaded RRT. *)
@@ -117,8 +120,7 @@ let test_open_loop_latency_grows_with_load () =
     in
     ignore (OL.RT.await_leader t);
     let r =
-      OL.run t ~seed:8 ~rps ~duration_ms:400.0 ~rtype:Write
-        ~payload:(Noop.encode_op Noop.Noop_write)
+      OL.run t ~seed:8 ~rps ~duration_ms:400.0 ~item:(Runtime.Do Noop.Noop_write)
     in
     Array.fold_left ( +. ) 0.0 r.latencies_ms
     /. Float.of_int (Stdlib.max 1 (Array.length r.latencies_ms))
