@@ -1,0 +1,65 @@
+(* Read-path shootout (§3.4 + the leader-lease fast path): the same
+   read-only workload answered three ways —
+
+     basic  : reads coordinated like writes through the basic protocol
+     xpaxos : the §3.4 confirm protocol (client broadcast + majority
+              confirms, cost max(E, 2m))
+     leased : leader-lease local reads — while the leader holds a
+              majority lease it answers at cost E with zero protocol
+              messages on the read's critical path (confirms still flow,
+              but nothing waits for them)
+
+   Run on the Sysnet cluster and the WAN configuration; with --json-dir
+   the per-trial samples land in BENCH_reads.json. *)
+
+module Scenario = Grid_runtime.Scenario
+module Stats = Grid_util.Stats
+module T = Grid_util.Text_table
+open Grid_paxos.Types
+
+(* One second covers a grant's round trip (leader heartbeat out, echoed
+   anchor back) even at WAN latencies; shorter leases never establish
+   there. *)
+let lease_tweak c = Grid_paxos.Config.make ~base:c ~lease_ms:1000.0 ()
+
+let run_one ~quick ~id (scenario : Scenario.t) =
+  let trials = if quick then 8 else 40 in
+  let reqs = 30 in
+  let measure ?cfg_tweak label rtype =
+    Experiment.rrt ?cfg_tweak
+      ~report:(id, Printf.sprintf "%s %s" scenario.Scenario.name label)
+      ~scenario ~rtype ~trials ~reqs ()
+  in
+  let basic = measure "basic" Write in
+  let xpaxos = measure "xpaxos" Read in
+  let leased = measure ~cfg_tweak:lease_tweak "leased" Read in
+  let table =
+    T.create
+      ~columns:
+        [ ("Read path", T.Left); ("Avg. RRT (ms)", T.Right); ("99% CI (ms)", T.Right) ]
+  in
+  let row name acc =
+    T.add_row table
+      [ name; T.cell_f (Stats.mean acc);
+        T.cell_ci (Stats.confidence_interval ~confidence:0.99 acc) ]
+  in
+  row "basic (write protocol)" basic;
+  row "X-Paxos (confirms)" xpaxos;
+  row "leased (local)" leased;
+  print_string (T.render table);
+  let reduction a b = (Stats.mean a -. Stats.mean b) /. Stats.mean a *. 100.0 in
+  Printf.printf
+    "leased read RRT reduction: %.1f%% vs X-Paxos confirms, %.1f%% vs basic\n%!"
+    (reduction xpaxos leased) (reduction basic leased)
+
+let run ~quick ~only =
+  if only = None || only = Some "reads" then begin
+    List.iter
+      (fun (scenario : Scenario.t) ->
+        Experiment.section
+          (Printf.sprintf
+             "reads — basic vs X-Paxos vs leased read path, scenario %s"
+             scenario.Scenario.name);
+        run_one ~quick ~id:"reads" scenario)
+      [ Scenario.sysnet; Scenario.wan ]
+  end

@@ -11,6 +11,7 @@ let experiments =
     ("rrt-sysnet", "RRT on the Sysnet cluster (§4.1 text)");
     ("rrt-princeton", "RRT Berkeley → Princeton (§4.1 text)");
     ("rrt-wan", "RRT on the WAN configuration (§4.1 text)");
+    ("reads", "Read-path RRT: basic vs X-Paxos vs leased (§3.4 + leases)");
     ("fig5", "Sysnet throughput, 1–16 clients (Figure 5)");
     ("fig6", "Sysnet throughput, 8–128 clients (Figure 6)");
     ("fig7", "Berkeley → Princeton throughput (Figure 7)");
@@ -41,6 +42,7 @@ let run_all ~quick ~only =
     (if quick then "quick" else "full")
     (match only with Some id -> Printf.sprintf ", experiment %s" id | None -> "");
   Bench_rrt.run ~quick ~only;
+  Bench_reads.run ~quick ~only;
   Bench_throughput.run ~quick ~only;
   Bench_txn.run ~quick ~only;
   Bench_ablation.run ~quick ~only;

@@ -18,13 +18,15 @@ let services_of = function
   | `Kv -> [ Stress.Kv_service ]
   | `Both -> [ Stress.Counter_service; Stress.Kv_service ]
 
-let nemesis ~crash ~torn ~dup ~reorder ~meta_drop =
+let nemesis ~crash ~torn ~dup ~reorder ~meta_drop ~drift ~drift_max =
   {
     Mcheck.crash_prob = crash;
     torn_frac = torn;
     dup_prob = dup;
     reorder_prob = reorder;
     meta_drop_prob = meta_drop;
+    drift_prob = drift;
+    drift_max_ms = drift_max;
   }
 
 let print_failures failures =
@@ -34,7 +36,7 @@ let print_failures failures =
 
 (* Run one seed per selected service, then re-run it from the recorded
    fault plan and insist the replay reproduces the outcome exactly. *)
-let run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump =
+let run_single ~services ~seed ~steps ~nem ~disable_dedup ~cfg_tweak ~trace_dump =
   let ok = ref true in
   List.iter
     (fun service ->
@@ -44,7 +46,7 @@ let run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump =
         | Some _ -> Some (Grid_obs.Span.Recorder.create ~enabled:true ())
       in
       let o, failure =
-        Stress.run_one ~service ?obs ~steps ~nemesis:nem ~disable_dedup
+        Stress.run_one ~service ?obs ~steps ~nemesis:nem ~disable_dedup ~cfg_tweak
           ~shrink:true ~seed ()
       in
       (match (trace_dump, obs) with
@@ -72,13 +74,13 @@ let run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump =
         | Stress.Counter_service ->
           fst
             (Stress.Counter_harness.replay_plan ~steps
-               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~seed
-               ~plan ())
+               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~cfg_tweak
+               ~seed ~plan ())
         | Stress.Kv_service ->
           fst
             (Stress.Kv_harness.replay_plan ~steps
-               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~seed
-               ~plan ())
+               ~meta_drop_prob:nem.Mcheck.meta_drop_prob ~disable_dedup ~cfg_tweak
+               ~seed ~plan ())
       in
       let r = replay seed o.plan in
       if
@@ -157,8 +159,8 @@ let run_plant ~seed ~steps ~nem ~attempts =
       Format.printf "no shrunk plan produced — FAIL@.";
       1)
 
-let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup ~shrink
-    ~quiet =
+let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
+    ~cfg_tweak ~shrink ~quiet =
   let progress =
     if quiet then None
     else
@@ -170,23 +172,28 @@ let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup ~shrink
   in
   let summary =
     Stress.run ~services ~schedules ~base_seed ~steps ~nemesis:nem ~disable_dedup
-      ~shrink ?progress ()
+      ~cfg_tweak ~shrink ?progress ()
   in
   Format.printf "%a@." Stress.pp_summary summary;
   print_failures summary.failures;
   if summary.failures = [] then 0 else 1
 
 let main schedules seed base_seed steps service crash torn dup reorder meta_drop
-    plant_dedup disable_dedup no_shrink quiet trace_dump =
-  let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop in
+    drift drift_max lease_ms plant_dedup disable_dedup no_shrink quiet trace_dump =
+  let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop ~drift ~drift_max in
+  let cfg_tweak =
+    if lease_ms > 0.0 then fun c -> Grid_paxos.Config.make ~base:c ~lease_ms ()
+    else Fun.id
+  in
   let services = services_of service in
   if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
   else
     match seed with
-    | Some seed -> run_single ~services ~seed ~steps ~nem ~disable_dedup ~trace_dump
+    | Some seed ->
+      run_single ~services ~seed ~steps ~nem ~disable_dedup ~cfg_tweak ~trace_dump
     | None ->
       run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
-        ~shrink:(not no_shrink) ~quiet
+        ~cfg_tweak ~shrink:(not no_shrink) ~quiet
 
 let schedules_arg =
   Arg.(
@@ -229,6 +236,15 @@ let reorder_arg = rate "reorder" "Per-delivery reordering probability." 0.03
 let meta_drop_arg =
   rate "meta-drop" "Per-persist metadata (commit/snapshot) loss probability." 0.05
 
+let drift_arg = rate "drift" "Per-step clock-drift probability." 0.0
+
+let drift_max_arg =
+  rate "drift-max-ms" "Maximum clock-drift offset in milliseconds." 2.0
+
+let lease_ms_arg =
+  rate "lease-ms"
+    "Leader-lease duration in milliseconds (0 disables the read fast path)." 0.0
+
 let plant_arg =
   Arg.(
     value & flag
@@ -263,7 +279,7 @@ let cmd =
     Term.(
       const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
       $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
-      $ meta_drop_arg $ plant_arg $ disable_dedup_arg $ no_shrink_arg $ quiet_arg
-      $ trace_dump_arg)
+      $ meta_drop_arg $ drift_arg $ drift_max_arg $ lease_ms_arg $ plant_arg
+      $ disable_dedup_arg $ no_shrink_arg $ quiet_arg $ trace_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

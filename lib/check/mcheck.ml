@@ -31,12 +31,15 @@ type fault_event =
   | Recover_at of { step : int; victim : int }
   | Duplicate_at of { step : int }
   | Reorder_at of { step : int; depth : int }
+  | Drift_at of { step : int; victim : int; offset_ms : float }
+      (** the victim's clock jumps to virtual time + [offset_ms]; attacks
+          the leader-lease clock-skew bound *)
 
 type plan = fault_event list
 
 let fault_step = function
   | Crash_at { step; _ } | Recover_at { step; _ }
-  | Duplicate_at { step } | Reorder_at { step; _ } -> step
+  | Duplicate_at { step } | Reorder_at { step; _ } | Drift_at { step; _ } -> step
 
 let pp_fault ppf = function
   | Crash_at { step; victim; torn } ->
@@ -44,6 +47,8 @@ let pp_fault ppf = function
   | Recover_at { step; victim } -> Format.fprintf ppf "@%d recover(%d)" step victim
   | Duplicate_at { step } -> Format.fprintf ppf "@%d duplicate" step
   | Reorder_at { step; depth } -> Format.fprintf ppf "@%d reorder(+%d)" step depth
+  | Drift_at { step; victim; offset_ms } ->
+    Format.fprintf ppf "@%d drift(%d,%+.2fms)" step victim offset_ms
 
 let pp_plan ppf plan =
   Format.fprintf ppf "[@[%a@]]"
@@ -62,11 +67,15 @@ type nemesis = {
   meta_drop_prob : float;
       (** per-persist probability that a commit-point or snapshot record
           is silently lost (always repairable; see {!Grid_paxos.Storage}) *)
+  drift_prob : float;
+      (** per-step probability that one replica's clock jumps to a fresh
+          offset from virtual time *)
+  drift_max_ms : float;  (** drifted offsets are uniform in [-max, +max] *)
 }
 
 let no_faults =
   { crash_prob = 0.0; torn_frac = 0.0; dup_prob = 0.0; reorder_prob = 0.0;
-    meta_drop_prob = 0.0 }
+    meta_drop_prob = 0.0; drift_prob = 0.0; drift_max_ms = 0.0 }
 
 (* Greedy event-removal shrinking: repeatedly try dropping each event;
    keep any removal after which the schedule still fails. One-at-a-time
@@ -96,6 +105,10 @@ type outcome = {
   durability : string list;
       (** crash-recovery invariant breaches: a revived replica whose
           reloaded state disagrees with what the group committed *)
+  stale_reads : string list;
+      (** reads whose reply reflects fewer writes than were committed
+          before the read was issued — the invariant the leader-lease
+          fast path must preserve under clock drift and failovers *)
   committed : int array;  (** commit point per replica at the end *)
   delivered : int;
   timer_fires : int;
@@ -107,9 +120,10 @@ type outcome = {
   meta_dropped : int;  (** commit/snapshot records silently lost *)
   duplicated : int;
   reordered : int;
+  drifted : int;  (** clock-drift injections that fired *)
 }
 
-let failed o = o.violations <> [] || o.durability <> []
+let failed o = o.violations <> [] || o.durability <> [] || o.stale_reads <> []
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
@@ -132,6 +146,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     channels : (int * int, msg Queue.t) Hashtbl.t;
     mutable timers : (int * timer * float) list;
     mutable vnow : float;
+    (* Per-replica clock offset from virtual time, in ms. Timers stay on
+       virtual time (they measure durations); only the [now] a replica
+       reads — and hence its lease arithmetic — is skewed. *)
+    skew : float array;
     mutable replies : reply list;
     mutable delivered : int;
     mutable timer_fires : int;
@@ -179,7 +197,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         | Send { dst; msg } ->
           if node_is_client dst then begin
             match msg with
-            | Reply_msg r -> sched.replies <- r :: sched.replies
+            (* A [Retry] is a redirect, not a completion: the closed-loop
+               client keeps the request pending and retransmits it. Only
+               real completions enter the observed-reply history. *)
+            | Reply_msg r when r.status <> Retry ->
+              sched.replies <- r :: sched.replies
             | _ -> ()
           end
           else enqueue sched ~src:i ~dst msg
@@ -209,7 +231,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
 
   let dispatch sched i input =
     if not sched.down.(i) then
-      match R.handle sched.replicas.(i) ~now:sched.vnow input with
+      match R.handle sched.replicas.(i) ~now:(sched.vnow +. sched.skew.(i)) input with
       | actions -> exec_actions sched i actions
       | exception Grid_paxos.Storage.Crashed ->
         sched.ctls.(i).tear_rate <- 0.0;
@@ -276,7 +298,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     (* Messages queued toward it while down are lost (TCP reset). *)
     Hashtbl.iter (fun (_, dst) q -> if dst = back then Queue.clear q) sched.channels;
     sched.down.(back) <- false;
-    exec_actions sched back (R.restart r ~now:sched.vnow)
+    exec_actions sched back (R.restart r ~now:(sched.vnow +. sched.skew.(back)))
 
   (* ---------------------------------------------------------------- *)
   (* Scheduling                                                        *)
@@ -297,6 +319,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       Array.fold_left (fun n d -> if d then n + 1 else n) 0 sched.down
     in
     match sched.mode with
+    | Record { nem; frng }
+      when nem.drift_prob > 0.0 && Rng.float frng 1.0 < nem.drift_prob ->
+      (* The drift dice roll only when drift is enabled, so existing
+         seeds and recorded plans replay unchanged. *)
+      let victim = Rng.int frng sched.cfg.n in
+      let offset_ms = Rng.float frng (2.0 *. nem.drift_max_ms) -. nem.drift_max_ms in
+      record sched (Drift_at { step = sched.nstep; victim; offset_ms });
+      sched.skew.(victim) <- offset_ms;
+      true
     | Record { nem; frng } when nem.crash_prob > 0.0 ->
       let roll = Rng.float frng 1.0 in
       if roll < nem.crash_prob && down_count < max_down then begin
@@ -341,6 +372,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | Some (Recover_at { victim; _ }) when sched.down.(victim) ->
         record sched (Recover_at { step = sched.nstep; victim });
         revive sched victim;
+        true
+      | Some (Drift_at { victim; offset_ms; _ }) ->
+        record sched (Drift_at { step = sched.nstep; victim; offset_ms });
+        sched.skew.(victim) <- offset_ms;
         true
       | _ -> false)
 
@@ -418,9 +453,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   (* Runs                                                              *)
 
   let run_mode ?(obs = Grid_obs.Span.Recorder.disabled) ~seed ~steps ~max_down
-      ~meta_drop_prob ~disable_dedup ~requests ~mode () =
+      ~meta_drop_prob ~disable_dedup ~cfg_tweak ~requests ~mode () =
     let rng = Rng.of_int seed in
-    let cfg = Grid_paxos.Config.make ~n:3 ~record_history:true ~disable_dedup () in
+    let cfg : Grid_paxos.Config.t =
+      cfg_tweak (Grid_paxos.Config.make ~n:3 ~record_history:true ~disable_dedup ())
+    in
     let stores = Array.make cfg.n (Grid_paxos.Storage.null ()) in
     let reads =
       Array.make cfg.n (fun () ->
@@ -462,6 +499,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         channels = Hashtbl.create 32;
         timers = [];
         vnow = 0.0;
+        skew = Array.make cfg.n 0.0;
         replies = [];
         delivered = 0;
         timer_fires = 0;
@@ -483,10 +521,17 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
        so the nemesis can duplicate and reorder them too. *)
     let per_client : (int, request Queue.t) Hashtbl.t = Hashtbl.create 8 in
     let seq_counters : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    (* Stale-read oracle bookkeeping: every request's payload by id, and
+       for each read the highest instance the group had committed when the
+       read was first issued (its visibility watermark). *)
+    let payloads : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+    let read_marks : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+    let oracle_max () = Hashtbl.fold (fun i _ m -> max i m) sched.oracle 0 in
     List.iter
       (fun (client, rtype, payload) ->
         let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt seq_counters client) in
         Hashtbl.replace seq_counters client seq;
+        Hashtbl.replace payloads (client, seq) payload;
         let id =
           Grid_util.Ids.Request_id.make
             ~client:(Grid_util.Ids.Client_id.of_int client)
@@ -527,6 +572,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | [] -> false
       | _ ->
         let r = Rng.pick_list sched.rng heads in
+        let key = (Grid_util.Ids.Client_id.to_int r.id.client, r.id.seq) in
+        (* The watermark is set at the read's first injection; later
+           retransmissions of the same pending request don't move it. *)
+        if r.rtype = Read && not (Hashtbl.mem read_marks key) then begin
+          refresh_oracle sched;
+          Hashtbl.replace read_marks key (oracle_max ())
+        end;
         for i = 0 to cfg.n - 1 do
           enqueue sched ~src:(client_node r.id.client) ~dst:i (Client_req r)
         done;
@@ -558,6 +610,51 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     done;
     let all_replied = pending_count () = 0 in
     refresh_oracle sched;
+    (* Stale-read oracle: the first reply a client saw for each read must
+       equal that read evaluated on some committed state at or after the
+       read's watermark — i.e. the read reflects every write committed
+       before it was issued. Sound for deterministic read results (all
+       built-in services); the leased fast path must not weaken this. *)
+    let stale_reads =
+      let first : (int * int, reply) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (r : reply) ->
+          let key = (Grid_util.Ids.Client_id.to_int r.req.client, r.req.seq) in
+          if not (Hashtbl.mem first key) then Hashtbl.replace first key r)
+        (List.rev sched.replies);
+      let max_i = oracle_max () in
+      let read_rng = Rng.of_int seed in
+      let result_on st op =
+        S.encode_result (S.apply ~rng:read_rng ~now:sched.vnow st op).S.result
+      in
+      Hashtbl.fold
+        (fun ((client, seq) as key) w acc ->
+          match Hashtbl.find_opt first key with
+          | None -> acc
+          | Some r when r.status <> Ok -> acc
+          | Some r ->
+            let op = S.decode_op (Hashtbl.find payloads key) in
+            let matches i =
+              if i = 0 then String.equal r.payload (result_on (S.initial ()) op)
+              else
+                match Hashtbl.find_opt sched.oracle i with
+                | None -> false
+                | Some (_, st) -> String.equal r.payload (result_on (S.decode_state st) op)
+            in
+            let ok = ref false in
+            for i = w to max_i do
+              if (not !ok) && matches i then ok := true
+            done;
+            if !ok then acc
+            else
+              Printf.sprintf
+                "client %d seq %d: read reply matches no committed state at or \
+                 after its watermark (instance %d)"
+                client seq w
+              :: acc)
+        read_marks []
+      |> List.sort compare
+    in
     let histories = Array.map R.committed_updates sched.replicas in
     let plan = List.rev sched.plan_rev in
     let count p = List.length (List.filter p plan) in
@@ -565,6 +662,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       replies = List.rev sched.replies;
       violations = Agreement.check histories;
       durability = List.rev sched.durability;
+      stale_reads;
       committed = Array.map R.commit_point sched.replicas;
       delivered = sched.delivered;
       timer_fires = sched.timer_fires;
@@ -577,6 +675,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         Array.fold_left (fun n c -> n + c.Grid_paxos.Storage.dropped) 0 sched.ctls;
       duplicated = count (function Duplicate_at _ -> true | _ -> false);
       reordered = count (function Reorder_at _ -> true | _ -> false);
+      drifted = count (function Drift_at _ -> true | _ -> false);
     }
 
   (* Typed request triple: the class comes from [S.classify] and the
@@ -587,33 +686,33 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       S.encode_op op )
 
   let explore ?obs ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(nemesis = no_faults)
-      ?(disable_dedup = false) ?(requests = []) () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?(requests = []) () =
     run_mode ?obs ~seed ~steps ~max_down ~meta_drop_prob:nemesis.meta_drop_prob
-      ~disable_dedup ~requests
+      ~disable_dedup ~cfg_tweak ~requests
       ~mode:(Record { nem = nemesis; frng = Rng.of_int (seed lxor 0x6e656d) })
       ()
 
   let replay ?obs ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
-      ?(disable_dedup = false) ?(requests = []) ~plan () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?(requests = []) ~plan () =
     let tbl = Hashtbl.create (List.length plan) in
     List.iter (fun ev -> Hashtbl.replace tbl (fault_step ev) ev) plan;
-    run_mode ?obs ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
-      ~mode:(Replay tbl) ()
+    run_mode ?obs ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~cfg_tweak
+      ~requests ~mode:(Replay tbl) ()
 
   let run ?obs ?(seed = 1) ?(steps = 5_000) ?(crash_prob = 0.0) ?(max_down = 1)
-      ?(requests = []) () =
+      ?cfg_tweak ?(requests = []) () =
     explore ?obs ~seed ~steps ~max_down
       ~nemesis:{ no_faults with crash_prob }
-      ~requests ()
+      ?cfg_tweak ~requests ()
 
   (* Shrink a failing run to a minimal plan: greedily drop events, keeping
      any removal after which the (deterministic) replay still fails. *)
   let shrink ?(seed = 1) ?(steps = 5_000) ?(max_down = 1) ?(meta_drop_prob = 0.0)
-      ?(disable_dedup = false) ?(requests = []) ~plan () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?(requests = []) ~plan () =
     let still_fails p =
       failed
-        (replay ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~requests
-           ~plan:p ())
+        (replay ~seed ~steps ~max_down ~meta_drop_prob ~disable_dedup ~cfg_tweak
+           ~requests ~plan:p ())
     in
     shrink_plan ~still_fails plan
 end

@@ -17,7 +17,10 @@
     - {b duplication}: a delivered message is re-enqueued at its
       channel's tail, arriving again later (a retransmission);
     - {b reordering}: a delivery taken from the middle of its channel
-      instead of the head (FIFO escape).
+      instead of the head (FIFO escape);
+    - {b clock drift}: a replica's local clock jumps to a bounded offset
+      from virtual time, attacking the leader-lease skew assumption
+      (timers are unaffected — they measure durations).
 
     Client requests travel through the same schedulable channels as
     protocol messages, so the nemesis applies to them too.
@@ -37,6 +40,8 @@ type fault_event =
   | Reorder_at of { step : int; depth : int }
       (** the delivery at [step] took the element [depth] places behind
           the channel head *)
+  | Drift_at of { step : int; victim : int; offset_ms : float }
+      (** the victim's clock becomes virtual time + [offset_ms] *)
 
 type plan = fault_event list
 
@@ -53,6 +58,11 @@ type nemesis = {
   meta_drop_prob : float;
       (** per-persist probability of silently losing a commit-point or
           snapshot record (see {!Grid_paxos.Storage.fault_ctl}) *)
+  drift_prob : float;
+      (** per-step probability that one replica's clock jumps to a fresh
+          offset; dice for it roll only when positive, so plans recorded
+          without drift replay unchanged *)
+  drift_max_ms : float;  (** drifted offsets are uniform in [-max, +max] *)
 }
 
 val no_faults : nemesis
@@ -71,6 +81,12 @@ type outcome = {
       (** crash-recovery invariant breaches: a revived replica whose
           reloaded state disagrees with the committed prefix the group
           observed, or conflicting committed values across incarnations *)
+  stale_reads : string list;
+      (** reads whose first reply matches no committed state at or after
+          the read's issue-time watermark — i.e. the reply misses writes
+          that were committed before the read was issued. This is the
+          invariant the leader-lease read fast path must preserve under
+          clock drift and leader failovers. *)
   committed : int array;  (** commit point per replica at the end *)
   delivered : int;
   timer_fires : int;
@@ -82,10 +98,11 @@ type outcome = {
   meta_dropped : int;
   duplicated : int;
   reordered : int;
+  drifted : int;  (** clock-drift injections that fired *)
 }
 
 val failed : outcome -> bool
-(** Agreement or durability violated. *)
+(** Agreement or durability violated, or a stale read observed. *)
 
 module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)
@@ -102,6 +119,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?max_down:int ->
     ?nemesis:nemesis ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
     unit ->
     outcome
@@ -114,7 +132,9 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       is recovered from storage, and the system is drained so liveness
       can be asserted. [disable_dedup] plants the double-commit bug the
       request-dedup table exists to prevent (for validating that the
-      checkers and shrinker catch it). *)
+      checkers and shrinker catch it). [cfg_tweak] edits the group's
+      {!Grid_paxos.Config.t} before the replicas are built — e.g. to
+      enable leader leases ([lease_ms]) for the stale-read oracle. *)
 
   val replay :
     ?obs:Grid_obs.Span.Recorder.t ->
@@ -123,6 +143,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?max_down:int ->
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
     plan:plan ->
     unit ->
@@ -138,6 +159,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?max_down:int ->
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
     plan:plan ->
     unit ->
@@ -152,6 +174,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?steps:int ->
     ?crash_prob:float ->
     ?max_down:int ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
     unit ->
     outcome

@@ -25,7 +25,13 @@ let default_nemesis =
     dup_prob = 0.03;
     reorder_prob = 0.03;
     meta_drop_prob = 0.05;
+    drift_prob = 0.0;
+    drift_max_ms = 0.0;
   }
+
+(* The lease tier adds clock drift on top of the default fault mix; the
+   stale-read oracle then checks the leased fast path end to end. *)
+let lease_nemesis = { default_nemesis with drift_prob = 0.005; drift_max_ms = 2.0 }
 
 type failure = {
   seed : int;
@@ -44,6 +50,7 @@ type summary = {
   meta_dropped : int;
   duplicated : int;
   reordered : int;
+  drifted : int;
   delivered : int;
   replies : int;
 }
@@ -58,6 +65,7 @@ let empty_summary =
     meta_dropped = 0;
     duplicated = 0;
     reordered = 0;
+    drifted = 0;
     delivered = 0;
     replies = 0;
   }
@@ -73,6 +81,7 @@ let add_outcome summary (o : Mcheck.outcome) failure =
     meta_dropped = summary.meta_dropped + o.meta_dropped;
     duplicated = summary.duplicated + o.duplicated;
     reordered = summary.reordered + o.reordered;
+    drifted = summary.drifted + o.drifted;
     delivered = summary.delivered + o.delivered;
     replies = summary.replies + List.length o.replies;
   }
@@ -81,13 +90,14 @@ let add_outcome summary (o : Mcheck.outcome) failure =
 (* Workloads and linearizability histories                             *)
 
 (* A retransmitted request may be answered more than once; the client
-   keeps the first reply. *)
+   keeps the first reply. Retry redirects are not completions and never
+   enter the history. *)
 let first_replies replies =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun (r : reply) ->
       let key = (r.req.client, r.req.seq) in
-      if Hashtbl.mem seen key then false
+      if r.status = Retry || Hashtbl.mem seen key then false
       else begin
         Hashtbl.replace seen key ();
         true
@@ -216,22 +226,24 @@ module Harness (Spec : SPEC) = struct
         [ "non-linearizable client history" ]
       else []
     in
-    agreement @ o.durability @ lin
+    agreement @ o.durability @ o.stale_reads @ lin
 
   (* Run one seeded schedule; on failure optionally shrink its fault plan
      to a minimal one that still fails (under deterministic replay with
      the same seed and workload). *)
   let run_one ?obs ?(steps = 1_200) ?(nemesis = default_nemesis)
-      ?(disable_dedup = false) ?(shrink = true) ~seed () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?(shrink = true) ~seed () =
     let requests = requests_for ~seed in
-    let o = MC.explore ?obs ~seed ~steps ~nemesis ~disable_dedup ~requests () in
+    let o =
+      MC.explore ?obs ~seed ~steps ~nemesis ~disable_dedup ~cfg_tweak ~requests ()
+    in
     match reasons_of requests o with
     | [] -> (o, None)
     | reasons ->
       let still_fails plan =
         let r =
           MC.replay ~seed ~steps ~meta_drop_prob:nemesis.meta_drop_prob
-            ~disable_dedup ~requests ~plan ()
+            ~disable_dedup ~cfg_tweak ~requests ~plan ()
         in
         reasons_of requests r <> []
       in
@@ -241,9 +253,12 @@ module Harness (Spec : SPEC) = struct
       (o, Some { seed; service = Spec.which; reasons; plan = o.plan; shrunk })
 
   let replay_plan ?(steps = 1_200) ?(meta_drop_prob = 0.0)
-      ?(disable_dedup = false) ~seed ~plan () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ~seed ~plan () =
     let requests = requests_for ~seed in
-    let o = MC.replay ~seed ~steps ~meta_drop_prob ~disable_dedup ~requests ~plan () in
+    let o =
+      MC.replay ~seed ~steps ~meta_drop_prob ~disable_dedup ~cfg_tweak ~requests
+        ~plan ()
+    in
     (o, reasons_of requests o)
 end
 
@@ -273,7 +288,7 @@ let run_one ~service =
 
 let run ?(services = [ Counter_service; Kv_service ]) ?(schedules = 200)
     ?(base_seed = 1) ?(steps = 1_200) ?(nemesis = default_nemesis)
-    ?(disable_dedup = false) ?(shrink = true) ?progress () =
+    ?(disable_dedup = false) ?cfg_tweak ?(shrink = true) ?progress () =
   let n_services = max 1 (List.length services) in
   let summary = ref empty_summary in
   List.iteri
@@ -284,7 +299,7 @@ let run ?(services = [ Counter_service; Kv_service ]) ?(schedules = 200)
       for k = 0 to share - 1 do
         let seed = base_seed + (k * n_services) + si in
         let o, failure =
-          run_one ~service ~steps ~nemesis ~disable_dedup ~shrink ~seed ()
+          run_one ~service ~steps ~nemesis ~disable_dedup ?cfg_tweak ~shrink ~seed ()
         in
         summary := add_outcome !summary o failure;
         match progress with Some f -> f !summary | None -> ()
@@ -307,7 +322,7 @@ let pp_failure ppf f =
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>%d schedules: %d failing, %d unreplied@ faults: %d crashes (%d torn \
-     persists), %d metadata records dropped, %d duplicated, %d reordered@ traffic: \
-     %d deliveries, %d replies@]"
+     persists), %d metadata records dropped, %d duplicated, %d reordered, %d \
+     clock drifts@ traffic: %d deliveries, %d replies@]"
     s.schedules (List.length s.failures) s.unreplied s.crashes s.torn_persists
-    s.meta_dropped s.duplicated s.reordered s.delivered s.replies
+    s.meta_dropped s.duplicated s.reordered s.drifted s.delivered s.replies

@@ -8,7 +8,11 @@
     - {b durability} holds (a replica revived from its persisted image
       carries exactly the committed prefix the group observed);
     - the {b client-visible history is linearizable} against the service
-      model (checked when every request was answered).
+      model (checked when every request was answered);
+    - {b no stale reads}: every read's first reply reflects the writes
+      committed before it was issued ({!Mcheck.outcome.stale_reads}) —
+      the invariant the leader-lease fast path must preserve under clock
+      drift and leader failovers.
 
     Failing schedules are replayed deterministically from their recorded
     fault {!Mcheck.plan} and greedily shrunk to a minimal plan that still
@@ -20,7 +24,13 @@ val service_name : service -> string
 
 val default_nemesis : Mcheck.nemesis
 (** The standard stress mix: rare crashes (30% torn), 3% duplication and
-    reordering per delivery, 5% metadata-record loss per persist. *)
+    reordering per delivery, 5% metadata-record loss per persist. No
+    clock drift — existing seeds replay unchanged. *)
+
+val lease_nemesis : Mcheck.nemesis
+(** {!default_nemesis} plus clock drift (0.5% per step, up to ±2 ms) for
+    exercising leader leases; pair it with a [cfg_tweak] that sets
+    {!Grid_paxos.Config.t.lease_ms}. *)
 
 type failure = {
   seed : int;
@@ -39,6 +49,7 @@ type summary = {
   meta_dropped : int;
   duplicated : int;
   reordered : int;
+  drifted : int;  (** clock-drift injections across the batch *)
   delivered : int;
   replies : int;
 }
@@ -49,6 +60,7 @@ val run_one :
   ?steps:int ->
   ?nemesis:Mcheck.nemesis ->
   ?disable_dedup:bool ->
+  ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
   ?shrink:bool ->
   seed:int ->
   unit ->
@@ -56,7 +68,8 @@ val run_one :
 (** One seeded schedule over a generated workload (3 closed-loop clients,
     mixed reads and writes, derived from the seed). [obs] receives the
     replicas' lifecycle spans (deterministic per seed). [disable_dedup]
-    plants the double-commit bug for shrinker demonstrations. *)
+    plants the double-commit bug for shrinker demonstrations; [cfg_tweak]
+    edits the group config, e.g. to enable leader leases. *)
 
 val run :
   ?services:service list ->
@@ -65,6 +78,7 @@ val run :
   ?steps:int ->
   ?nemesis:Mcheck.nemesis ->
   ?disable_dedup:bool ->
+  ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
   ?shrink:bool ->
   ?progress:(summary -> unit) ->
   unit ->
@@ -85,6 +99,7 @@ module Counter_harness : sig
     ?steps:int ->
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?shrink:bool ->
     seed:int ->
     unit ->
@@ -94,6 +109,7 @@ module Counter_harness : sig
     ?steps:int ->
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     seed:int ->
     plan:Mcheck.plan ->
     unit ->
@@ -112,6 +128,7 @@ module Kv_harness : sig
     ?steps:int ->
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?shrink:bool ->
     seed:int ->
     unit ->
@@ -121,6 +138,7 @@ module Kv_harness : sig
     ?steps:int ->
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     seed:int ->
     plan:Mcheck.plan ->
     unit ->

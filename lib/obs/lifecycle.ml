@@ -1,10 +1,11 @@
 module Ids = Grid_util.Ids
 
-type protocol = Basic | Xpaxos_read | Tpaxos | Unreplicated | Unknown
+type protocol = Basic | Xpaxos_read | Leased_read | Tpaxos | Unreplicated | Unknown
 
 let protocol_name = function
   | Basic -> "basic"
   | Xpaxos_read -> "x-paxos read"
+  | Leased_read -> "x-paxos leased"
   | Tpaxos -> "t-paxos"
   | Unreplicated -> "unreplicated"
   | Unknown -> "unknown"
@@ -14,6 +15,7 @@ let protocol_name = function
    analysis needs, keeping [grid_obs] independent of [grid_paxos]. *)
 let protocol_of_detail = function
   | "read" -> Xpaxos_read
+  | "read_leased" -> Leased_read
   | "write" -> Basic
   | "original" -> Unreplicated
   | "txn_op" | "txn_commit" | "txn_abort" -> Tpaxos
@@ -95,16 +97,31 @@ let timelines (events : Span.event list) : timeline list =
           Span.all_phases
       in
       let protocol =
-        match
-          List.find_map
+        (* A [Lease_local] span is authoritative: the read actually
+           completed on the fast path. A read dispatched leased can still
+           finish on the confirm path (lease lapsed mid-execution), so
+           the dispatch label alone would over-count. *)
+        let leased =
+          List.exists
             (fun (e : Span.event) ->
               match e.body with
-              | Span { phase = Leader_receive; detail; _ } -> Some detail
-              | _ -> None)
+              | Span { phase = Lease_local; _ } -> true
+              | _ -> false)
             spans
-        with
-        | Some d -> protocol_of_detail d
-        | None -> Unknown
+        in
+        if leased then Leased_read
+        else
+          match
+            List.find_map
+              (fun (e : Span.event) ->
+                match e.body with
+                | Span { phase = Leader_receive; detail; _ } -> Some detail
+                | _ -> None)
+              spans
+          with
+          | Some d when d <> "read_leased" -> protocol_of_detail d
+          | Some _ -> Xpaxos_read  (* dispatched leased, completed confirmed *)
+          | None -> Unknown
       in
       { req; protocol; spans; phases })
     !order
@@ -126,7 +143,7 @@ type phase_stats = {
   mean_total : float;
 }
 
-let protocol_order = [ Basic; Xpaxos_read; Tpaxos; Unreplicated; Unknown ]
+let protocol_order = [ Basic; Xpaxos_read; Leased_read; Tpaxos; Unreplicated; Unknown ]
 
 let phase_stats events =
   let tls = timelines events in

@@ -9,7 +9,7 @@
 
 module Ids := Grid_util.Ids
 
-type protocol = Basic | Xpaxos_read | Tpaxos | Unreplicated | Unknown
+type protocol = Basic | Xpaxos_read | Leased_read | Tpaxos | Unreplicated | Unknown
 
 val protocol_name : protocol -> string
 

@@ -9,11 +9,14 @@ type phase =
   | Commit
   | State_ship
   | Apply
+  | Lease_local
+      (** the leader answered a read locally under a majority lease:
+          execution alone completed it, no confirm round *)
   | Reply
 
 let all_phases =
   [ Client_send; Leader_receive; Propose; Accept_quorum; Commit; State_ship;
-    Apply; Reply ]
+    Apply; Lease_local; Reply ]
 
 let phase_name = function
   | Client_send -> "client_send"
@@ -23,6 +26,7 @@ let phase_name = function
   | Commit -> "commit"
   | State_ship -> "state_ship"
   | Apply -> "apply"
+  | Lease_local -> "lease_local"
   | Reply -> "reply"
 
 let phase_of_name = function
@@ -33,6 +37,7 @@ let phase_of_name = function
   | "commit" -> Some Commit
   | "state_ship" -> Some State_ship
   | "apply" -> Some Apply
+  | "lease_local" -> Some Lease_local
   | "reply" -> Some Reply
   | _ -> None
 

@@ -19,6 +19,9 @@ type phase =
   | Commit  (** leader learns/announces the decision *)
   | State_ship  (** follower receives the committed decision *)
   | Apply  (** service executes the request *)
+  | Lease_local
+      (** the leader answered a read locally under a majority lease:
+          execution alone completed it, no confirm round *)
   | Reply  (** client receives the answer *)
 
 val all_phases : phase list

@@ -70,6 +70,12 @@ let handle t ~now input =
   | Timer _ -> ([], None)
   | Receive { msg = Reply_msg reply; _ } -> (
     match t.pending with
+    | Some r when Ids.Request_id.equal r.id reply.req && reply.status = Retry ->
+      (* The replica holding our read lost leadership: rebroadcast at
+         once (the new leader will answer) instead of waiting out the
+         retry timer, which stays armed as a backstop. *)
+      t.retries <- t.retries + 1;
+      (broadcast t r, None)
     | Some r when Ids.Request_id.equal r.id reply.req ->
       t.pending <- None;
       Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:reply.req ~instance:(-1)

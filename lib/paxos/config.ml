@@ -42,6 +42,18 @@ type t = {
           the nemesis harness can demonstrate that its duplication dice
           and schedule shrinking actually catch the bug the dedup table
           prevents. Never enable outside tests. *)
+  lease_ms : float;
+      (** leader-lease duration. While the leader holds unexpired lease
+          grants from a majority it answers reads locally, with zero
+          protocol messages; [0.0] (the default) disables the fast path
+          and reads use the X-Paxos confirm round. A follower that
+          granted a lease refuses to promise to a different candidate
+          until the grant expires on its own clock. *)
+  clock_skew_bound_ms : float;
+      (** assumed bound on how much any two replica clocks can drift
+          relative to each other within one lease window. The leader
+          retires each grant this much earlier than its nominal expiry,
+          so leases stay safe as long as real drift honours the bound. *)
 }
 
 let default ~n =
@@ -61,11 +73,13 @@ let default ~n =
     max_batch = 6;
     coordination = `State_shipping;
     disable_dedup = false;
+    lease_ms = 0.0;
+    clock_skew_bound_ms = 5.0;
   }
 
 let make ?base ?n ?execution_cost_ms ?accept_retry_ms ?prepare_retry_ms ?hb_period_ms
     ?suspicion_ms ?stability_ms ?client_retry_ms ?record_history ?ship ?snapshot_interval
-    ?max_batch ?coordination ?disable_dedup () =
+    ?max_batch ?coordination ?disable_dedup ?lease_ms ?clock_skew_bound_ms () =
   let base =
     match base with
     | Some b -> b
@@ -89,6 +103,8 @@ let make ?base ?n ?execution_cost_ms ?accept_retry_ms ?prepare_retry_ms ?hb_peri
     max_batch = v base.max_batch max_batch;
     coordination = v base.coordination coordination;
     disable_dedup = v base.disable_dedup disable_dedup;
+    lease_ms = v base.lease_ms lease_ms;
+    clock_skew_bound_ms = v base.clock_skew_bound_ms clock_skew_bound_ms;
   }
 
 let with_n t n = make ~base:t ~n ()

@@ -46,6 +46,18 @@ type t = private {
           the nemesis harness can demonstrate that its duplication dice
           and schedule shrinking actually catch the bug the dedup table
           prevents. Never enable outside tests. *)
+  lease_ms : float;
+      (** leader-lease duration. While the leader holds unexpired lease
+          grants from a majority it answers reads locally, with zero
+          protocol messages; [0.0] (the default) disables the fast path
+          and reads use the X-Paxos confirm round. A follower that
+          granted a lease refuses to promise to a different candidate
+          until the grant expires on its own clock. *)
+  clock_skew_bound_ms : float;
+      (** assumed bound on how much any two replica clocks can drift
+          relative to each other within one lease window. The leader
+          retires each grant this much earlier than its nominal expiry,
+          so leases stay safe as long as real drift honours the bound. *)
 }
 
 val default : n:int -> t
@@ -68,6 +80,8 @@ val make :
   ?max_batch:int ->
   ?coordination:[ `State_shipping | `Request_shipping ] ->
   ?disable_dedup:bool ->
+  ?lease_ms:float ->
+  ?clock_skew_bound_ms:float ->
   unit ->
   t
 (** Smart constructor: start from [base] (default [default ~n], where [n]

@@ -29,6 +29,9 @@ module Make (S : Service_intf.S) = struct
     pr_confirms : Bitset.t;
     mutable pr_exec_done : bool;
     mutable pr_result : string;
+    mutable pr_leased : bool;
+        (* dispatched on the lease fast path; reverts to the confirm
+           path if the lease lapses before execution finishes *)
   }
 
   (* A leader-local transaction branch (T-Paxos). [tx_ops] and
@@ -61,6 +64,10 @@ module Make (S : Service_intf.S) = struct
     l_reads : (Ids.Request_id.t, pending_read) Hashtbl.t;
     l_txns : (int * int, txn) Hashtbl.t;  (* (client, txn id) *)
     l_queued_ids : (Ids.Request_id.t, unit) Hashtbl.t;
+    l_grants : float array;
+        (* per-follower lease-grant expiry, on the leader's own clock:
+           the follower's echoed anchor + lease_ms - clock_skew_bound_ms.
+           Own slot unused (the leader always counts itself). *)
   }
 
   type candidacy = {
@@ -87,8 +94,18 @@ module Make (S : Service_intf.S) = struct
     last_heard : float array;
     mutable round_seen : int;
     mutable candidate_since : float option;
-    (* X-Paxos confirms that arrived before the client request *)
-    pre_confirms : (Ids.Request_id.t, Bitset.t) Hashtbl.t;
+    (* X-Paxos confirms that arrived before the client request, tagged
+       with the leadership ballot they confirmed (stale tags are
+       discarded rather than counted toward a later leadership's reads) *)
+    pre_confirms : (Ids.Request_id.t, Ballot.t * Bitset.t) Hashtbl.t;
+    (* leader-lease grant held as a follower: while [now < lease_until]
+       (own clock) this replica refuses to promise to any candidate
+       other than [lease_holder]. [lease_anchor] is the [sent_at] of the
+       leader heartbeat the grant is anchored to, echoed back so the
+       leader can time grant expiry leader-clock against leader-clock. *)
+    mutable lease_holder : int;  (* -1 = none (or post-crash blackout) *)
+    mutable lease_until : float;
+    mutable lease_anchor : float;  (* nan = no grant *)
     (* execution-cost deferral *)
     exec_table : (int, exec_work) Hashtbl.t;
     mutable exec_next : int;
@@ -120,6 +137,9 @@ module Make (S : Service_intf.S) = struct
       round_seen = 0;
       candidate_since = None;
       pre_confirms = Hashtbl.create 16;
+      lease_holder = -1;
+      lease_until = neg_infinity;
+      lease_anchor = Float.nan;
       exec_table = Hashtbl.create 16;
       exec_next = 0;
       recent_footprints = Hashtbl.create 64;
@@ -166,6 +186,45 @@ module Make (S : Service_intf.S) = struct
 
   let observe_round t round = if round > t.round_seen then t.round_seen <- round
   let heard t ~from ~now = if from >= 0 && from < t.cfg.n then t.last_heard.(from) <- now
+
+  (* ------------------------------------------------------------------ *)
+  (* Leader leases                                                       *)
+
+  (* The anchor to echo on outgoing heartbeats and read-confirms: the
+     current grant, but only while it still names the replica we are
+     promised to — after adopting a newer leadership the old anchor must
+     not leak to the new leader as a grant. *)
+  let lease_echo t =
+    if
+      t.cfg.lease_ms > 0.0 && t.lease_holder >= 0
+      && t.lease_holder = t.promised.holder
+      && t.now < t.lease_until
+    then t.lease_anchor
+    else Float.nan
+
+  (* Leader side: a follower echoed [anchor]; its enforcement window ends
+     no earlier than anchor + lease_ms on our clock (message delay only
+     extends it), minus the assumed clock-skew bound. *)
+  let record_grant t (l : leadership) ~src ~anchor =
+    if
+      t.cfg.lease_ms > 0.0
+      && (not (Float.is_nan anchor))
+      && src >= 0 && src < t.cfg.n && src <> t.rid
+    then
+      l.l_grants.(src) <-
+        Float.max l.l_grants.(src)
+          (anchor +. t.cfg.lease_ms -. t.cfg.clock_skew_bound_ms)
+
+  let holds_lease t ~now =
+    match t.role with
+    | Leader l when t.cfg.lease_ms > 0.0 ->
+      let live = ref 0 in
+      Array.iteri (fun i e -> if i = t.rid || e > now then incr live) l.l_grants;
+      !live >= Config.quorum t.cfg
+    | _ -> false
+
+  let lease_granted_to t ~now =
+    if t.cfg.lease_ms > 0.0 && now < t.lease_until then Some t.lease_holder else None
 
   (* ------------------------------------------------------------------ *)
   (* Snapshots, dedup, commit bookkeeping                                *)
@@ -277,25 +336,6 @@ module Make (S : Service_intf.S) = struct
         invalid_arg "Replica: witness update with non-singleton batch"))
 
   (* ------------------------------------------------------------------ *)
-  (* Stepping down                                                       *)
-
-  let step_down t =
-    (match t.role with
-    | Leader l ->
-      (* Pending reads get no reply (clients retry at the new leader);
-         transactions are lost, so their commits will abort (§3.6). *)
-      Hashtbl.reset l.l_reads;
-      Hashtbl.reset l.l_txns;
-      Queue.clear l.l_queue;
-      Hashtbl.reset l.l_queued_ids;
-      l.l_phase <- None;
-      t.role <- Follower
-    | Candidate _ -> t.role <- Follower
-    | Follower -> ());
-    t.candidate_since <- None;
-    Hashtbl.reset t.exec_table
-
-  (* ------------------------------------------------------------------ *)
   (* Leader: proposing                                                   *)
 
   let broadcast t msg = List.map (fun dst -> send ~dst msg) (others t)
@@ -321,6 +361,40 @@ module Make (S : Service_intf.S) = struct
 
   let reply_actions replies =
     List.map (fun (r : reply) -> send ~dst:(client_node r.req.client) (Reply_msg r)) replies
+
+  (* ------------------------------------------------------------------ *)
+  (* Stepping down                                                       *)
+
+  (* Returns the actions of the demotion: a typed [Retry] reply for every
+     pending read, so clients fail over to the new leader immediately
+     instead of waiting out their retransmission timers. (Transactions
+     are lost, so their commits will abort, §3.6.) Stale pre-confirms
+     must not survive into a later leadership of this replica. *)
+  let step_down t =
+    let acts =
+      match t.role with
+      | Leader l ->
+        let dropped =
+          Hashtbl.fold
+            (fun id _ acc -> { req = id; status = Retry; payload = "" } :: acc)
+            l.l_reads []
+        in
+        Hashtbl.reset l.l_reads;
+        Hashtbl.reset l.l_txns;
+        Queue.clear l.l_queue;
+        Hashtbl.reset l.l_queued_ids;
+        l.l_phase <- None;
+        t.role <- Follower;
+        reply_actions dropped
+      | Candidate _ ->
+        t.role <- Follower;
+        []
+      | Follower -> []
+    in
+    t.candidate_since <- None;
+    Hashtbl.reset t.pre_confirms;
+    Hashtbl.reset t.exec_table;
+    acts
 
   (* Commit the in-flight instance (majority of accept-acks reached). *)
   let rec do_commit t (l : leadership) (fl : inflight) =
@@ -620,11 +694,27 @@ module Make (S : Service_intf.S) = struct
       | _ -> [])
 
   and check_read_ready t (l : leadership) pr =
-    if pr.pr_exec_done && Bitset.cardinal pr.pr_confirms >= quorum t then begin
+    if not pr.pr_exec_done then []
+    else if pr.pr_leased && holds_lease t ~now:t.now then begin
+      (* Lease fast path: execution alone completes the read — no
+         confirm round, zero protocol messages. *)
       Hashtbl.remove l.l_reads pr.pr_request.id;
+      Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:pr.pr_request.id
+        ~instance:(-1) ~detail:"" Span.Lease_local;
       reply_actions [ { req = pr.pr_request.id; status = Ok; payload = pr.pr_result } ]
     end
-    else []
+    else begin
+      (* The lease lapsed (or was never held): fall back to the confirm
+         protocol. Confirms have been flowing regardless — clients
+         broadcast reads to every replica — so the quorum may already be
+         in hand. *)
+      if pr.pr_leased then pr.pr_leased <- false;
+      if Bitset.cardinal pr.pr_confirms >= quorum t then begin
+        Hashtbl.remove l.l_reads pr.pr_request.id;
+        reply_actions [ { req = pr.pr_request.id; status = Ok; payload = pr.pr_result } ]
+      end
+      else []
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Client request dispatch                                             *)
@@ -634,22 +724,36 @@ module Make (S : Service_intf.S) = struct
     else begin
       let confirms =
         match Hashtbl.find_opt t.pre_confirms r.id with
-        | Some b ->
+        | Some (b, set) ->
           Hashtbl.remove t.pre_confirms r.id;
-          b
+          (* Confirms stashed under an earlier leadership of this replica
+             confirmed a promise that may since have been usurped and
+             re-won: they say nothing about the current ballot. *)
+          if Ballot.equal b l.l_ballot then set else Bitset.create t.cfg.n
         | None -> Bitset.create t.cfg.n
       in
       Bitset.set confirms t.rid;
       let pr =
-        { pr_request = r; pr_confirms = confirms; pr_exec_done = false; pr_result = "" }
+        {
+          pr_request = r;
+          pr_confirms = confirms;
+          pr_exec_done = false;
+          pr_result = "";
+          pr_leased = holds_lease t ~now:t.now;
+        }
       in
       Hashtbl.replace l.l_reads r.id pr;
       begin_execution t l (Exec_read r)
     end
 
   let leader_handle_client t (l : leadership) (r : request) =
+    let detail =
+      match r.rtype with
+      | Read when holds_lease t ~now:t.now -> "read_leased"
+      | _ -> rtype_label r.rtype
+    in
     Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-      ~detail:(rtype_label r.rtype) Span.Leader_receive;
+      ~detail Span.Leader_receive;
     match r.rtype with
     | Read -> leader_handle_read t l r
     | Original -> begin_execution t l (Exec_original r)
@@ -678,7 +782,11 @@ module Make (S : Service_intf.S) = struct
       (* X-Paxos: confirm to the holder of the highest accepted ballot. *)
       match leader_view t with
       | Some holder when holder <> t.rid ->
-        [ send ~dst:holder (Read_confirm { ballot = t.promised; req = r.id }) ]
+        [
+          send ~dst:holder
+            (Read_confirm
+               { ballot = t.promised; req = r.id; lease_anchor = lease_echo t });
+        ]
       | _ -> [])
     | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ -> []
 
@@ -713,6 +821,9 @@ module Make (S : Service_intf.S) = struct
       (fun (_, (p : proposal)) ->
         List.iter (fun (r : request) -> Hashtbl.replace l_queued_ids r.id ()) p.requests)
       repropose;
+    (* Confirms stashed while we were a follower or candidate confirmed
+       some earlier leadership; they must not count toward our reads. *)
+    Hashtbl.reset t.pre_confirms;
     t.role <-
       Leader
         {
@@ -723,6 +834,7 @@ module Make (S : Service_intf.S) = struct
           l_reads = Hashtbl.create 16;
           l_txns = Hashtbl.create 8;
           l_queued_ids;
+          l_grants = Array.make t.cfg.n neg_infinity;
         };
     note "leader with ballot %a, reproposing %d entries" Ballot.pp c.c_ballot
       (List.length repropose)
@@ -758,12 +870,25 @@ module Make (S : Service_intf.S) = struct
   let handle_prepare t ~now ~src ~ballot ~their_cp =
     heard t ~from:ballot.Ballot.holder ~now;
     observe_round t ballot.round;
-    if Ballot.compare ballot t.promised >= 0 then begin
+    if
+      t.cfg.lease_ms > 0.0 && now < t.lease_until
+      && ballot.Ballot.holder <> t.lease_holder
+    then
+      (* Lease enforcement: an unexpired grant refuses promises to any
+         other candidate regardless of ballot height — the grant is the
+         leader's licence to answer reads locally, and a quorum of
+         intersecting refusals is exactly what makes that safe. The
+         candidate keeps retrying (Prepare_retry) and wins once the
+         grant expires on this clock. *)
+      [ send ~dst:src (Reject { promised = t.promised }) ]
+    else if Ballot.compare ballot t.promised >= 0 then begin
       (* A higher (or equal, on retry) ballot deposes us. *)
-      (match t.role with
-      | Leader l when Ballot.compare ballot l.l_ballot > 0 -> step_down t
-      | Candidate c when Ballot.compare ballot c.c_ballot > 0 -> step_down t
-      | _ -> ());
+      let demoted =
+        match t.role with
+        | Leader l when Ballot.compare ballot l.l_ballot > 0 -> step_down t
+        | Candidate c when Ballot.compare ballot c.c_ballot > 0 -> step_down t
+        | _ -> []
+      in
       if Ballot.compare ballot t.promised > 0 then begin
         t.promised <- ballot;
         t.storage.persist_promise ballot
@@ -774,7 +899,8 @@ module Make (S : Service_intf.S) = struct
         if my_cp > their_cp then Some (Snapshot.encode (current_snapshot t)) else None
       in
       let accepted = Plog.accepted_above t.log (Stdlib.max my_cp their_cp) in
-      [ send ~dst:src (Prepare_ack { ballot; commit_point = my_cp; snapshot; accepted }) ]
+      demoted
+      @ [ send ~dst:src (Prepare_ack { ballot; commit_point = my_cp; snapshot; accepted }) ]
     end
     else [ send ~dst:src (Reject { promised = t.promised }) ]
 
@@ -802,17 +928,19 @@ module Make (S : Service_intf.S) = struct
     heard t ~from:ballot.Ballot.holder ~now;
     observe_round t ballot.round;
     if Ballot.compare ballot t.promised >= 0 then begin
-      (match t.role with
-      | Leader l when not (Ballot.equal ballot l.l_ballot) -> step_down t
-      | Candidate c when Ballot.compare ballot c.c_ballot >= 0 -> step_down t
-      | _ -> ());
+      let demoted =
+        match t.role with
+        | Leader l when not (Ballot.equal ballot l.l_ballot) -> step_down t
+        | Candidate c when Ballot.compare ballot c.c_ballot >= 0 -> step_down t
+        | _ -> []
+      in
       if Ballot.compare ballot t.promised > 0 then begin
         t.promised <- ballot;
         t.storage.persist_promise ballot
       end;
       if Plog.accept t.log ~instance ~ballot proposal then
         t.storage.persist_entry ~instance ~ballot proposal;
-      [ send ~dst:src (Accept_ack { ballot; instance }) ]
+      demoted @ [ send ~dst:src (Accept_ack { ballot; instance }) ]
     end
     else [ send ~dst:src (Reject { promised = t.promised }) ]
 
@@ -874,9 +1002,11 @@ module Make (S : Service_intf.S) = struct
         else acts
       end
 
-  let handle_read_confirm t ~src ~ballot ~req =
+  let handle_read_confirm t ~src ~ballot ~req ~lease_anchor =
     match t.role with
     | Leader l when Ballot.equal ballot l.l_ballot -> (
+      (* The confirm doubles as a lease renewal. *)
+      record_grant t l ~src ~anchor:lease_anchor;
       match Hashtbl.find_opt l.l_reads req with
       | Some pr ->
         Bitset.set pr.pr_confirms src;
@@ -884,10 +1014,10 @@ module Make (S : Service_intf.S) = struct
       | None ->
         let b =
           match Hashtbl.find_opt t.pre_confirms req with
-          | Some b -> b
-          | None ->
+          | Some (b0, set) when Ballot.equal b0 l.l_ballot -> set
+          | _ ->
             let b = Bitset.create t.cfg.n in
-            Hashtbl.replace t.pre_confirms req b;
+            Hashtbl.replace t.pre_confirms req (l.l_ballot, b);
             (* Bound the pre-confirm table against stray confirms. *)
             if Hashtbl.length t.pre_confirms > 4096 then
               Hashtbl.reset t.pre_confirms;
@@ -904,8 +1034,7 @@ module Make (S : Service_intf.S) = struct
       t.storage.persist_promise their_promise;
       match t.role with
       | Leader _ | Candidate _ ->
-        step_down t;
-        [ note "deposed by ballot %a" Ballot.pp their_promise ]
+        step_down t @ [ note "deposed by ballot %a" Ballot.pp their_promise ]
       | Follower -> []
     end
     else []
@@ -921,6 +1050,8 @@ module Make (S : Service_intf.S) = struct
            round_seen = t.round_seen;
            commit_point = Plog.commit_point t.log;
            promised = t.promised;
+           sent_at = now;
+           lease_anchor = lease_echo t;
          })
     @ [ after ~delay:t.cfg.hb_period_ms Hb_tick ]
 
@@ -953,7 +1084,17 @@ module Make (S : Service_intf.S) = struct
     match (t.role, t.candidate_since) with
     | Follower, Some since when now -. since >= t.cfg.stability_ms -. 1e-9 ->
       let alive_set = alive t ~now in
-      if List.fold_left Stdlib.min max_int alive_set = t.rid then start_prepare t ~now
+      if
+        t.cfg.lease_ms > 0.0 && now < t.lease_until && t.lease_holder <> t.rid
+      then begin
+        (* Our own grant (or post-crash blackout) blocks our candidacy
+           too; the suspicion tick re-arms the stability check after the
+           grant expires, so liveness only shifts by up to one lease. *)
+        t.candidate_since <- None;
+        []
+      end
+      else if List.fold_left Stdlib.min max_int alive_set = t.rid then
+        start_prepare t ~now
       else begin
         t.candidate_since <- None;
         []
@@ -1016,22 +1157,57 @@ module Make (S : Service_intf.S) = struct
     | Receive { src; msg } -> (
       if not (node_is_client src) then heard t ~from:src ~now;
       match msg with
-      | Heartbeat { round_seen; commit_point; promised = their_promise } ->
+      | Heartbeat { round_seen; commit_point; promised = their_promise; sent_at; lease_anchor }
+        ->
         observe_round t round_seen;
         (* Adopting a higher promise unilaterally is always safe (it only
            makes this replica more conservative) and spreads knowledge of
            the current leadership, so a recovered old leader defers to
            the incumbent instead of deposing it (§3.6 stability). *)
-        if Ballot.compare their_promise t.promised > 0 then begin
-          (match t.role with
-          | Leader l when Ballot.compare their_promise l.l_ballot > 0 -> step_down t
-          | Candidate c when Ballot.compare their_promise c.c_ballot > 0 -> step_down t
-          | _ -> ());
-          t.promised <- their_promise;
-          t.storage.persist_promise their_promise
+        let demoted =
+          if Ballot.compare their_promise t.promised > 0 then begin
+            let acts =
+              match t.role with
+              | Leader l when Ballot.compare their_promise l.l_ballot > 0 -> step_down t
+              | Candidate c when Ballot.compare their_promise c.c_ballot > 0 ->
+                step_down t
+              | _ -> []
+            in
+            t.promised <- their_promise;
+            t.storage.persist_promise their_promise;
+            acts
+          end
+          else []
+        in
+        (* Lease grant (follower side): a heartbeat from the replica we
+           are promised to starts or renews a grant. The enforcement
+           window only ever extends; the anchor tracks the newest
+           [sent_at] so reordered heartbeats cannot roll it back. *)
+        if
+          t.cfg.lease_ms > 0.0
+          && (not (is_leader t))
+          && Ballot.equal t.promised their_promise
+          && their_promise.Ballot.holder = src
+        then begin
+          if
+            t.lease_holder <> src
+            || Float.is_nan t.lease_anchor
+            || sent_at > t.lease_anchor
+          then t.lease_anchor <- sent_at;
+          t.lease_holder <- src;
+          t.lease_until <- Float.max t.lease_until (now +. t.cfg.lease_ms)
         end;
+        (* Grant renewal (leader side): followers echo their grant anchor
+           on their own heartbeats. Only count an echo from a follower
+           promised to this exact leadership. *)
+        (match t.role with
+        | Leader l when Ballot.equal their_promise l.l_ballot ->
+          record_grant t l ~src ~anchor:lease_anchor
+        | _ -> ());
         (* A heartbeat from the replica we promised to announces a commit
            point ahead of ours: we missed Commit messages — catch up. *)
+        demoted
+        @
         if
           (not (is_leader t))
           && src = t.promised.holder
@@ -1050,7 +1226,8 @@ module Make (S : Service_intf.S) = struct
         handle_accept t ~now ~src ~ballot ~instance ~proposal
       | Accept_ack { ballot; instance } -> handle_accept_ack t ~src ~ballot ~instance
       | Commit { ballot; instance } -> handle_commit t ~now ~src ~ballot ~instance
-      | Read_confirm { ballot; req } -> handle_read_confirm t ~src ~ballot ~req
+      | Read_confirm { ballot; req; lease_anchor } ->
+        handle_read_confirm t ~src ~ballot ~req ~lease_anchor
       | Reject { promised } -> handle_reject t ~promised
       | Catchup_req _ ->
         if is_leader t then
@@ -1066,8 +1243,19 @@ module Make (S : Service_intf.S) = struct
 
   let restart t ~now =
     t.now <- now;
-    step_down t;
+    (* A crashed process sends nothing; drop the demotion replies. *)
+    ignore (step_down t : action list);
     Hashtbl.reset t.pre_confirms;
+    (* Lease blackout: the grant (if any) died with the process, so sit
+       out one full lease — refusing every candidate (holder -1 matches
+       nobody) — before promising again. Without this a recovered
+       follower could promise a usurper while the old leader is still
+       lawfully serving leased reads against the forgotten grant. *)
+    if t.cfg.lease_ms > 0.0 then begin
+      t.lease_holder <- -1;
+      t.lease_anchor <- Float.nan;
+      t.lease_until <- now +. t.cfg.lease_ms
+    end;
     t.candidate_since <- None;
     Array.fill t.last_heard 0 t.cfg.n neg_infinity;
     heard t ~from:t.rid ~now;

@@ -15,7 +15,15 @@
       the read sends a confirm to the holder of the highest ballot it has
       accepted; the leader executes the read against its latest committed
       state in parallel and replies once a majority (counting itself) has
-      confirmed.
+      confirmed. With [Config.lease_ms > 0] a lease fast path sits on
+      top: followers grant a time-bounded lease on heartbeat receipt and
+      piggyback renewals on their own heartbeats and read-confirms; while
+      the leader holds unexpired grants from a majority it answers reads
+      after execution alone — zero protocol messages — falling back to
+      the confirm round when the lease lapses. Granting followers refuse
+      to promise to other candidates until their grant expires (and a
+      recovered replica sits out one full lease), which is what makes the
+      local read linearizable under the configured clock-skew bound.
     - {b T-Paxos} (§3.5) for transactions: operations inside a
       transaction execute immediately on a leader-local branch and are
       answered without coordination; the commit rebases the branch onto
@@ -81,6 +89,16 @@ module Make (S : Service_intf.S) : sig
 
   val leader_view : t -> int option
   (** Whom this replica would confirm reads to (holder of its promise). *)
+
+  val holds_lease : t -> now:float -> bool
+  (** Leader only: unexpired lease grants from a majority (counting
+      itself) at [now] on its own clock — reads dispatched now take the
+      local fast path. Always [false] when [Config.lease_ms = 0]. *)
+
+  val lease_granted_to : t -> now:float -> int option
+  (** Follower view: the replica this one's unexpired grant names (whom
+      it would refuse other candidates for), if any. A post-crash
+      blackout reports [Some (-1)]: every candidate is refused. *)
 
   val committed_requests : t -> Types.request list
   (** Requests in committed instance order (requires

@@ -120,11 +120,16 @@ type status =
   | Ok
   | Txn_aborted  (** transaction rolled back (explicit abort, conflict, or leader switch) *)
   | Txn_conflict  (** first-committer-wins conflict at commit *)
+  | Retry
+      (** the replica lost leadership while holding this request; the
+          client should retransmit (it will reach the new leader) rather
+          than wait out its retry timer *)
 
 let pp_status ppf = function
   | Ok -> Format.pp_print_string ppf "ok"
   | Txn_aborted -> Format.pp_print_string ppf "aborted"
   | Txn_conflict -> Format.pp_print_string ppf "conflict"
+  | Retry -> Format.pp_print_string ppf "retry"
 
 type reply = { req : Ids.Request_id.t; status : status; payload : string }
 
@@ -132,7 +137,7 @@ let pp_reply ppf r =
   Format.fprintf ppf "reply(%a,%a,%d bytes)" Ids.Request_id.pp r.req pp_status r.status
     (String.length r.payload)
 
-let status_tag = function Ok -> 0 | Txn_aborted -> 1 | Txn_conflict -> 2
+let status_tag = function Ok -> 0 | Txn_aborted -> 1 | Txn_conflict -> 2 | Retry -> 3
 
 let encode_status e s = Wire.Encoder.uint e (status_tag s)
 
@@ -141,6 +146,7 @@ let decode_status d =
   | 0 -> Ok
   | 1 -> Txn_aborted
   | 2 -> Txn_conflict
+  | 3 -> Retry
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad status %d" n })
 
 let encode_reply e (r : reply) =
@@ -233,10 +239,23 @@ type msg =
   | Reject of { promised : Ballot.t }
       (** Nack carrying the higher promise that caused the rejection. *)
   | Commit of { ballot : Ballot.t; instance : int }
-  | Read_confirm of { ballot : Ballot.t; req : Ids.Request_id.t }
+  | Read_confirm of { ballot : Ballot.t; req : Ids.Request_id.t; lease_anchor : float }
       (** X-Paxos: follower confirms leadership to the highest-ballot
-          holder it has accepted, naming the read it saw. *)
-  | Heartbeat of { round_seen : int; commit_point : int; promised : Ballot.t }
+          holder it has accepted, naming the read it saw. [lease_anchor]
+          piggybacks a lease renewal: the [sent_at] of the leader
+          heartbeat the sender's current grant is anchored to ([nan] when
+          it holds no grant or leases are disabled). *)
+  | Heartbeat of {
+      round_seen : int;
+      commit_point : int;
+      promised : Ballot.t;
+      sent_at : float;
+          (** sender's local clock at send time; followers anchor lease
+              grants to the leader's [sent_at] so expiry can be compared
+              leader-clock against leader-clock *)
+      lease_anchor : float;
+          (** grant echo, as in [Read_confirm]; [nan] when none *)
+    }
   | Catchup_req of { from_instance : int }
   | Catchup of { snapshot : string }
   (* Semi-passive replication (Défago et al., §5 related work): lazy
@@ -291,16 +310,19 @@ let encode_msg e = function
     Wire.Encoder.uint e 7;
     Ballot.encode e ballot;
     Wire.Encoder.uint e instance
-  | Read_confirm { ballot; req } ->
+  | Read_confirm { ballot; req; lease_anchor } ->
     Wire.Encoder.uint e 8;
     Ballot.encode e ballot;
     Wire.Encoder.uint e (Ids.Client_id.to_int req.client);
-    Wire.Encoder.uint e req.seq
-  | Heartbeat { round_seen; commit_point; promised } ->
+    Wire.Encoder.uint e req.seq;
+    Wire.Encoder.float e lease_anchor
+  | Heartbeat { round_seen; commit_point; promised; sent_at; lease_anchor } ->
     Wire.Encoder.uint e 9;
     Wire.Encoder.uint e round_seen;
     Wire.Encoder.uint e commit_point;
-    Ballot.encode e promised
+    Ballot.encode e promised;
+    Wire.Encoder.float e sent_at;
+    Wire.Encoder.float e lease_anchor
   | Catchup_req { from_instance } ->
     Wire.Encoder.uint e 10;
     Wire.Encoder.uint e from_instance
@@ -368,12 +390,15 @@ let decode_msg d =
     let ballot = Ballot.decode d in
     let client = Ids.Client_id.of_int (Wire.Decoder.uint d) in
     let seq = Wire.Decoder.uint d in
-    Read_confirm { ballot; req = Ids.Request_id.make ~client ~seq }
+    let lease_anchor = Wire.Decoder.float d in
+    Read_confirm { ballot; req = Ids.Request_id.make ~client ~seq; lease_anchor }
   | 9 ->
     let round_seen = Wire.Decoder.uint d in
     let commit_point = Wire.Decoder.uint d in
     let promised = Ballot.decode d in
-    Heartbeat { round_seen; commit_point; promised }
+    let sent_at = Wire.Decoder.float d in
+    let lease_anchor = Wire.Decoder.float d in
+    Heartbeat { round_seen; commit_point; promised; sent_at; lease_anchor }
   | 10 -> Catchup_req { from_instance = Wire.Decoder.uint d }
   | 11 -> Catchup { snapshot = Wire.Decoder.string d }
   | 12 ->
@@ -425,8 +450,8 @@ let msg_size = function
   | Accept_ack _ -> 24
   | Reject _ -> 16
   | Commit _ -> 24
-  | Read_confirm _ -> 24
-  | Heartbeat _ -> 16
+  | Read_confirm _ -> 32
+  | Heartbeat _ -> 32
   | Catchup_req _ -> 16
   | Catchup { snapshot } -> 16 + String.length snapshot
   | Sp_estimate { estimate; _ } ->
@@ -471,11 +496,14 @@ let pp_msg ppf m =
   | Reject { promised } -> Format.fprintf ppf "reject promised=%a" Ballot.pp promised
   | Commit { ballot; instance } ->
     Format.fprintf ppf "commit %a i=%d" Ballot.pp ballot instance
-  | Read_confirm { ballot; req } ->
-    Format.fprintf ppf "read_confirm %a %a" Ballot.pp ballot Ids.Request_id.pp req
-  | Heartbeat { round_seen; commit_point; promised } ->
-    Format.fprintf ppf "heartbeat rs=%d cp=%d promised=%a" round_seen commit_point
-      Ballot.pp promised
+  | Read_confirm { ballot; req; lease_anchor } ->
+    Format.fprintf ppf "read_confirm %a %a lease=%b" Ballot.pp ballot Ids.Request_id.pp
+      req
+      (not (Float.is_nan lease_anchor))
+  | Heartbeat { round_seen; commit_point; promised; lease_anchor; _ } ->
+    Format.fprintf ppf "heartbeat rs=%d cp=%d promised=%a lease=%b" round_seen
+      commit_point Ballot.pp promised
+      (not (Float.is_nan lease_anchor))
   | Catchup_req { from_instance } -> Format.fprintf ppf "catchup_req from=%d" from_instance
   | Catchup _ -> Format.fprintf ppf "catchup"
   | Sp_estimate { instance; round; estimate } ->

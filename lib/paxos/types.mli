@@ -61,6 +61,10 @@ type status =
   | Txn_aborted
       (** transaction rolled back (explicit abort, conflict, or leader switch) *)
   | Txn_conflict  (** first-committer-wins conflict at commit *)
+  | Retry
+      (** the replica lost leadership while holding this request; the
+          client should retransmit (it will reach the new leader) rather
+          than wait out its retry timer *)
 
 val pp_status : Format.formatter -> status -> unit
 val status_tag : status -> int
@@ -119,10 +123,27 @@ type msg =
   | Reject of { promised : Ballot.t }
       (** Nack carrying the higher promise that caused the rejection. *)
   | Commit of { ballot : Ballot.t; instance : int }
-  | Read_confirm of { ballot : Ballot.t; req : Grid_util.Ids.Request_id.t }
+  | Read_confirm of {
+      ballot : Ballot.t;
+      req : Grid_util.Ids.Request_id.t;
+      lease_anchor : float;
+    }
       (** X-Paxos: follower confirms leadership to the highest-ballot
-          holder it has accepted, naming the read it saw. *)
-  | Heartbeat of { round_seen : int; commit_point : int; promised : Ballot.t }
+          holder it has accepted, naming the read it saw. [lease_anchor]
+          piggybacks a lease renewal: the [sent_at] of the leader
+          heartbeat the sender's current grant is anchored to ([nan] when
+          it holds no grant or leases are disabled). *)
+  | Heartbeat of {
+      round_seen : int;
+      commit_point : int;
+      promised : Ballot.t;
+      sent_at : float;
+          (** sender's local clock at send time; followers anchor lease
+              grants to the leader's [sent_at] so expiry can be compared
+              leader-clock against leader-clock *)
+      lease_anchor : float;
+          (** grant echo, as in [Read_confirm]; [nan] when none *)
+    }
   | Catchup_req of { from_instance : int }
   | Catchup of { snapshot : string }
   | Sp_estimate of {

@@ -83,6 +83,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let node_base t = t.node_base
   let now t = Engine.now t.eng
 
+  (* A replica's local clock: engine time plus any injected drift
+     ({!Grid_sim.Fault.Clock_drift}). Timers stay on engine time — drift
+     skews time readings (the lease arithmetic), not durations. *)
+  let rnow t i = Engine.now t.eng +. Network.clock_offset t.net (t.node_base + i)
+
   (* Local replica id <-> global node id. Client nodes are global. *)
   let out_node t dst = if node_is_client dst then dst else t.node_base + dst
   let in_node t src = if node_is_client src then src else src - t.node_base
@@ -108,7 +113,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
                 incarnation: recovery re-bootstraps its own timers. *)
              if (not t.down.(i)) && t.incarnation.(i) = armed_in then
                dispatch_replica t i
-                 (R.handle t.replicas.(i) ~now:(Engine.now t.eng) (Timer timer))))
+                 (R.handle t.replicas.(i) ~now:(rnow t i) (Timer timer))))
     | Note s ->
       Span.Recorder.note t.obs ~time:(Engine.now t.eng) ~actor:t.replica_actors.(i) s
 
@@ -210,7 +215,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         ~send_cost:sc.replica_send_cost (fun ~src msg ->
           if not t.down.(i) then
             dispatch_replica t i
-              (R.handle t.replicas.(i) ~now:(Engine.now eng)
+              (R.handle t.replicas.(i) ~now:(rnow t i)
                  (Receive { src = in_node t src; msg })))
     done;
     for i = 0 to cfg.n - 1 do
@@ -314,7 +319,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     t.down.(i) <- false;
     t.incarnation.(i) <- t.incarnation.(i) + 1;
     Network.recover t.net (t.node_base + i);
-    dispatch_replica t i (R.restart t.replicas.(i) ~now:(Engine.now t.eng))
+    dispatch_replica t i (R.restart t.replicas.(i) ~now:(rnow t i))
 
   let replica_up t i = not t.down.(i)
 

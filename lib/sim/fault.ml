@@ -7,6 +7,7 @@ type event =
   | Duplicate_rate of float
   | Reorder_rate of float
   | Delay_spike of { rate : float; magnitude_ms : float }
+  | Clock_drift of { node : int; offset_ms : float }
 
 type entry = { at : float; event : event }
 
@@ -20,6 +21,7 @@ let apply net = function
   | Reorder_rate p -> Network.set_reorder_rate net p
   | Delay_spike { rate; magnitude_ms } ->
     Network.set_delay_spike net ~rate ~magnitude_ms
+  | Clock_drift { node; offset_ms } -> Network.set_clock_offset net node offset_ms
 
 let install net entries =
   let eng = Network.engine net in
@@ -51,3 +53,5 @@ let pp_event ppf = function
   | Reorder_rate p -> Format.fprintf ppf "reorder_rate(%.3f)" p
   | Delay_spike { rate; magnitude_ms } ->
     Format.fprintf ppf "delay_spike(%.3f,+%.1fms)" rate magnitude_ms
+  | Clock_drift { node; offset_ms } ->
+    Format.fprintf ppf "clock_drift(%d,%+.2fms)" node offset_ms

@@ -19,6 +19,9 @@ type event =
           per-pair FIFO delivery clamp *)
   | Delay_spike of { rate : float; magnitude_ms : float }
       (** see {!Network.set_delay_spike}: transient per-hop congestion *)
+  | Clock_drift of { node : int; offset_ms : float }
+      (** see {!Network.set_clock_offset}: the node's local clock becomes
+          engine time + [offset_ms]; attacks the leader-lease skew bound *)
 
 type entry = { at : float; event : event }
 

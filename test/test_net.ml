@@ -65,7 +65,12 @@ let test_msg_wire_roundtrip () =
           instance = 18;
           proposal = { requests = []; update = Full "state"; replies = [] } };
       Commit { ballot = Ballot.make ~round:3 ~holder:1; instance = 18 };
-      Heartbeat { round_seen = 5; commit_point = 17; promised = Ballot.make ~round:3 ~holder:1 };
+      Heartbeat
+        { round_seen = 5;
+          commit_point = 17;
+          promised = Ballot.make ~round:3 ~holder:1;
+          sent_at = 42.5;
+          lease_anchor = 40.0 };
       Catchup { snapshot = "snap" };
     ]
   in

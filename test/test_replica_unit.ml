@@ -247,7 +247,15 @@ let test_stale_accept_not_committed () =
     (Receive
        {
          src = 0;
-         msg = Heartbeat { round_seen = b0.round; commit_point = 1; promised = b0 };
+         msg =
+           Heartbeat
+             {
+               round_seen = b0.round;
+               commit_point = 1;
+               promised = b0;
+               sent_at = 0.0;
+               lease_anchor = Float.nan;
+             };
        });
   H.drop t ~filter:(fun _ _ _ -> true);
   Alcotest.(check bool) "replica 2 deposed" false (Replica.is_leader t.replicas.(2));
@@ -367,6 +375,245 @@ let test_follower_ignores_writes () =
   Alcotest.(check bool) "no accepts from a follower" true
     (not (List.mem "accept" (H.pending_kinds t)))
 
+(* ------------------------------------------------------------------ *)
+(* Read-path hardening regressions                                     *)
+
+(* Depose the current leader and promote replica [i], letting every
+   message flow (unlike H.elect this works against a live incumbent). *)
+let takeover t i =
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 1000.0;
+  H.feed t i (Timer Suspicion_tick);
+  H.advance t 50.0;
+  ignore (H.fire t i (function Stability_check _ -> true | _ -> false));
+  H.deliver_all t;
+  Alcotest.(check bool) (Printf.sprintf "replica %d takes over" i) true
+    (Replica.is_leader t.H.replicas.(i))
+
+let test_stale_pre_confirm_purged () =
+  (* Regression: a confirm stashed under an earlier leadership of this
+     replica must not count toward a read dispatched after the replica
+     loses and re-wins the leadership — the old confirm endorsed a
+     promise that was usurped in between. *)
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Read ~payload:get () in
+  (* Follower 1 sees the read first; its confirm reaches leader 0 before
+     the client's own request does, so leader 0 stashes it. *)
+  H.feed t 1 (Receive { src = client_node r.id.client; msg = Client_req r });
+  ignore
+    (H.deliver
+       ~filter:(fun src dst m -> src = 1 && dst = 0 && msg_kind m = "read_confirm")
+       t);
+  (* Leadership churns away and back: the stash is now stale. *)
+  takeover t 1;
+  takeover t 0;
+  ignore (H.take_replies t);
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "stale stashed confirm not counted" 0
+    (List.length (H.take_replies t));
+  (* A confirm under the current ballot still completes the read. *)
+  H.feed t 2 (Receive { src = client_node r.id.client; msg = Client_req r });
+  ignore
+    (H.deliver
+       ~filter:(fun src dst m -> src = 2 && dst = 0 && msg_kind m = "read_confirm")
+       t);
+  match H.take_replies t with
+  | [ rep ] -> Alcotest.(check bool) "fresh confirm completes the read" true (rep.status = Ok)
+  | l -> Alcotest.fail (Printf.sprintf "expected one reply, got %d" (List.length l))
+
+let test_confirm_requires_current_ballot () =
+  (* Regression: a Read_confirm tagged with a defunct ballot must not
+     count toward a pending read at the current leader. *)
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Read ~payload:get () in
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "no reply on the leader's own confirm" 0
+    (List.length (H.take_replies t));
+  H.feed t 0
+    (Receive
+       {
+         src = 1;
+         msg = Read_confirm { ballot = Ballot.zero; req = r.id; lease_anchor = Float.nan };
+       });
+  Alcotest.(check int) "stale-ballot confirm ignored" 0 (List.length (H.take_replies t));
+  H.feed t 0
+    (Receive
+       {
+         src = 1;
+         msg =
+           Read_confirm
+             {
+               ballot = Replica.ballot t.replicas.(0);
+               req = r.id;
+               lease_anchor = Float.nan;
+             };
+       });
+  Alcotest.(check int) "current-ballot confirm completes" 1
+    (List.length (H.take_replies t))
+
+let test_leadership_loss_returns_retry () =
+  (* Regression: reads pending at a deposed leader must not be dropped
+     silently — the client gets a typed Retry so it can fail over
+     immediately. *)
+  let t = H.create () in
+  H.elect t 0;
+  let r = H.client_request ~seq:1 ~rtype:Read ~payload:get () in
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "read pending on confirms" 0 (List.length (H.take_replies t));
+  let b = Replica.ballot t.replicas.(0) in
+  H.feed t 0
+    (Receive
+       {
+         src = 1;
+         msg =
+           Prepare
+             { ballot = Ballot.make ~round:(b.round + 1) ~holder:1; commit_point = 0 };
+       });
+  match H.take_replies t with
+  | [ rep ] ->
+    Alcotest.(check bool) "typed retry status" true (rep.status = Retry);
+    Alcotest.(check bool) "for the pending read" true (rep.req = r.id);
+    Alcotest.(check string) "empty payload" "" rep.payload
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected one Retry reply on deposition, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Leader leases                                                       *)
+
+let with_lease ?(lease_ms = 100.0) () =
+  H.create ~cfg_tweak:(fun c -> Grid_paxos.Config.make ~base:c ~lease_ms ()) ()
+
+(* One full heartbeat exchange: the leader's heartbeat grants at the
+   followers, and their echoed anchors record the grants back at the
+   leader. *)
+let establish_lease t i =
+  ignore (H.fire t i (function Hb_tick -> true | _ -> false));
+  H.deliver_all t;
+  Array.iteri
+    (fun j _ ->
+      if j <> i then ignore (H.fire t j (function Hb_tick -> true | _ -> false)))
+    t.H.replicas;
+  H.deliver_all t;
+  Alcotest.(check bool) "majority lease held" true
+    (Replica.holds_lease t.H.replicas.(i) ~now:t.H.now)
+
+let test_leased_read_zero_messages () =
+  (* The tentpole property: while the leader holds a majority lease, a
+     read completes locally — no confirm round, zero protocol messages. *)
+  let t = with_lease () in
+  H.elect t 0;
+  commit_n t ~start:1 ~count:1;
+  ignore (H.take_replies t);
+  establish_lease t 0;
+  let before = List.length t.pending in
+  let r = H.client_request ~client:2 ~seq:1 ~rtype:Read ~payload:get () in
+  (* Only the leader sees the read: nobody else can confirm it. *)
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  (match H.take_replies t with
+  | [ rep ] ->
+    Alcotest.(check bool) "immediate local reply" true (rep.status = Ok);
+    Alcotest.(check int) "reads committed state" 1 (Counter.decode_result rep.payload)
+  | l -> Alcotest.fail (Printf.sprintf "expected one local reply, got %d" (List.length l)));
+  Alcotest.(check int) "zero protocol messages for the leased read" before
+    (List.length t.pending)
+
+let test_lease_lapse_falls_back () =
+  (* When the grants expire the fast path must demote to the confirm
+     protocol, not serve potentially stale state. *)
+  let t = with_lease () in
+  H.elect t 0;
+  establish_lease t 0;
+  H.advance t 200.0;
+  Alcotest.(check bool) "lease lapsed" false
+    (Replica.holds_lease t.replicas.(0) ~now:t.now);
+  let r = H.client_request ~seq:1 ~rtype:Read ~payload:get () in
+  H.feed t 0 (Receive { src = client_node r.id.client; msg = Client_req r });
+  Alcotest.(check int) "no local reply without the lease" 0
+    (List.length (H.take_replies t));
+  (* The client's broadcast reaches the followers; their confirms
+     complete the read the X-Paxos way. *)
+  H.feed t 1 (Receive { src = client_node r.id.client; msg = Client_req r });
+  H.feed t 2 (Receive { src = client_node r.id.client; msg = Client_req r });
+  H.deliver_all t;
+  match H.take_replies t with
+  | [ rep ] -> Alcotest.(check bool) "confirm path replies" true (rep.status = Ok)
+  | l -> Alcotest.fail (Printf.sprintf "expected one reply, got %d" (List.length l))
+
+let test_lease_blocks_prepare () =
+  (* A follower with an unexpired grant refuses promises to any other
+     candidate regardless of ballot height — the refusal quorum is what
+     makes local reads safe. *)
+  let t = with_lease () in
+  H.elect t 0;
+  establish_lease t 0;
+  let b1 = Replica.promised t.replicas.(1) in
+  let usurper =
+    Prepare { ballot = Ballot.make ~round:(b1.round + 5) ~holder:2; commit_point = 0 }
+  in
+  H.feed t 1 (Receive { src = 2; msg = usurper });
+  Alcotest.(check bool) "reject sent while leased" true
+    (List.mem "reject" (H.pending_kinds t));
+  Alcotest.(check bool) "no prepare_ack while leased" true
+    (not (List.mem "prepare_ack" (H.pending_kinds t)));
+  Alcotest.(check bool) "promise unchanged" true
+    (Ballot.equal (Replica.promised t.replicas.(1)) b1);
+  (* The same prepare succeeds once the grant has expired. *)
+  H.drop t ~filter:(fun _ _ _ -> true);
+  H.advance t 200.0;
+  H.feed t 1 (Receive { src = 2; msg = usurper });
+  Alcotest.(check bool) "acked after expiry" true
+    (List.mem "prepare_ack" (H.pending_kinds t))
+
+let test_lease_gates_candidacy () =
+  (* A granted follower does not start its own election while the grant
+     is live; candidacy resumes after expiry (liveness shifts by at most
+     one lease). *)
+  let t = with_lease ~lease_ms:5000.0 () in
+  H.elect t 0;
+  ignore (H.fire t 0 (function Hb_tick -> true | _ -> false));
+  H.deliver_all t;
+  let run_election i =
+    H.feed t i (Timer Suspicion_tick);
+    H.advance t 1000.0;
+    H.feed t i (Timer Suspicion_tick);
+    H.advance t 50.0;
+    ignore (H.fire t i (function Stability_check _ -> true | _ -> false))
+  in
+  run_election 1;
+  Alcotest.(check bool) "no prepare while granted" true
+    (not (List.mem "prepare" (H.pending_kinds t)));
+  Alcotest.(check bool) "still a follower" false (Replica.is_leader t.replicas.(1));
+  H.advance t 5000.0;
+  run_election 1;
+  H.deliver_all t;
+  Alcotest.(check bool) "candidacy unblocked after expiry" true
+    (Replica.is_leader t.replicas.(1))
+
+let test_restart_lease_blackout () =
+  (* A recovered follower forgot its grant; it must sit out one full
+     lease, refusing every candidate, before promising again. *)
+  let t = with_lease () in
+  H.advance t 10.0;
+  ignore (Replica.restart t.replicas.(1) ~now:t.now : action list);
+  Alcotest.(check (option int)) "blackout grant holder" (Some (-1))
+    (Replica.lease_granted_to t.replicas.(1) ~now:t.now);
+  let prep = Prepare { ballot = Ballot.make ~round:3 ~holder:0; commit_point = 0 } in
+  H.feed t 1 (Receive { src = 0; msg = prep });
+  Alcotest.(check bool) "prepare refused during blackout" true
+    (List.mem "reject" (H.pending_kinds t));
+  Alcotest.(check bool) "no ack during blackout" true
+    (not (List.mem "prepare_ack" (H.pending_kinds t)));
+  H.drop t ~filter:(fun _ _ _ -> true);
+  H.advance t 150.0;
+  H.feed t 1 (Receive { src = 0; msg = prep });
+  Alcotest.(check bool) "promises again after the blackout" true
+    (List.mem "prepare_ack" (H.pending_kinds t))
+
 let suite =
   [
     ( "replica.engine",
@@ -394,5 +641,23 @@ let suite =
         Alcotest.test_case "original requests uncoordinated" `Quick
           test_original_is_uncoordinated;
         Alcotest.test_case "followers ignore writes" `Quick test_follower_ignores_writes;
+        Alcotest.test_case "stale pre-confirm purged on churn" `Quick
+          test_stale_pre_confirm_purged;
+        Alcotest.test_case "confirms require the current ballot" `Quick
+          test_confirm_requires_current_ballot;
+        Alcotest.test_case "leadership loss returns Retry" `Quick
+          test_leadership_loss_returns_retry;
+      ] );
+    ( "replica.lease",
+      [
+        Alcotest.test_case "leased read is zero-message" `Quick
+          test_leased_read_zero_messages;
+        Alcotest.test_case "lapsed lease falls back to confirms" `Quick
+          test_lease_lapse_falls_back;
+        Alcotest.test_case "unexpired grant blocks Prepare" `Quick
+          test_lease_blocks_prepare;
+        Alcotest.test_case "grant gates own candidacy" `Quick test_lease_gates_candidacy;
+        Alcotest.test_case "restart enters lease blackout" `Quick
+          test_restart_lease_blackout;
       ] );
   ]

@@ -139,11 +139,20 @@ let gen_msg =
         map (fun b -> Reject { promised = b }) gen_ballot;
         map (fun (b, i) -> Commit { ballot = b; instance = i })
           (pair gen_ballot (int_range 1 500));
-        map2 (fun b (c, s) ->
-            Read_confirm { ballot = b; req = Ids.Request_id.make ~client:(Ids.Client_id.of_int c) ~seq:s })
-          gen_ballot (pair (int_range 0 50) (int_range 0 500));
-        map2 (fun (rs, cp) b -> Heartbeat { round_seen = rs; commit_point = cp; promised = b })
-          (pair (int_range 0 100) (int_range 0 500)) gen_ballot;
+        map2 (fun (b, a) (c, s) ->
+            Read_confirm
+              { ballot = b;
+                req = Ids.Request_id.make ~client:(Ids.Client_id.of_int c) ~seq:s;
+                lease_anchor = Float.of_int a })
+          (pair gen_ballot (int_range 0 1000)) (pair (int_range 0 50) (int_range 0 500));
+        map2 (fun (rs, cp) (b, sa) ->
+            Heartbeat
+              { round_seen = rs;
+                commit_point = cp;
+                promised = b;
+                sent_at = Float.of_int sa;
+                lease_anchor = Float.of_int sa -. 7.5 })
+          (pair (int_range 0 100) (int_range 0 500)) (pair gen_ballot (int_range 0 1000));
         map (fun i -> Catchup_req { from_instance = i }) (int_range 1 500);
         map (fun s -> Catchup { snapshot = s }) (string_size (int_range 0 12));
         map

@@ -138,12 +138,44 @@ let test_stress_dedup_protects () =
     | None -> ()
   done
 
+(* Crash-heavy schedules over the read-bearing workloads: leaders die
+   with read confirms in flight, clients get Retry redirects and fail
+   over, and every schedule must still be linearizable with no stale
+   read (the oracle watermarks each read at issue time). *)
+let test_stress_leader_crash_mid_read () =
+  let nemesis = { Stress.default_nemesis with Mcheck.crash_prob = 0.01 } in
+  let summary = Stress.run ~schedules:120 ~base_seed:500 ~steps:1_200 ~nemesis () in
+  if summary.failures <> [] then fail_with summary.failures;
+  Alcotest.(check bool) "crashes injected" true (summary.crashes > 0)
+
+(* The lease tier: 220 schedules with the read fast path enabled, clock
+   drift within the configured skew bound, and the usual crash/duplicate
+   /reorder mix. The stale-read oracle must find no leased read that
+   missed a write committed before it was issued — across failovers and
+   lease blackouts included. *)
+let test_stress_leased_reads_under_drift () =
+  let cfg_tweak c =
+    Grid_paxos.Config.make ~base:c ~lease_ms:50.0 ~clock_skew_bound_ms:10.0 ()
+  in
+  let summary =
+    Stress.run ~schedules:220 ~base_seed:1 ~steps:1_200
+      ~nemesis:Stress.lease_nemesis ~cfg_tweak ()
+  in
+  Alcotest.(check int) "schedules run" 220 summary.schedules;
+  if summary.failures <> [] then fail_with summary.failures;
+  Alcotest.(check bool) "clock drift injected" true (summary.drifted > 0);
+  Alcotest.(check bool) "failovers exercised" true (summary.crashes > 0)
+
 let suite =
   [
     ( "stress.nemesis",
       [
         Alcotest.test_case "220 nemesis schedules hold all invariants" `Slow
           test_stress_batch;
+        Alcotest.test_case "leader crashes mid-read stay linearizable" `Slow
+          test_stress_leader_crash_mid_read;
+        Alcotest.test_case "leased reads stay fresh under clock drift" `Slow
+          test_stress_leased_reads_under_drift;
         Alcotest.test_case "fault plans replay deterministically" `Quick
           test_stress_replay_deterministic;
         Alcotest.test_case "planted dedup bug is caught and shrunk" `Slow
