@@ -23,11 +23,7 @@ let latency_at ~rtype ~rps ~seed ~duration_ms =
     | _ -> Do Noop.Noop_write
   in
   let r = OL.run t ~seed:(seed + 100) ~rps ~duration_ms ~item in
-  if Array.length r.latencies_ms = 0 then nan
-  else begin
-    let copy = Array.copy r.latencies_ms in
-    Stats.percentile copy 50.0
-  end
+  Experiment.percentile_or_nan r.latencies_ms 50.0
 
 let run ~quick ~only =
   if only = None || only = Some "openloop" then begin
@@ -40,23 +36,36 @@ let run ~quick ~only =
       T.create
         ~columns:
           [ ("Offered (req/s)", T.Right); ("Read p50 (ms)", T.Right);
-            ("Write p50 (ms)", T.Right); ("Original p50 (ms)", T.Right) ]
+            ("Write p50 (ms)", T.Right); ("Original p50 (ms)", T.Right);
+            ("Dropped trials (r/w/o)", T.Right) ]
     in
+    let total_dropped = ref 0 in
     List.iter
       (fun rps ->
+        (* A trial that completes nothing yields nan; count it as dropped
+           instead of silently averaging over fewer trials. *)
         let median rtype =
           let acc = Stats.create () in
+          let dropped = ref 0 in
           for seed = 1 to trials do
             let v = latency_at ~rtype ~rps ~seed ~duration_ms in
-            if not (Float.is_nan v) then Stats.add acc v
+            if Float.is_nan v then incr dropped else Stats.add acc v
           done;
-          Stats.mean acc
+          total_dropped := !total_dropped + !dropped;
+          ((if trials - !dropped = 0 then nan else Stats.mean acc), !dropped)
         in
+        let r_p50, r_drop = median Read in
+        let w_p50, w_drop = median Write in
+        let o_p50, o_drop = median Original in
         T.add_row table
-          [ Printf.sprintf "%.0f" rps; T.cell_f (median Read); T.cell_f (median Write);
-            T.cell_f (median Original) ])
+          [ Printf.sprintf "%.0f" rps; T.cell_f r_p50; T.cell_f w_p50;
+            T.cell_f o_p50; Printf.sprintf "%d/%d/%d" r_drop w_drop o_drop ])
       rates;
     print_string (T.render table);
+    if !total_dropped > 0 then
+      Printf.printf
+        "note: %d trial(s) completed no requests and were dropped from the averages\n"
+        !total_dropped;
     print_endline
       "Expected shape: at low load every class sits at its unloaded RRT\n\
        (0.26 / 0.34 / 0.18 ms); as the offered rate approaches a class's\n\

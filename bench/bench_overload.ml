@@ -1,0 +1,109 @@
+(* Overload control (ours): goodput vs offered load when the leader
+   bounds its admission window. Without admission control an open-loop
+   overload grows the leader queue without bound and latency diverges;
+   with [max_inflight]/[max_queue] set the leader sheds the excess with
+   [Overloaded] pushback and goodput saturates at the service capacity
+   instead of collapsing past the knee.
+
+   Arrivals are driven through the session pool (Session.Make), so a
+   single simulation sustains the 10^5+ concurrent backed-off clients an
+   overloaded open loop accumulates. *)
+
+module Config = Grid_paxos.Config
+module Scenario = Grid_runtime.Scenario
+module T = Grid_util.Text_table
+module Noop = Grid_services.Noop
+
+module OL = Grid_runtime.Workload.Make (Noop)
+
+type point = {
+  goodput_rps : float;
+  shed : int;
+  p99_ms : float;
+  dropped : int;  (* arrivals with no idle session *)
+  peak_inflight : int;
+}
+
+let trial ~seed ~rps ~duration_ms ~max_inflight ~max_queue =
+  (* A per-request execution cost caps the service at ~5k writes/s, so
+     the sweep crosses a real capacity knee well below the rate at which
+     per-message CPU would saturate the replicas (batching would
+     otherwise push the noop write capacity past every rate here). *)
+  let cfg =
+    Config.make ~base:(Config.default ~n:3) ~execution_cost_ms:0.2
+      ~max_inflight ~max_queue ()
+  in
+  let t = OL.RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  ignore (OL.RT.await_leader t);
+  let pool = OL.Sess.create t in
+  (* Zero grace: goodput is completions inside the measurement window
+     over the window, the open-loop convention; stragglers show up as
+     [still_inflight], not as extra goodput. *)
+  let r =
+    OL.run_sessions pool ~seed:(seed + 100) ~rps ~duration_ms ~grace_ms:0.0
+      ~item:(Grid_runtime.Runtime.Do Noop.Noop_write) ()
+  in
+  let shed = ref 0 in
+  for i = 0 to (OL.RT.config t).n - 1 do
+    let reads, writes = OL.RT.R.stats_shed (OL.RT.replica t i) in
+    shed := !shed + reads + writes
+  done;
+  {
+    goodput_rps = Float.of_int r.completed /. (duration_ms /. 1000.0);
+    shed = !shed;
+    p99_ms = Experiment.percentile_or_nan r.latencies_ms 99.0;
+    dropped = r.dropped;
+    peak_inflight = OL.Sess.peak_in_flight pool;
+  }
+
+let run ~quick ~only =
+  if only = None || only = Some "overload" then begin
+    Experiment.section
+      "overload — goodput vs offered load with bounded admission (ours)";
+    let duration_ms = if quick then 400.0 else 1000.0 in
+    let trials = if quick then 1 else 3 in
+    let rates =
+      if quick then [ 2_000.0; 8_000.0; 24_000.0 ]
+      else [ 2_000.0; 4_000.0; 8_000.0; 16_000.0; 32_000.0 ]
+    in
+    let max_inflight = 128 and max_queue = 256 in
+    let table =
+      T.create
+        ~columns:
+          [ ("Offered (req/s)", T.Right); ("Goodput (req/s)", T.Right);
+            ("Shed", T.Right); ("Admitted p99 (ms)", T.Right);
+            ("No-session drops", T.Right); ("Peak inflight", T.Right) ]
+    in
+    List.iter
+      (fun rps ->
+        let acc_good = Grid_util.Stats.create () in
+        let acc_p99 = Grid_util.Stats.create () in
+        let shed = ref 0 and dropped = ref 0 and peak = ref 0 in
+        for seed = 1 to trials do
+          let p = trial ~seed ~rps ~duration_ms ~max_inflight ~max_queue in
+          Grid_util.Stats.add acc_good p.goodput_rps;
+          if not (Float.is_nan p.p99_ms) then Grid_util.Stats.add acc_p99 p.p99_ms;
+          shed := !shed + p.shed;
+          dropped := !dropped + p.dropped;
+          peak := Stdlib.max !peak p.peak_inflight;
+          Report.sample ~experiment:"overload"
+            ~config:(Printf.sprintf "goodput@offered=%.0f" rps)
+            p.goodput_rps;
+          if not (Float.is_nan p.p99_ms) then
+            Report.sample ~experiment:"overload"
+              ~config:(Printf.sprintf "p99_ms@offered=%.0f" rps)
+              p.p99_ms
+        done;
+        T.add_row table
+          [ Printf.sprintf "%.0f" rps;
+            Printf.sprintf "%.0f" (Grid_util.Stats.mean acc_good);
+            string_of_int !shed;
+            T.cell_f (Grid_util.Stats.mean acc_p99);
+            string_of_int !dropped; string_of_int !peak ])
+      rates;
+    print_string (T.render table);
+    print_endline
+      "Expected shape: goodput tracks the offered rate up to the write\n\
+       saturation point, then flattens there while the leader sheds the\n\
+       excess — bounded admitted p99 instead of a collapse past the knee."
+  end

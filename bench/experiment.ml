@@ -195,6 +195,13 @@ let txn_throughput ?cfg_tweak ?report ~scenario ~mode ~reqs_per_txn ~clients ~tx
   acc
 
 (* ------------------------------------------------------------------ *)
+(* Shared percentile helper for the open-loop sweeps: [nan] flags a trial
+   that produced no latencies (the caller reports it as dropped instead
+   of silently averaging over fewer trials). *)
+
+let percentile_or_nan xs p = if Array.length xs = 0 then nan else Stats.percentile xs p
+
+(* ------------------------------------------------------------------ *)
 (* Rendering helpers *)
 
 let pp_mean_ci acc =

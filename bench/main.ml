@@ -25,6 +25,7 @@ let experiments =
     ("abl-t2", "t=2 replicas and WAN variance (§4.3)");
     ("msg-complexity", "Wire messages per request vs analysis (§3.3–3.5)");
     ("openloop", "Median latency vs offered load, open loop (ours)");
+    ("overload", "Goodput vs offered load under admission control (ours)");
     ("shard", "Aggregate throughput vs shard count (ours)");
     ("semi-passive", "Semi-passive replication baseline (§5, ours)");
     ("micro", "Data-structure microbenchmarks");
@@ -48,6 +49,7 @@ let run_all ~quick ~only =
   Bench_ablation.run ~quick ~only;
   Bench_messages.run ~quick ~only;
   Bench_openloop.run ~quick ~only;
+  Bench_overload.run ~quick ~only;
   Bench_shard.run ~quick ~only;
   Bench_semi_passive.run ~quick ~only;
   Bench_micro.run ~quick ~only;

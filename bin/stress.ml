@@ -159,17 +159,18 @@ let run_plant ~seed ~steps ~nem ~attempts =
       Format.printf "no shrunk plan produced — FAIL@.";
       1)
 
+let batch_progress ~quiet =
+  if quiet then None
+  else
+    Some
+      (fun (s : Stress.summary) ->
+        if s.schedules mod 50 = 0 then
+          Format.printf "  ... %d schedules, %d failing@." s.schedules
+            (List.length s.failures))
+
 let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
     ~cfg_tweak ~shrink ~quiet =
-  let progress =
-    if quiet then None
-    else
-      Some
-        (fun (s : Stress.summary) ->
-          if s.schedules mod 50 = 0 then
-            Format.printf "  ... %d schedules, %d failing@." s.schedules
-              (List.length s.failures))
-  in
+  let progress = batch_progress ~quiet in
   let summary =
     Stress.run ~services ~schedules ~base_seed ~steps ~nemesis:nem ~disable_dedup
       ~cfg_tweak ~shrink ?progress ()
@@ -178,8 +179,28 @@ let run_batch ~services ~schedules ~base_seed ~steps ~nem ~disable_dedup
   print_failures summary.failures;
   if summary.failures = [] then 0 else 1
 
+(* The overload tier: counter service, write-heavy workload, tiny
+   admission window, crash-doubled nemesis, plus the admitted-loss and
+   bounded-admitted-p99 oracles on every schedule. *)
+let run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue ~shrink
+    ~quiet =
+  let progress = batch_progress ~quiet in
+  let summary =
+    Stress.run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue
+      ~shrink ?progress ()
+  in
+  Format.printf "%a@." Stress.pp_summary summary;
+  print_failures summary.failures;
+  if summary.shed = 0 then begin
+    Format.printf "no Overloaded pushback exercised — FAIL@.";
+    1
+  end
+  else if summary.failures = [] then 0
+  else 1
+
 let main schedules seed base_seed steps service crash torn dup reorder meta_drop
-    drift drift_max lease_ms plant_dedup disable_dedup no_shrink quiet trace_dump =
+    drift drift_max lease_ms plant_dedup overload max_inflight max_queue
+    disable_dedup no_shrink quiet trace_dump =
   let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop ~drift ~drift_max in
   let cfg_tweak =
     if lease_ms > 0.0 then fun c -> Grid_paxos.Config.make ~base:c ~lease_ms ()
@@ -187,6 +208,9 @@ let main schedules seed base_seed steps service crash torn dup reorder meta_drop
   in
   let services = services_of service in
   if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
+  else if overload then
+    run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue
+      ~shrink:(not no_shrink) ~quiet
   else
     match seed with
     | Some seed ->
@@ -253,6 +277,29 @@ let plant_arg =
           "Demo: disable request deduplication, find a schedule that catches the \
            resulting double-commit, and shrink it to a minimal fault plan.")
 
+let overload_arg =
+  Arg.(
+    value & flag
+    & info [ "overload" ]
+        ~doc:
+          "Run the overload tier instead of the default batch: counter service \
+           under a write-heavy open-loop workload with a tiny admission window \
+           and a crash-doubled nemesis, checking the admitted-loss and bounded \
+           admitted-p99 oracles on every schedule. Honours --schedules, \
+           --base-seed, --steps, --max-inflight, --max-queue and --no-shrink.")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Overload tier: leader read-admission window (0 = unlimited).")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:"Overload tier: leader write-queue bound (0 = unlimited).")
+
 let disable_dedup_arg =
   Arg.(
     value & flag
@@ -280,6 +327,7 @@ let cmd =
       const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
       $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
       $ meta_drop_arg $ drift_arg $ drift_max_arg $ lease_ms_arg $ plant_arg
-      $ disable_dedup_arg $ no_shrink_arg $ quiet_arg $ trace_dump_arg)
+      $ overload_arg $ max_inflight_arg $ max_queue_arg $ disable_dedup_arg
+      $ no_shrink_arg $ quiet_arg $ trace_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,7 +28,7 @@ let () =
   let client = RT.add_client t ~id:1 ~on_reply:(fun r ->
       last := Lease.decode_result r.payload) () in
   let call op =
-    RT.submit_op t client op;
+    (match RT.submit_op t client op with `Submitted -> () | `Busy -> assert false);
     RT.run_until t (RT.now t +. 50.0);
     !last
   in

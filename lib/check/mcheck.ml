@@ -109,6 +109,16 @@ type outcome = {
       (** reads whose reply reflects fewer writes than were committed
           before the read was issued — the invariant the leader-lease
           fast path must preserve under clock drift and failovers *)
+  lost_admitted : string list;
+      (** admitted-loss oracle breaches: writes acknowledged [Ok] to the
+          client that no replica ever observed committed — the invariant
+          admission control must preserve while shedding under overload *)
+  admitted_latencies : float array;
+      (** virtual-time first-injection-to-final-reply latency of every
+          request that completed, in completion order; [Overloaded]
+          pushback rounds are included in the latency of the eventual
+          completion, so the p99 of this array is what the
+          bounded-admitted-latency oracle inspects *)
   committed : int array;  (** commit point per replica at the end *)
   delivered : int;
   timer_fires : int;
@@ -121,9 +131,12 @@ type outcome = {
   duplicated : int;
   reordered : int;
   drifted : int;  (** clock-drift injections that fired *)
+  shed : int;  (** [Overloaded] replies the leaders pushed back *)
 }
 
-let failed o = o.violations <> [] || o.durability <> [] || o.stale_reads <> []
+let failed o =
+  o.violations <> [] || o.durability <> [] || o.stale_reads <> []
+  || o.lost_admitted <> []
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
@@ -159,8 +172,14 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     (* instance -> (request key, encoded state after): the union of every
        committed update any incarnation of any replica has reported. *)
     oracle : (int, string * string) Hashtbl.t;
+    (* (client, seq) of every request observed in a committed instance —
+       the admitted-loss oracle checks acknowledged writes against it. *)
+    committed_ids : (int * int, unit) Hashtbl.t;
+    (* (client, seq) -> virtual time of the first final reply captured *)
+    reply_times : (int * int, float) Hashtbl.t;
     mutable durability : string list;
     mutable crashes : int;
+    mutable shed : int;  (* Overloaded replies observed *)
     (* Lifecycle spans recorded by the replicas, timed on [vnow] — fully
        deterministic for a given seed, which the trace tests exploit. *)
     obs : Grid_obs.Span.Recorder.t;
@@ -197,10 +216,18 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         | Send { dst; msg } ->
           if node_is_client dst then begin
             match msg with
-            (* A [Retry] is a redirect, not a completion: the closed-loop
-               client keeps the request pending and retransmits it. Only
-               real completions enter the observed-reply history. *)
-            | Reply_msg r when r.status <> Retry ->
+            (* [Retry] (redirect) and [Overloaded] (admission pushback)
+               are not completions: the closed-loop client keeps the
+               request pending and retransmits it. Only final statuses
+               enter the observed-reply history. *)
+            | Reply_msg { status = Overloaded _; _ } ->
+              sched.shed <- sched.shed + 1
+            | Reply_msg r when status_is_final r.status ->
+              let key =
+                (Grid_util.Ids.Client_id.to_int r.req.client, r.req.seq)
+              in
+              if not (Hashtbl.mem sched.reply_times key) then
+                Hashtbl.replace sched.reply_times key sched.vnow;
               sched.replies <- r :: sched.replies
             | _ -> ()
           end
@@ -243,6 +270,12 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let merge_history sched replica history =
     List.iter
       (fun (instance, reqs, state) ->
+        List.iter
+          (fun (r : request) ->
+            Hashtbl.replace sched.committed_ids
+              (Grid_util.Ids.Client_id.to_int r.id.client, r.id.seq)
+              ())
+          reqs;
         let key = Agreement.request_key reqs in
         match Hashtbl.find_opt sched.oracle instance with
         | None -> Hashtbl.replace sched.oracle instance (key, state)
@@ -507,8 +540,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         mode;
         plan_rev = [];
         oracle = Hashtbl.create 64;
+        committed_ids = Hashtbl.create 64;
+        reply_times = Hashtbl.create 32;
         durability = [];
         crashes = 0;
+        shed = 0;
         obs;
       }
     in
@@ -525,13 +561,17 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
        for each read the highest instance the group had committed when the
        read was first issued (its visibility watermark). *)
     let payloads : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+    let rtypes : (int * int, rtype) Hashtbl.t = Hashtbl.create 16 in
     let read_marks : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+    (* Admission oracles: virtual time of each request's first injection. *)
+    let issue_times : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
     let oracle_max () = Hashtbl.fold (fun i _ m -> max i m) sched.oracle 0 in
     List.iter
       (fun (client, rtype, payload) ->
         let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt seq_counters client) in
         Hashtbl.replace seq_counters client seq;
         Hashtbl.replace payloads (client, seq) payload;
+        Hashtbl.replace rtypes (client, seq) rtype;
         let id =
           Grid_util.Ids.Request_id.make
             ~client:(Grid_util.Ids.Client_id.of_int client)
@@ -573,6 +613,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | _ ->
         let r = Rng.pick_list sched.rng heads in
         let key = (Grid_util.Ids.Client_id.to_int r.id.client, r.id.seq) in
+        if not (Hashtbl.mem issue_times key) then
+          Hashtbl.replace issue_times key sched.vnow;
         (* The watermark is set at the read's first injection; later
            retransmissions of the same pending request don't move it. *)
         if r.rtype = Read && not (Hashtbl.mem read_marks key) then begin
@@ -655,6 +697,48 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         read_marks []
       |> List.sort compare
     in
+    (* Admitted-loss oracle: a write (or txn commit) acknowledged [Ok]
+       was admitted past the shedding gate and promised durable — it must
+       appear in some committed instance of the union oracle. A shed
+       request never gets an [Ok], so overload cannot mask a loss. *)
+    let lost_admitted =
+      let first : (int * int, reply) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (r : reply) ->
+          let key = (Grid_util.Ids.Client_id.to_int r.req.client, r.req.seq) in
+          if not (Hashtbl.mem first key) then Hashtbl.replace first key r)
+        (List.rev sched.replies);
+      Hashtbl.fold
+        (fun ((client, seq) as key) (r : reply) acc ->
+          let is_write =
+            match Hashtbl.find_opt rtypes key with
+            | Some (Write | Txn_commit _) -> true
+            | _ -> false
+          in
+          if is_write && r.status = Ok && not (Hashtbl.mem sched.committed_ids key)
+          then
+            Printf.sprintf
+              "client %d seq %d: write acknowledged Ok but never observed \
+               committed by any replica"
+              client seq
+            :: acc
+          else acc)
+        first []
+      |> List.sort compare
+    in
+    (* Bounded-admitted-latency oracle input: first-injection to first
+       final reply, per completed request, in completion order. *)
+    let admitted_latencies =
+      Hashtbl.fold
+        (fun key done_at acc ->
+          match Hashtbl.find_opt issue_times key with
+          | Some issued -> (done_at, done_at -. issued) :: acc
+          | None -> acc)
+        sched.reply_times []
+      |> List.sort compare
+      |> List.map snd
+      |> Array.of_list
+    in
     let histories = Array.map R.committed_updates sched.replicas in
     let plan = List.rev sched.plan_rev in
     let count p = List.length (List.filter p plan) in
@@ -663,6 +747,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       violations = Agreement.check histories;
       durability = List.rev sched.durability;
       stale_reads;
+      lost_admitted;
+      admitted_latencies;
       committed = Array.map R.commit_point sched.replicas;
       delivered = sched.delivered;
       timer_fires = sched.timer_fires;
@@ -676,6 +762,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       duplicated = count (function Duplicate_at _ -> true | _ -> false);
       reordered = count (function Reorder_at _ -> true | _ -> false);
       drifted = count (function Drift_at _ -> true | _ -> false);
+      shed = sched.shed;
     }
 
   (* Typed request triple: the class comes from [S.classify] and the

@@ -87,6 +87,17 @@ type outcome = {
           that were committed before the read was issued. This is the
           invariant the leader-lease read fast path must preserve under
           clock drift and leader failovers. *)
+  lost_admitted : string list;
+      (** admitted-loss oracle breaches: writes acknowledged [Ok] that no
+          replica (across incarnations) ever observed committed. A shed
+          request never receives [Ok], so admission control cannot mask a
+          loss; a non-empty list means pushback broke durability. *)
+  admitted_latencies : float array;
+      (** virtual-time latency (first injection to first final reply) of
+          every request that completed, in completion order. [Overloaded]
+          pushback rounds are folded into the eventual completion's
+          latency, so a percentile over this array bounds what an
+          admitted client actually waited. *)
   committed : int array;  (** commit point per replica at the end *)
   delivered : int;
   timer_fires : int;
@@ -99,10 +110,14 @@ type outcome = {
   duplicated : int;
   reordered : int;
   drifted : int;  (** clock-drift injections that fired *)
+  shed : int;
+      (** [Overloaded] replies leaders pushed back (0 unless the config
+          bounds admission via [max_inflight]/[max_queue]) *)
 }
 
 val failed : outcome -> bool
-(** Agreement or durability violated, or a stale read observed. *)
+(** Agreement or durability violated, a stale read observed, or an
+    admitted write lost. *)
 
 module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)

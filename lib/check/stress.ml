@@ -33,6 +33,11 @@ let default_nemesis =
    stale-read oracle then checks the leased fast path end to end. *)
 let lease_nemesis = { default_nemesis with drift_prob = 0.005; drift_max_ms = 2.0 }
 
+(* The overload tier doubles the crash rate and keeps duplication and
+   reordering: shed requests and their backoff retransmissions must
+   survive leader churn without losing an acknowledged write. *)
+let overload_nemesis = { default_nemesis with Mcheck.crash_prob = 0.004 }
+
 type failure = {
   seed : int;
   service : service;
@@ -51,6 +56,10 @@ type summary = {
   duplicated : int;
   reordered : int;
   drifted : int;
+  shed : int;  (** [Overloaded] pushbacks across all schedules *)
+  admitted_p99_max : float;
+      (** worst per-schedule p99 of admitted-request latency (virtual ms);
+          [0.] when no schedule completed a request *)
   delivered : int;
   replies : int;
 }
@@ -66,9 +75,15 @@ let empty_summary =
     duplicated = 0;
     reordered = 0;
     drifted = 0;
+    shed = 0;
+    admitted_p99_max = 0.0;
     delivered = 0;
     replies = 0;
   }
+
+let admitted_p99 (o : Mcheck.outcome) =
+  if Array.length o.admitted_latencies = 0 then 0.0
+  else Grid_util.Stats.percentile o.admitted_latencies 99.0
 
 let add_outcome summary (o : Mcheck.outcome) failure =
   {
@@ -82,6 +97,8 @@ let add_outcome summary (o : Mcheck.outcome) failure =
     duplicated = summary.duplicated + o.duplicated;
     reordered = summary.reordered + o.reordered;
     drifted = summary.drifted + o.drifted;
+    shed = summary.shed + o.shed;
+    admitted_p99_max = Float.max summary.admitted_p99_max (admitted_p99 o);
     delivered = summary.delivered + o.delivered;
     replies = summary.replies + List.length o.replies;
   }
@@ -90,14 +107,14 @@ let add_outcome summary (o : Mcheck.outcome) failure =
 (* Workloads and linearizability histories                             *)
 
 (* A retransmitted request may be answered more than once; the client
-   keeps the first reply. Retry redirects are not completions and never
-   enter the history. *)
+   keeps the first reply. Retry redirects and Overloaded pushbacks are
+   not completions and never enter the history. *)
 let first_replies replies =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun (r : reply) ->
       let key = (r.req.client, r.req.seq) in
-      if r.status = Retry || Hashtbl.mem seen key then false
+      if (not (status_is_final r.status)) || Hashtbl.mem seen key then false
       else begin
         Hashtbl.replace seen key ();
         true
@@ -185,6 +202,22 @@ let kv_requests rng =
   done;
   List.rev !reqs
 
+(* Overload tier workload: more clients and a write-heavy mix than the
+   default counter workload, so small admission windows actually fill,
+   shed, and force the backoff/readmission path. *)
+let overload_requests rng =
+  let reqs = ref [] in
+  for client = 1 to 4 do
+    for _ = 1 to 4 do
+      let r =
+        if Rng.int rng 5 = 0 then (client, Read, Counter.encode_op Counter.Get)
+        else (client, Write, Counter.encode_op (Counter.Add (1 + Rng.int rng 9)))
+      in
+      reqs := r :: !reqs
+    done
+  done;
+  List.rev !reqs
+
 let kv_lin_ok requests replies =
   let op_of _rt payload =
     match Kv.decode_op payload with
@@ -217,27 +250,39 @@ module Harness (Spec : SPEC) = struct
 
   let requests_for ~seed = Spec.gen_requests (Rng.of_int ((seed * 7919) + 17))
 
-  let reasons_of requests (o : Mcheck.outcome) =
+  let reasons_of ?(admitted_p99_bound_ms = infinity) requests (o : Mcheck.outcome) =
     let agreement =
       List.map (Format.asprintf "%a" Agreement.pp_violation) o.violations
+    in
+    let bounded_latency =
+      let p99 = admitted_p99 o in
+      if p99 > admitted_p99_bound_ms then
+        [
+          Printf.sprintf
+            "admitted-request p99 latency %.1f ms exceeds the %.1f ms bound" p99
+            admitted_p99_bound_ms;
+        ]
+      else []
     in
     let lin =
       if o.all_replied && not (Spec.lin_ok requests o.replies) then
         [ "non-linearizable client history" ]
       else []
     in
-    agreement @ o.durability @ o.stale_reads @ lin
+    agreement @ o.durability @ o.stale_reads @ o.lost_admitted @ bounded_latency
+    @ lin
 
   (* Run one seeded schedule; on failure optionally shrink its fault plan
      to a minimal one that still fails (under deterministic replay with
      the same seed and workload). *)
   let run_one ?obs ?(steps = 1_200) ?(nemesis = default_nemesis)
-      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?(shrink = true) ~seed () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?admitted_p99_bound_ms
+      ?(shrink = true) ~seed () =
     let requests = requests_for ~seed in
     let o =
       MC.explore ?obs ~seed ~steps ~nemesis ~disable_dedup ~cfg_tweak ~requests ()
     in
-    match reasons_of requests o with
+    match reasons_of ?admitted_p99_bound_ms requests o with
     | [] -> (o, None)
     | reasons ->
       let still_fails plan =
@@ -245,7 +290,7 @@ module Harness (Spec : SPEC) = struct
           MC.replay ~seed ~steps ~meta_drop_prob:nemesis.meta_drop_prob
             ~disable_dedup ~cfg_tweak ~requests ~plan ()
         in
-        reasons_of requests r <> []
+        reasons_of ?admitted_p99_bound_ms requests r <> []
       in
       let shrunk =
         if shrink then Some (Mcheck.shrink_plan ~still_fails o.plan) else None
@@ -253,13 +298,14 @@ module Harness (Spec : SPEC) = struct
       (o, Some { seed; service = Spec.which; reasons; plan = o.plan; shrunk })
 
   let replay_plan ?(steps = 1_200) ?(meta_drop_prob = 0.0)
-      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ~seed ~plan () =
+      ?(disable_dedup = false) ?(cfg_tweak = Fun.id) ?admitted_p99_bound_ms ~seed
+      ~plan () =
     let requests = requests_for ~seed in
     let o =
       MC.replay ~seed ~steps ~meta_drop_prob ~disable_dedup ~cfg_tweak ~requests
         ~plan ()
     in
-    (o, reasons_of requests o)
+    (o, reasons_of ?admitted_p99_bound_ms requests o)
 end
 
 module Counter_harness = Harness (struct
@@ -276,6 +322,19 @@ module Kv_harness = Harness (struct
   let which = Kv_service
   let gen_requests = kv_requests
   let lin_ok = kv_lin_ok
+end)
+
+(* The overload tier runs the counter service under a write-heavy
+   workload with a deliberately tiny admission window, asserting — on top
+   of the usual agreement/durability/linearizability oracles — that no
+   acknowledged write is lost and that the p99 latency of admitted
+   requests stays bounded while the leader sheds. *)
+module Overload_harness = Harness (struct
+  module S = Grid_services.Counter
+
+  let which = Counter_service
+  let gen_requests = overload_requests
+  let lin_ok = counter_lin_ok
 end)
 
 let run_one ~service =
@@ -307,6 +366,26 @@ let run ?(services = [ Counter_service; Kv_service ]) ?(schedules = 200)
     services;
   { !summary with failures = List.rev !summary.failures }
 
+(* The overload batch: every schedule runs with a bounded admission
+   window, so leaders shed under the write-heavy workload while the
+   nemesis crashes and duplicates around them. Both overload oracles
+   (no-admitted-loss, bounded admitted p99) are armed on every run. *)
+let run_overload ?(schedules = 200) ?(base_seed = 1) ?(steps = 1_400)
+    ?(nemesis = overload_nemesis) ?(max_inflight = 2) ?(max_queue = 2)
+    ?(admitted_p99_bound_ms = 120_000.0) ?(shrink = true) ?progress () =
+  let cfg_tweak c = Grid_paxos.Config.make ~base:c ~max_inflight ~max_queue () in
+  let summary = ref empty_summary in
+  for k = 0 to schedules - 1 do
+    let seed = base_seed + k in
+    let o, failure =
+      Overload_harness.run_one ~steps ~nemesis ~cfg_tweak ~admitted_p99_bound_ms
+        ~shrink ~seed ()
+    in
+    summary := add_outcome !summary o failure;
+    match progress with Some f -> f !summary | None -> ()
+  done;
+  { !summary with failures = List.rev !summary.failures }
+
 let pp_failure ppf f =
   Format.fprintf ppf "@[<v2>seed %d (%s):@ %a@ plan: %a" f.seed
     (service_name f.service)
@@ -325,4 +404,7 @@ let pp_summary ppf s =
      persists), %d metadata records dropped, %d duplicated, %d reordered, %d \
      clock drifts@ traffic: %d deliveries, %d replies@]"
     s.schedules (List.length s.failures) s.unreplied s.crashes s.torn_persists
-    s.meta_dropped s.duplicated s.reordered s.drifted s.delivered s.replies
+    s.meta_dropped s.duplicated s.reordered s.drifted s.delivered s.replies;
+  if s.shed > 0 then
+    Format.fprintf ppf "@ overload: %d shed, admitted p99 <= %.1f ms" s.shed
+      s.admitted_p99_max

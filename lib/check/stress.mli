@@ -32,6 +32,11 @@ val lease_nemesis : Mcheck.nemesis
     exercising leader leases; pair it with a [cfg_tweak] that sets
     {!Grid_paxos.Config.t.lease_ms}. *)
 
+val overload_nemesis : Mcheck.nemesis
+(** {!default_nemesis} with the crash rate doubled, for the overload
+    tier: shed requests and backoff retransmissions must survive leader
+    churn without losing an acknowledged write. *)
+
 type failure = {
   seed : int;
   service : service;
@@ -50,9 +55,16 @@ type summary = {
   duplicated : int;
   reordered : int;
   drifted : int;  (** clock-drift injections across the batch *)
+  shed : int;  (** [Overloaded] pushbacks across the batch *)
+  admitted_p99_max : float;
+      (** worst per-schedule p99 of admitted-request latency (virtual ms);
+          [0.] when no schedule completed a request *)
   delivered : int;
   replies : int;
 }
+
+val admitted_p99 : Mcheck.outcome -> float
+(** p99 of {!Mcheck.outcome.admitted_latencies} ([0.] when empty). *)
 
 val run_one :
   service:service ->
@@ -61,6 +73,7 @@ val run_one :
   ?nemesis:Mcheck.nemesis ->
   ?disable_dedup:bool ->
   ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+  ?admitted_p99_bound_ms:float ->
   ?shrink:bool ->
   seed:int ->
   unit ->
@@ -87,6 +100,28 @@ val run :
     round-robin over [services] (default: counter and kv) and aggregates
     the results. *)
 
+val run_overload :
+  ?schedules:int ->
+  ?base_seed:int ->
+  ?steps:int ->
+  ?nemesis:Mcheck.nemesis ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?admitted_p99_bound_ms:float ->
+  ?shrink:bool ->
+  ?progress:(summary -> unit) ->
+  unit ->
+  summary
+(** The overload tier: [schedules] seeded runs of the counter service
+    under a write-heavy workload with a deliberately tiny admission
+    window ([max_inflight], [max_queue]; defaults 2/2), driven by
+    {!overload_nemesis}. On top of the usual oracles, every schedule
+    checks that no [Ok]-acknowledged write was lost
+    ({!Mcheck.outcome.lost_admitted}) and that the p99 latency of
+    admitted requests stays under [admitted_p99_bound_ms] (virtual ms,
+    default 120 s). The returned summary's [shed] counts the pushbacks
+    actually exercised. *)
+
 (** Per-service harnesses, for targeted tests (replaying a specific plan,
     custom shrink predicates). *)
 module Counter_harness : sig
@@ -100,6 +135,7 @@ module Counter_harness : sig
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
     ?shrink:bool ->
     seed:int ->
     unit ->
@@ -110,6 +146,7 @@ module Counter_harness : sig
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
     seed:int ->
     plan:Mcheck.plan ->
     unit ->
@@ -129,6 +166,7 @@ module Kv_harness : sig
     ?nemesis:Mcheck.nemesis ->
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
     ?shrink:bool ->
     seed:int ->
     unit ->
@@ -139,6 +177,36 @@ module Kv_harness : sig
     ?meta_drop_prob:float ->
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
+    seed:int ->
+    plan:Mcheck.plan ->
+    unit ->
+    Mcheck.outcome * string list
+end
+
+module Overload_harness : sig
+  module MC : module type of Mcheck.Make (Grid_services.Counter)
+
+  val requests_for : seed:int -> (int * Grid_paxos.Types.rtype * string) list
+
+  val run_one :
+    ?obs:Grid_obs.Span.Recorder.t ->
+    ?steps:int ->
+    ?nemesis:Mcheck.nemesis ->
+    ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
+    ?shrink:bool ->
+    seed:int ->
+    unit ->
+    Mcheck.outcome * failure option
+
+  val replay_plan :
+    ?steps:int ->
+    ?meta_drop_prob:float ->
+    ?disable_dedup:bool ->
+    ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
+    ?admitted_p99_bound_ms:float ->
     seed:int ->
     plan:Mcheck.plan ->
     unit ->

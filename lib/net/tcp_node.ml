@@ -15,10 +15,20 @@ type net_meters = {
   nm_dials : Metrics.counter;
   nm_dial_failures : Metrics.counter;
   nm_conns : Metrics.gauge;
+  nm_backoff : (int, Metrics.gauge) Hashtbl.t;
+      (* per-peer current reconnect delay, 0 when healthy *)
 }
 
-let make_meters () =
+let make_meters ~peers () =
   let registry = Metrics.create () in
+  let nm_backoff = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace nm_backoff p
+        (Metrics.gauge registry
+           (Printf.sprintf "grid_net_backoff_ms_peer_%d" p)
+           ~help:"Current reconnect backoff delay toward this peer (0 = healthy)"))
+    peers;
   {
     registry;
     nm_sent =
@@ -36,15 +46,22 @@ let make_meters () =
     nm_conns =
       Metrics.gauge registry "grid_net_connections"
         ~help:"Currently established peer connections";
+    nm_backoff;
   }
+
+let set_backoff_gauge meters peer ms =
+  match Hashtbl.find_opt meters.nm_backoff peer with
+  | Some g -> Metrics.set g ms
+  | None -> ()
 
 (* Reconnect backoff: a peer that refused a dial is not redialed before a
    delay that doubles per consecutive failure, from [backoff_base_ms] up
    to [backoff_cap_ms], with jitter so a restarted replica is not hit by
    every peer in the same instant. Without this, a dead peer costs one
-   connect syscall per outgoing message (heartbeats: every few ms). *)
-let backoff_base_ms = 20.0
-let backoff_cap_ms = 2000.0
+   connect syscall per outgoing message (heartbeats: every few ms). The
+   constants are per-node state, settable at [start] time. *)
+let default_backoff_base_ms = 20.0
+let default_backoff_cap_ms = 2000.0
 
 (* ------------------------------------------------------------------ *)
 (* Generic event loop: an inbox fed by reader threads, a timer queue, and
@@ -62,6 +79,8 @@ type core = {
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   addresses : (int * Unix.sockaddr) list;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
   (* peer -> (earliest next dial in ms, current backoff delay in ms) *)
   backoff : (int, float * float) Hashtbl.t;
   rng : Rng.t;  (* jitter; guarded by [mutex] *)
@@ -70,7 +89,9 @@ type core = {
   meters : net_meters;
 }
 
-let create_core ?(obs = Span.Recorder.disabled) ~node_id ~actor ~addresses () =
+let create_core ?(obs = Span.Recorder.disabled)
+    ?(backoff_base_ms = default_backoff_base_ms)
+    ?(backoff_cap_ms = default_backoff_cap_ms) ~node_id ~actor ~addresses () =
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
   {
@@ -84,11 +105,13 @@ let create_core ?(obs = Span.Recorder.disabled) ~node_id ~actor ~addresses () =
     pipe_r;
     pipe_w;
     addresses;
+    backoff_base_ms;
+    backoff_cap_ms;
     backoff = Hashtbl.create 8;
     rng = Rng.of_int (0x7cb1 + node_id);
     obs;
     actor;
-    meters = make_meters ();
+    meters = make_meters ~peers:(List.map fst addresses) ();
   }
 
 let wake core = try ignore (Unix.write_substring core.pipe_w "x" 0 1) with _ -> ()
@@ -152,6 +175,7 @@ let connection core peer =
           Unix.connect fd addr;
           Framing.write_hello fd ~node_id:core.node_id;
           with_lock core (fun () -> Hashtbl.remove core.backoff peer);
+          set_backoff_gauge core.meters peer 0.0;
           register_conn core peer fd;
           ignore (Thread.create (fun () -> reader_thread core peer fd) ());
           Some fd
@@ -164,12 +188,16 @@ let connection core peer =
                 | None -> 0.0
               in
               let next =
-                Float.min backoff_cap_ms (Float.max backoff_base_ms (prev *. 2.0))
+                Float.min core.backoff_cap_ms
+                  (Float.max core.backoff_base_ms (prev *. 2.0))
               in
               (* Jitter in [next/2, next): consecutive retries stay spread
                  out even when every peer noticed the death together. *)
               let wait = next *. (0.5 +. Rng.float core.rng 0.5) in
               Hashtbl.replace core.backoff peer (now +. wait, next));
+          (match with_lock core (fun () -> Hashtbl.find_opt core.backoff peer) with
+          | Some (_, d) -> set_backoff_gauge core.meters peer d
+          | None -> ());
           None))
 
 let send_msg core ~dst msg =
@@ -276,9 +304,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       done
     with Unix.Unix_error _ -> ()
 
-  let start_replica ~cfg ~id ~port ~peers ?storage ?obs () =
+  let start_replica ~cfg ~id ~port ~peers ?storage ?obs ?backoff_base_ms
+      ?backoff_cap_ms () =
     let actor = "r" ^ string_of_int id in
-    let core = create_core ?obs ~node_id:id ~actor ~addresses:peers () in
+    let core =
+      create_core ?obs ?backoff_base_ms ?backoff_cap_ms ~node_id:id ~actor
+        ~addresses:peers ()
+    in
     let replica = R.create ~cfg ~id ?storage ?obs () in
     let listener = Unix.socket PF_INET SOCK_STREAM 0 in
     Unix.setsockopt listener SO_REUSEADDR true;
@@ -329,13 +361,14 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     c_reply : reply option ref;
   }
 
-  let start_client ~id ~replicas ?(retry_ms = 200.0) ?obs () =
+  let start_client ~id ~replicas ?(retry_ms = 200.0) ?obs ?backoff_base_ms
+      ?backoff_cap_ms () =
     let cid = Grid_util.Ids.Client_id.of_int id in
     let client =
       Client.create ~id:cid ~replicas:(List.map fst replicas) ~retry_ms ?obs ()
     in
     let core =
-      create_core ?obs ~node_id:(client_node cid)
+      create_core ?obs ?backoff_base_ms ?backoff_cap_ms ~node_id:(client_node cid)
         ~actor:("c" ^ string_of_int id) ~addresses:replicas ()
     in
     let c_mutex = Mutex.create () in

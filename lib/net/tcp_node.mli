@@ -6,12 +6,15 @@
     deduplicated by the handshake's node id; replies to clients travel
     back over the connection the client dialed in on.
 
-    A failed dial puts the peer on exponential backoff (20 ms doubling
-    to 2 s, jittered per node), so a dead peer costs one connect attempt
-    per backoff window instead of one per outgoing message, and a
-    restarting replica is not reconnected by every peer in the same
-    instant. A successful dial resets the peer's backoff; losing an
-    established connection never delays the first redial.
+    A failed dial puts the peer on exponential backoff (doubling from
+    [backoff_base_ms] to [backoff_cap_ms], default 20 ms to 2 s,
+    jittered per node), so a dead peer costs one connect attempt per
+    backoff window instead of one per outgoing message, and a restarting
+    replica is not reconnected by every peer in the same instant. A
+    successful dial resets the peer's backoff; losing an established
+    connection never delays the first redial. Each node's metrics
+    registry exposes the live per-peer delay as
+    [grid_net_backoff_ms_peer_<id>] gauges (0 = healthy).
 
     This is the backend for [bin/replica.exe] and [bin/client.exe], and
     for the loopback integration tests. The evaluation itself uses the
@@ -30,13 +33,16 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     peers:(int * Unix.sockaddr) list ->
     ?storage:Grid_paxos.Storage.t ->
     ?obs:Grid_obs.Span.Recorder.t ->
+    ?backoff_base_ms:float ->
+    ?backoff_cap_ms:float ->
     unit ->
     replica_handle
   (** Bind [port], bootstrap the replica engine, and serve until
       {!stop_replica}. [peers] maps the other replica ids to their
       addresses. [obs] receives the engine's lifecycle spans and the
       transport's message events, timed on the wall clock (ms since the
-      epoch). *)
+      epoch). [backoff_base_ms]/[backoff_cap_ms] bound the reconnect
+      backoff toward dead peers (defaults 20/2000). *)
 
   val replica_is_leader : replica_handle -> bool
   val replica_commit_point : replica_handle -> int
@@ -55,11 +61,13 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     replicas:(int * Unix.sockaddr) list ->
     ?retry_ms:float ->
     ?obs:Grid_obs.Span.Recorder.t ->
+    ?backoff_base_ms:float ->
+    ?backoff_cap_ms:float ->
     unit ->
     client_handle
   (** Connect to every replica. The client keeps no listening socket;
-      replies arrive on the dialed connections. [obs] is as for
-      {!start_replica} (client-send and reply spans). *)
+      replies arrive on the dialed connections. [obs] and the backoff
+      bounds are as for {!start_replica}. *)
 
   val call :
     client_handle ->

@@ -40,9 +40,23 @@ val submit :
 
 val handle : t -> now:float -> Types.input -> Types.action list * Types.reply option
 (** Feed a reply or timer. The returned reply is [Some] exactly when it
-    answers the outstanding request (retransmitted duplicates are
-    absorbed). *)
+    answers the outstanding request with a {e final} status
+    (retransmitted duplicates are absorbed). A [Retry] reply triggers an
+    immediate rebroadcast; an [Overloaded] reply arms a retransmission
+    timer at the leader's [retry_after_ms] hint, doubled per consecutive
+    pushback (capped at 8 x [retry_ms], never below the hint) and
+    jittered ±25% — backstop retry firings inside the backoff window are
+    suppressed, so a shed request generates no traffic until the window
+    closes. Pass the driver clock as [now]: the backoff window is
+    measured against it. *)
 
 val outstanding : t -> Types.request option
 val sent_count : t -> int
 val retry_count : t -> int
+
+val overloaded_count : t -> int
+(** [Overloaded] pushbacks received across all requests. *)
+
+val backoff_until : t -> float
+(** Earliest time the pending request may be retransmitted
+    ([neg_infinity] when not backing off). *)

@@ -54,6 +54,17 @@ type t = {
           relative to each other within one lease window. The leader
           retires each grant this much earlier than its nominal expiry,
           so leases stay safe as long as real drift honours the bound. *)
+  max_inflight : int;
+      (** admission control: bound on reads the leader holds awaiting
+          confirmation/execution. [0] (the default) means unbounded.
+          Reads past the bound are shed with [Overloaded] — before writes,
+          since a shed read costs the client one round trip while a shed
+          write loses queued work. *)
+  max_queue : int;
+      (** admission control: bound on the leader's pending-write queue.
+          [0] (the default) means unbounded. Writes arriving when the
+          queue is full are shed with [Overloaded]; reads are shed
+          already at half this depth (read-shedding priority). *)
 }
 
 let default ~n =
@@ -75,11 +86,14 @@ let default ~n =
     disable_dedup = false;
     lease_ms = 0.0;
     clock_skew_bound_ms = 5.0;
+    max_inflight = 0;
+    max_queue = 0;
   }
 
 let make ?base ?n ?execution_cost_ms ?accept_retry_ms ?prepare_retry_ms ?hb_period_ms
     ?suspicion_ms ?stability_ms ?client_retry_ms ?record_history ?ship ?snapshot_interval
-    ?max_batch ?coordination ?disable_dedup ?lease_ms ?clock_skew_bound_ms () =
+    ?max_batch ?coordination ?disable_dedup ?lease_ms ?clock_skew_bound_ms ?max_inflight
+    ?max_queue () =
   let base =
     match base with
     | Some b -> b
@@ -105,6 +119,8 @@ let make ?base ?n ?execution_cost_ms ?accept_retry_ms ?prepare_retry_ms ?hb_peri
     disable_dedup = v base.disable_dedup disable_dedup;
     lease_ms = v base.lease_ms lease_ms;
     clock_skew_bound_ms = v base.clock_skew_bound_ms clock_skew_bound_ms;
+    max_inflight = v base.max_inflight max_inflight;
+    max_queue = v base.max_queue max_queue;
   }
 
 let with_n t n = make ~base:t ~n ()

@@ -58,6 +58,17 @@ type t = private {
           relative to each other within one lease window. The leader
           retires each grant this much earlier than its nominal expiry,
           so leases stay safe as long as real drift honours the bound. *)
+  max_inflight : int;
+      (** admission control: bound on reads the leader holds awaiting
+          confirmation/execution. [0] (the default) means unbounded.
+          Reads past the bound are shed with [Overloaded] — before writes,
+          since a shed read costs the client one round trip while a shed
+          write loses queued work. *)
+  max_queue : int;
+      (** admission control: bound on the leader's pending-write queue.
+          [0] (the default) means unbounded. Writes arriving when the
+          queue is full are shed with [Overloaded]; reads are shed
+          already at half this depth (read-shedding priority). *)
 }
 
 val default : n:int -> t
@@ -82,6 +93,8 @@ val make :
   ?disable_dedup:bool ->
   ?lease_ms:float ->
   ?clock_skew_bound_ms:float ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
   unit ->
   t
 (** Smart constructor: start from [base] (default [default ~n], where [n]

@@ -61,6 +61,12 @@ module Make (S : Service_intf.S) = struct
     l_queue : work Queue.t;
     mutable l_phase : phase option;
     mutable l_repropose : (int * proposal) list;  (* ascending instances *)
+    mutable l_recover_until : int;
+        (* highest instance recovered at election: the old leader may
+           have committed (and answered) any of them, so reads must not
+           execute on our state until the commit point reaches it *)
+    mutable l_deferred_reads : request list;
+        (* reads received before recovery completed, newest first *)
     l_reads : (Ids.Request_id.t, pending_read) Hashtbl.t;
     l_txns : (int * int, txn) Hashtbl.t;  (* (client, txn id) *)
     l_queued_ids : (Ids.Request_id.t, unit) Hashtbl.t;
@@ -114,6 +120,9 @@ module Make (S : Service_intf.S) = struct
     (* checker support *)
     mutable history : (int * request list * string) list;  (* reversed *)
     mutable commits_seen : int;
+    (* admission control: requests shed with [Overloaded] while leading *)
+    mutable shed_reads : int;
+    mutable shed_writes : int;
     (* observability: lifecycle span recorder plus the precomputed actor
        label, so the disabled path costs one branch and no allocation *)
     obs : Span.Recorder.t;
@@ -145,6 +154,8 @@ module Make (S : Service_intf.S) = struct
       recent_footprints = Hashtbl.create 64;
       history = [];
       commits_seen = 0;
+      shed_reads = 0;
+      shed_writes = 0;
       obs;
       actor = "r" ^ string_of_int id;
     }
@@ -179,6 +190,13 @@ module Make (S : Service_intf.S) = struct
 
   let committed_updates t = List.rev t.history
   let stats_commits t = t.commits_seen
+  let stats_shed t = (t.shed_reads, t.shed_writes)
+
+  let queue_depth t =
+    match t.role with Leader l -> Queue.length l.l_queue | _ -> 0
+
+  let reads_inflight t =
+    match t.role with Leader l -> Hashtbl.length l.l_reads | _ -> 0
   let others t = List.filter (fun r -> r <> t.rid) (Config.replica_ids t.cfg)
   let quorum t = Config.quorum t.cfg
 
@@ -379,7 +397,14 @@ module Make (S : Service_intf.S) = struct
             (fun id _ acc -> { req = id; status = Retry; payload = "" } :: acc)
             l.l_reads []
         in
+        let dropped =
+          List.fold_left
+            (fun acc (r : request) ->
+              { req = r.id; status = Retry; payload = "" } :: acc)
+            dropped l.l_deferred_reads
+        in
         Hashtbl.reset l.l_reads;
+        l.l_deferred_reads <- [];
         Hashtbl.reset l.l_txns;
         Queue.clear l.l_queue;
         Hashtbl.reset l.l_queued_ids;
@@ -424,6 +449,9 @@ module Make (S : Service_intf.S) = struct
              chosen instance (the old leader proposed sequentially); drop
              the tail defensively. *)
           (l.l_repropose <- [];
+           (* Entries above a hole can never have been chosen, so reads
+              need not wait for them either. *)
+           l.l_recover_until <- Plog.commit_point t.log;
            note "dropped non-contiguous recovered entries from %d" instance :: pump t)
         else begin
           (* Re-propose under our ballot. The post-state comes from the
@@ -447,8 +475,27 @@ module Make (S : Service_intf.S) = struct
              | _ -> acts
            else acts)
         end
-      | [] -> (
-        match Queue.take_opt l.l_queue with
+      | [] ->
+        (* Recovery (if any) has fully committed once the commit point
+           reaches the last recovered instance: release the reads that
+           arrived in the window where our state could still be missing
+           writes the old leader had answered. *)
+        let released =
+          if
+            l.l_deferred_reads <> []
+            && Plog.commit_point t.log >= l.l_recover_until
+          then begin
+            let pending = List.rev l.l_deferred_reads in
+            l.l_deferred_reads <- [];
+            List.concat_map (fun r -> admit_read t l r) pending
+          end
+          else []
+        in
+        released @ pump_queue t l)
+    | _ -> []
+
+  and pump_queue t (l : leadership) =
+    match Queue.take_opt l.l_queue with
         | None -> []
         | Some first ->
           (* Batch every queued work item — writes and transaction
@@ -485,8 +532,38 @@ module Make (S : Service_intf.S) = struct
           in
           let resend = reply_actions !stale_replies in
           if fresh = [] then resend @ pump t
-          else resend @ begin_execution t l (Exec_batch fresh)))
-    | _ -> []
+          else resend @ begin_execution t l (Exec_batch fresh)
+
+  (* Admit a read into the window and start executing it. Callers have
+     already checked admission control and that recovery is complete
+     (the leader's state covers every instance the old leader could
+     have answered from). *)
+  and admit_read t (l : leadership) (r : request) =
+    if Hashtbl.mem l.l_reads r.id then []
+    else begin
+      let confirms =
+        match Hashtbl.find_opt t.pre_confirms r.id with
+        | Some (b, set) ->
+          Hashtbl.remove t.pre_confirms r.id;
+          (* Confirms stashed under an earlier leadership of this replica
+             confirmed a promise that may since have been usurped and
+             re-won: they say nothing about the current ballot. *)
+          if Ballot.equal b l.l_ballot then set else Bitset.create t.cfg.n
+        | None -> Bitset.create t.cfg.n
+      in
+      Bitset.set confirms t.rid;
+      let pr =
+        {
+          pr_request = r;
+          pr_confirms = confirms;
+          pr_exec_done = false;
+          pr_result = "";
+          pr_leased = holds_lease t ~now:t.now;
+        }
+      in
+      Hashtbl.replace l.l_reads r.id pr;
+      begin_execution t l (Exec_read r)
+    end
 
   (* Defer work behind the execution cost E, or run it inline if E = 0. *)
   and begin_execution t (_l : leadership) work =
@@ -719,32 +796,43 @@ module Make (S : Service_intf.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Client request dispatch                                             *)
 
-  let leader_handle_read t (l : leadership) (r : request) =
-    if Hashtbl.mem l.l_reads r.id then []
-    else begin
-      let confirms =
-        match Hashtbl.find_opt t.pre_confirms r.id with
-        | Some (b, set) ->
-          Hashtbl.remove t.pre_confirms r.id;
-          (* Confirms stashed under an earlier leadership of this replica
-             confirmed a promise that may since have been usurped and
-             re-won: they say nothing about the current ballot. *)
-          if Ballot.equal b l.l_ballot then set else Bitset.create t.cfg.n
-        | None -> Bitset.create t.cfg.n
-      in
-      Bitset.set confirms t.rid;
-      let pr =
+  (* Admission control. The write window is the leader's pending queue
+     ([max_queue]); the read window is the pending-read table
+     ([max_inflight]). Reads are additionally shed once the write queue
+     passes half its bound — shed-reads-before-writes: a shed read costs
+     the client one round trip, a shed write loses queued work, so under
+     pressure reads yield their CPU share to the write pipeline first. *)
+
+  let retry_after_ms t backlog =
+    (* Rough time to drain the backlog at the configured execution cost
+       (floored so zero-cost services still push clients back at least
+       one heartbeat), scaled by the backlog itself. *)
+    let per_item = Float.max 0.05 t.cfg.execution_cost_ms in
+    Float.max t.cfg.hb_period_ms (Float.of_int backlog *. per_item)
+
+  let shed t (r : request) ~backlog =
+    (match r.rtype with
+    | Read -> t.shed_reads <- t.shed_reads + 1
+    | _ -> t.shed_writes <- t.shed_writes + 1);
+    Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
+      ~detail:"shed" Span.Leader_receive;
+    reply_actions
+      [
         {
-          pr_request = r;
-          pr_confirms = confirms;
-          pr_exec_done = false;
-          pr_result = "";
-          pr_leased = holds_lease t ~now:t.now;
-        }
-      in
-      Hashtbl.replace l.l_reads r.id pr;
-      begin_execution t l (Exec_read r)
-    end
+          req = r.id;
+          status = Overloaded { retry_after_ms = retry_after_ms t backlog };
+          payload = "";
+        };
+      ]
+
+  let write_window_full t (l : leadership) =
+    t.cfg.max_queue > 0 && Queue.length l.l_queue >= t.cfg.max_queue
+
+  let read_window_full t (l : leadership) =
+    (t.cfg.max_inflight > 0
+    && Hashtbl.length l.l_reads + List.length l.l_deferred_reads
+       >= t.cfg.max_inflight)
+    || (t.cfg.max_queue > 0 && Queue.length l.l_queue >= (t.cfg.max_queue + 1) / 2)
 
   let leader_handle_client t (l : leadership) (r : request) =
     let detail =
@@ -755,7 +843,28 @@ module Make (S : Service_intf.S) = struct
     Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
       ~detail Span.Leader_receive;
     match r.rtype with
-    | Read -> leader_handle_read t l r
+    | Read ->
+      (* A retransmission of a read we already hold is not re-admitted
+         (it is already in the window). *)
+      if Hashtbl.mem l.l_reads r.id then []
+      else if
+        List.exists
+          (fun (r' : request) -> Ids.Request_id.equal r'.id r.id)
+          l.l_deferred_reads
+      then []
+      else if read_window_full t l then
+        shed t r ~backlog:(Queue.length l.l_queue + Hashtbl.length l.l_reads)
+      else if Plog.commit_point t.log < l.l_recover_until then begin
+        (* Freshly elected and still re-proposing recovered instances:
+           our state may be missing writes the old leader answered, so
+           executing this read now could travel back in time. It holds
+           its admission slot and runs when recovery commits. *)
+        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id
+          ~instance:(-1) ~detail:"read_deferred" Span.Leader_receive;
+        l.l_deferred_reads <- r :: l.l_deferred_reads;
+        []
+      end
+      else admit_read t l r
     | Original -> begin_execution t l (Exec_original r)
     | Write | Txn_commit _ -> (
       match dedup_lookup t r with
@@ -763,6 +872,11 @@ module Make (S : Service_intf.S) = struct
       | `Stale -> []
       | `Fresh ->
         if Hashtbl.mem l.l_queued_ids r.id then []
+        else if write_window_full t l then
+          (* Shed before touching [l_queued_ids]: an [Overloaded] reply
+             promises nothing, so the retransmission must be admittable
+             from scratch once the queue drains. *)
+          shed t r ~backlog:(Queue.length l.l_queue)
         else begin
           Hashtbl.replace l.l_queued_ids r.id ();
           Queue.add
@@ -831,6 +945,8 @@ module Make (S : Service_intf.S) = struct
           l_queue = Queue.create ();
           l_phase = None;
           l_repropose = repropose;
+          l_recover_until = cp + List.length repropose;
+          l_deferred_reads = [];
           l_reads = Hashtbl.create 16;
           l_txns = Hashtbl.create 8;
           l_queued_ids;

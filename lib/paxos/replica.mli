@@ -111,4 +111,17 @@ module Make (S : Service_intf.S) : sig
 
   val stats_commits : t -> int
   (** Number of instances this replica has learned committed. *)
+
+  val stats_shed : t -> int * int
+  (** Requests shed with [Overloaded] while leading: [(reads, writes)].
+      Both [0] unless [Config.max_inflight]/[max_queue] bound admission. *)
+
+  val queue_depth : t -> int
+  (** Leader only: writes and transaction commits waiting in the pending
+      queue ([0] on followers). The admission window compares this
+      against [Config.max_queue]. *)
+
+  val reads_inflight : t -> int
+  (** Leader only: reads held awaiting confirmation or execution ([0] on
+      followers). Compared against [Config.max_inflight]. *)
 end

@@ -124,12 +124,25 @@ type status =
       (** the replica lost leadership while holding this request; the
           client should retransmit (it will reach the new leader) rather
           than wait out its retry timer *)
+  | Overloaded of { retry_after_ms : float }
+      (** the leader's admission window is full and the request was shed
+          before entering the queue; the client should back off for at
+          least [retry_after_ms] before retransmitting *)
 
 let pp_status ppf = function
   | Ok -> Format.pp_print_string ppf "ok"
   | Txn_aborted -> Format.pp_print_string ppf "aborted"
   | Txn_conflict -> Format.pp_print_string ppf "conflict"
   | Retry -> Format.pp_print_string ppf "retry"
+  | Overloaded { retry_after_ms } ->
+    Format.fprintf ppf "overloaded(retry_after=%.1fms)" retry_after_ms
+
+(* A final status completes the request at the client; [Retry] and
+   [Overloaded] are pushback — the request is still pending and will be
+   retransmitted. Checkers use this to decide which replies count. *)
+let status_is_final = function
+  | Ok | Txn_aborted | Txn_conflict -> true
+  | Retry | Overloaded _ -> false
 
 type reply = { req : Ids.Request_id.t; status : status; payload : string }
 
@@ -137,9 +150,18 @@ let pp_reply ppf r =
   Format.fprintf ppf "reply(%a,%a,%d bytes)" Ids.Request_id.pp r.req pp_status r.status
     (String.length r.payload)
 
-let status_tag = function Ok -> 0 | Txn_aborted -> 1 | Txn_conflict -> 2 | Retry -> 3
+let status_tag = function
+  | Ok -> 0
+  | Txn_aborted -> 1
+  | Txn_conflict -> 2
+  | Retry -> 3
+  | Overloaded _ -> 4
 
-let encode_status e s = Wire.Encoder.uint e (status_tag s)
+let encode_status e s =
+  Wire.Encoder.uint e (status_tag s);
+  match s with
+  | Ok | Txn_aborted | Txn_conflict | Retry -> ()
+  | Overloaded { retry_after_ms } -> Wire.Encoder.float e retry_after_ms
 
 let decode_status d =
   match Wire.Decoder.uint d with
@@ -147,6 +169,7 @@ let decode_status d =
   | 1 -> Txn_aborted
   | 2 -> Txn_conflict
   | 3 -> Retry
+  | 4 -> Overloaded { retry_after_ms = Wire.Decoder.float d }
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad status %d" n })
 
 let encode_reply e (r : reply) =

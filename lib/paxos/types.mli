@@ -65,9 +65,19 @@ type status =
       (** the replica lost leadership while holding this request; the
           client should retransmit (it will reach the new leader) rather
           than wait out its retry timer *)
+  | Overloaded of { retry_after_ms : float }
+      (** the leader's admission window is full and the request was shed
+          before entering the queue; the client should back off for at
+          least [retry_after_ms] before retransmitting *)
 
 val pp_status : Format.formatter -> status -> unit
 val status_tag : status -> int
+
+(** Whether a reply with this status completes the request at the client.
+    [Retry] and [Overloaded] are pushback: the request stays pending and
+    will be retransmitted, so checkers must not count such replies as
+    completions. *)
+val status_is_final : status -> bool
 val encode_status : Grid_codec.Wire.Encoder.t -> status -> unit
 val decode_status : Grid_codec.Wire.Decoder.t -> status
 

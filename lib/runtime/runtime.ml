@@ -77,6 +77,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let engine t = t.eng
   let network t = t.net
   let config t = t.cfg
+  let scenario t = t.scenario
   let obs t = t.obs
   let metrics t = t.metrics
   let replica t i = t.replicas.(i)
@@ -230,8 +231,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
 
   (** Add a closed-loop client. [machine_share] models how many clients
       share this client's physical machine: per-message CPU costs scale
-      with it (the paper runs up to 16 client processes per host). *)
-  let add_client t ~id ?(machine_share = 1) ?(on_reply = fun _ -> ()) () =
+      with it (the paper runs up to 16 client processes per host).
+
+      [light:true] registers a session-pool client in O(1): no per-replica
+      link records (the network's default latency applies — see
+      {!Session.Make.create}, which points it at the scenario's client
+      link) and no per-message CPU cost, so a simulation can hold 10^5+
+      concurrent clients without the per-client setup dominating. *)
+  let add_client t ~id ?(machine_share = 1) ?(light = false) ?(on_reply = fun _ -> ())
+      () =
     if id >= t.next_client_id then t.next_client_id <- id + 1;
     let cid = Ids.Client_id.of_int id in
     let client =
@@ -244,7 +252,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       { client; actor = t.actor_prefix ^ "c" ^ string_of_int id; on_reply }
     in
     Hashtbl.replace t.clients node slot;
-    let share = Float.of_int machine_share in
+    let share = if light then 0.0 else Float.of_int machine_share in
     Network.add_node t.net ~id:node
       ~recv_cost:(t.scenario.client_recv_cost *. share)
       ~send_cost:(t.scenario.client_send_cost *. share)
@@ -254,9 +262,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
             (Receive { src = in_node t src; msg })
         in
         dispatch_client t node actions reply);
-    for r = 0 to t.cfg.n - 1 do
-      Network.set_link_sym t.net node (t.node_base + r) (t.scenario.client_link r)
-    done;
+    if not light then
+      for r = 0 to t.cfg.n - 1 do
+        Network.set_link_sym t.net node (t.node_base + r) (t.scenario.client_link r)
+      done;
     client
 
   (** Sends by message kind since creation (or the last reset). *)
@@ -270,7 +279,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | Some slot -> slot.on_reply <- f
     | None -> invalid_arg "Runtime.set_on_reply: unknown client"
 
-  let try_submit t client rtype ~payload =
+  let submit t client rtype ~payload =
     match Client.submit client ~now:(Engine.now t.eng) rtype ~payload with
     | `Busy -> `Busy
     | `Sent actions ->
@@ -278,10 +287,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       dispatch_client t (Client.node client) actions None;
       `Submitted
 
-  let submit t client rtype ~payload =
-    match try_submit t client rtype ~payload with
-    | `Submitted -> ()
-    | `Busy -> invalid_arg "Runtime.submit: client has a request outstanding"
+  (* Alias kept for callers that predate the typed return. *)
+  let try_submit = submit
 
   (* Typed submission: classify and encode inside the runtime, so
      workloads and examples never build payload strings. The commit
@@ -301,10 +308,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     let rtype, payload = encode_item it in
     submit t client rtype ~payload
 
-  let try_submit_item t client it =
-    let rtype, payload = encode_item it in
-    try_submit t client rtype ~payload
-
+  let try_submit_item = submit_item
   let submit_op t client op = submit_item t client (Do op)
 
   (** {1 Failure control} *)
@@ -416,7 +420,12 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           sent_at := now t;
           sent_rtype := rtype;
           match !client_ref with
-          | Some cl -> submit t cl rtype ~payload
+          | Some cl -> (
+            (* The closed loop only submits after the previous reply
+               cleared the pending slot, so [`Busy] here is a driver bug. *)
+            match submit t cl rtype ~payload with
+            | `Submitted -> ()
+            | `Busy -> failwith "run_closed_loop: client busy on submit")
           | None -> ())
         | None -> ()
       in

@@ -52,6 +52,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val engine : t -> Grid_sim.Engine.t
   val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
   val config : t -> Grid_paxos.Config.t
+  val scenario : t -> Scenario.t
 
   val obs : t -> Grid_obs.Span.Recorder.t
   (** The structured event stream: lifecycle spans, message events and
@@ -72,20 +73,33 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     t ->
     id:int ->
     ?machine_share:int ->
+    ?light:bool ->
     ?on_reply:(Grid_paxos.Types.reply -> unit) ->
     unit ->
     Grid_paxos.Client.t
   (** Register a client node. [machine_share] scales its per-message CPU
       costs to model several client processes sharing one host. Client
-      ids must be unique across every group sharing one network. *)
+      ids must be unique across every group sharing one network.
+
+      [light:true] (default false) registers the client in O(1) for
+      session pools: zero per-message CPU cost and no per-replica link
+      records — its messages ride the network's default latency, which
+      {!Session.Make.create} points at the scenario's client link. *)
 
   val set_on_reply : t -> Grid_paxos.Client.t -> (Grid_paxos.Types.reply -> unit) -> unit
 
-  val submit : t -> Grid_paxos.Client.t -> Grid_paxos.Types.rtype -> payload:string -> unit
-  (** Issue a pre-encoded request through the client engine (closed loop:
-      the client must have no outstanding request; raises
-      [Invalid_argument] otherwise). Prefer {!submit_op}/{!submit_item},
-      which keep payload encoding inside the runtime. *)
+  val submit :
+    t ->
+    Grid_paxos.Client.t ->
+    Grid_paxos.Types.rtype ->
+    payload:string ->
+    [ `Busy | `Submitted ]
+  (** Issue a pre-encoded request through the client engine. The client
+      is closed-loop: if it still has a request outstanding the submit
+      returns [`Busy] and nothing is sent — drivers react (defer, pick
+      another session, count a drop) instead of crashing. Prefer
+      {!submit_op}/{!submit_item}, which keep payload encoding inside
+      the runtime. *)
 
   val try_submit :
     t ->
@@ -93,17 +107,16 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     Grid_paxos.Types.rtype ->
     payload:string ->
     [ `Busy | `Submitted ]
-  (** Like {!submit} but surfaces the closed-loop violation as a value. *)
+  (** Alias of {!submit}, kept for callers that predate the typed
+      return. *)
 
-  val submit_op : t -> Grid_paxos.Client.t -> S.op -> unit
+  val submit_op : t -> Grid_paxos.Client.t -> S.op -> [ `Busy | `Submitted ]
   (** Typed entry point: classify via [S.classify], encode via
       [S.encode_op], and submit. Equivalent to [submit_item t c (Do op)]. *)
 
-  val submit_item : t -> Grid_paxos.Client.t -> S.op item -> unit
-
-  val try_submit_item :
-    t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
-  (** {!submit_item} surfacing the closed-loop violation as a value. *)
+  val submit_item : t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
+  val try_submit_item : t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
+  (** Alias of {!submit_item}. *)
 
   (** {1 Failure control} *)
 

@@ -71,28 +71,66 @@ let transactions ~ops_per_txn ~txns ~op ~client:_ =
     at exponentially distributed intervals regardless of outstanding
     replies, so response time can be studied as a function of offered
     load. Because the protocol client allows one outstanding request,
-    the open-loop driver models each arrival as its own short-lived
-    client. *)
+    an open-loop driver needs one live client per request in flight:
+    {!Make.run} models each arrival as its own short-lived client,
+    {!Make.run_sessions} multiplexes arrivals over a recycled
+    {!Session} pool and scales to 10^5+ concurrent requests. *)
+
+(** The arrival process, as a rate modulation around the nominal [rps].
+    Arrivals are drawn by thinning a Poisson process at the shape's peak
+    rate, so inter-arrival gaps stay exponential within any window of
+    constant rate. *)
+type arrival_shape =
+  | Poisson  (** constant rate [rps] *)
+  | Burst of { period_ms : float; duty : float; factor : float }
+      (** every [period_ms], a burst lasting [duty] of the period at
+          [factor] times the nominal rate; nominal rate in between *)
+  | Diurnal of { period_ms : float; trough : float }
+      (** sinusoid between [trough]x and 1x the nominal rate with period
+          [period_ms] — a compressed day/night cycle *)
+
+let relative_rate shape ~t =
+  match shape with
+  | Poisson -> 1.0
+  | Burst { period_ms; duty; factor } ->
+    if Float.rem t period_ms < duty *. period_ms then factor else 1.0
+  | Diurnal { period_ms; trough } ->
+    trough +. ((1.0 -. trough) *. 0.5 *. (1.0 +. sin (2.0 *. Float.pi *. t /. period_ms)))
+
+let peak_rate = function
+  | Poisson -> 1.0
+  | Burst { factor; _ } -> Float.max 1.0 factor
+  | Diurnal _ -> 1.0
 
 type open_loop_results = {
-  offered_rps : float;
+  offered_rps : float;  (** nominal rate; shapes modulate around it *)
+  arrivals : int;  (** arrivals the process generated *)
   completed : int;
-  dropped : int;  (** arrivals abandoned because the run ended *)
+  dropped : int;
+      (** arrivals that never became requests: no idle session was
+          available (or, in {!Make.run}, the submit was refused) *)
+  still_inflight : int;
+      (** requests submitted but unanswered when the run ended — cut off
+          by the horizon, not lost *)
   latencies_ms : float array;
 }
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module RT = Runtime.Make (S)
+  module Sess = Session.Make (S)
 
   (** [run t ~rps ~duration_ms ~item] offers [rps] requests per second
       (Poisson arrivals) for [duration_ms] of simulated time and returns
       the observed latencies. The runtime must have an elected leader
-      (see {!RT.await_leader}). *)
+      (see {!RT.await_leader}). Each arrival is its own client node —
+      fine for thousands of arrivals; use {!run_sessions} beyond that. *)
   let run t ~seed ~rps ~duration_ms ~item =
     let eng = RT.engine t in
     let rng = Rng.of_int seed in
     let latencies = ref [] in
     let completed = ref 0 in
+    let arrivals = ref 0 in
+    let dropped = ref 0 in
     let inflight = ref 0 in
     let next_id = ref 0 in
     let deadline = RT.now t +. duration_ms in
@@ -100,8 +138,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       if RT.now t < deadline then begin
         let id = 5000 + !next_id in
         incr next_id;
+        incr arrivals;
         let sent_at = RT.now t in
-        incr inflight;
         let client =
           RT.add_client t ~id
             ~on_reply:(fun _reply ->
@@ -110,7 +148,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
               latencies := (RT.now t -. sent_at) :: !latencies)
             ()
         in
-        RT.submit_item t client item;
+        (match RT.submit_item t client item with
+        | `Submitted -> incr inflight
+        | `Busy -> incr dropped (* unreachable: the client is fresh *));
         let gap = Rng.exponential rng ~mean:(1000.0 /. rps) in
         ignore (Grid_sim.Engine.schedule eng ~delay:gap arrive)
       end
@@ -120,8 +160,69 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     RT.run_until t (deadline +. 2_000.0);
     {
       offered_rps = rps;
+      arrivals = !arrivals;
       completed = !completed;
-      dropped = !inflight;
+      dropped = !dropped;
+      still_inflight = !inflight;
+      latencies_ms = Array.of_list (List.rev !latencies);
+    }
+
+  (** [run_sessions pool ~rps ~duration_ms ~item] is {!run} over a
+      {!Session} pool: arrivals grab an idle session (dropped when none
+      is available and the pool is full) and the pool recycles sessions
+      as replies land, so one run sustains as many concurrent requests
+      as the pool allows. [shape] modulates the arrival rate (default
+      {!Poisson}); [grace_ms] extends the run past the last arrival so
+      stragglers can finish. Leader-admission gauges are refreshed on
+      every arrival. *)
+  let run_sessions pool ~seed ~rps ~duration_ms ?(shape = Poisson)
+      ?(grace_ms = 2_000.0) ~item () =
+    let t = Sess.runtime pool in
+    let eng = RT.engine t in
+    let rng = Rng.of_int seed in
+    let latencies = ref [] in
+    let completed = ref 0 in
+    let arrivals = ref 0 in
+    let dropped = ref 0 in
+    let inflight = ref 0 in
+    let start = RT.now t in
+    let deadline = start +. duration_ms in
+    let peak = peak_rate shape in
+    let mean_gap_ms = 1000.0 /. (rps *. peak) in
+    let rec arrive () =
+      if RT.now t < deadline then begin
+        let accept =
+          match shape with
+          | Poisson -> true
+          | _ ->
+            Rng.float rng 1.0 < relative_rate shape ~t:(RT.now t -. start) /. peak
+        in
+        if accept then begin
+          incr arrivals;
+          match
+            Sess.submit pool item
+              ~on_reply:(fun _reply ~latency_ms ->
+                decr inflight;
+                incr completed;
+                latencies := latency_ms :: !latencies)
+          with
+          | `Submitted ->
+            incr inflight;
+            Sess.sample_leader pool
+          | `No_session -> incr dropped
+        end;
+        let gap = Rng.exponential rng ~mean:mean_gap_ms in
+        ignore (Grid_sim.Engine.schedule eng ~delay:gap arrive)
+      end
+    in
+    arrive ();
+    RT.run_until t (deadline +. grace_ms);
+    {
+      offered_rps = rps;
+      arrivals = !arrivals;
+      completed = !completed;
+      dropped = !dropped;
+      still_inflight = !inflight;
       latencies_ms = Array.of_list (List.rev !latencies);
     }
 end

@@ -146,7 +146,9 @@ let test_replicated_leases_consistent () =
     | [] -> ()
     | op :: rest ->
       ops := rest;
-      RT.submit t (Option.get !client) Write ~payload:(Lease.encode_op op)
+      (match RT.submit t (Option.get !client) Write ~payload:(Lease.encode_op op) with
+      | `Submitted -> ()
+      | `Busy -> Alcotest.fail "submit: client busy")
   in
   let c =
     RT.add_client t ~id:1

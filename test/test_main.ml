@@ -23,4 +23,5 @@ let () =
          Test_workload.suite;
          Test_scenario.suite;
          Test_shard.suite;
+         Test_overload.suite;
        ])

@@ -12,6 +12,14 @@ module Noop = Grid_services.Noop
 open Grid_paxos.Types
 
 module RT_counter = Grid_runtime.Runtime.Make (Counter)
+
+(* Typed-submit shim: these scripts sequence requests manually, so a
+   [`Busy] here is a test bug. *)
+let submit_c t c rtype ~payload =
+  match RT_counter.submit t c rtype ~payload with
+  | `Submitted -> ()
+  | `Busy -> Alcotest.fail "submit: client busy"
+
 module RT_broker = Grid_runtime.Runtime.Make (Broker)
 module RT_sched = Grid_runtime.Runtime.Make (Sched)
 module RT_noop = Grid_runtime.Runtime.Make (Noop)
@@ -85,13 +93,13 @@ let test_reads_reflect_writes () =
         if !step < 10 then
           let cl = Option.get !client in
           if !step mod 2 = 0 then
-            RT_counter.submit t2 cl Read ~payload:(Counter.encode_op Counter.Get)
-          else RT_counter.submit t2 cl Write ~payload:(Counter.encode_op (Counter.Add 1)))
+            submit_c t2 cl Read ~payload:(Counter.encode_op Counter.Get)
+          else submit_c t2 cl Write ~payload:(Counter.encode_op (Counter.Add 1)))
       ()
   in
   client := Some c;
   (* step 0: read (expect 0); step 1: write; step 2: read (expect 1)... *)
-  RT_counter.submit t2 c Read ~payload:(Counter.encode_op Counter.Get);
+  submit_c t2 c Read ~payload:(Counter.encode_op Counter.Get);
   RT_counter.run_until t2 5_000.0;
   Alcotest.(check (list int)) "monotone read results" [ 0; 1; 2; 3; 4 ]
     (List.rev !observed)

@@ -166,12 +166,32 @@ let test_stress_leased_reads_under_drift () =
   Alcotest.(check bool) "clock drift injected" true (summary.drifted > 0);
   Alcotest.(check bool) "failovers exercised" true (summary.crashes > 0)
 
+(* The overload tier: 200 schedules of the counter service with a
+   deliberately tiny admission window (2/2) under the crash-doubled
+   nemesis. On top of the usual oracles, every schedule checks the
+   admitted-loss oracle (no Ok-acknowledged write vanishes across
+   shedding and leader churn) and that admitted-request p99 latency
+   stays bounded; the batch must actually exercise pushback and
+   crashes, or the claim is vacuous. *)
+let test_stress_overload_tier () =
+  let summary = Stress.run_overload ~schedules:200 ~base_seed:1 () in
+  Alcotest.(check int) "schedules run" 200 summary.schedules;
+  if summary.failures <> [] then fail_with summary.failures;
+  Alcotest.(check bool) "Overloaded pushback exercised" true (summary.shed > 0);
+  Alcotest.(check bool) "crashes injected" true (summary.crashes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "admitted p99 bounded (%.1f ms)" summary.admitted_p99_max)
+    true
+    (summary.admitted_p99_max > 0.0 && summary.admitted_p99_max <= 120_000.0)
+
 let suite =
   [
     ( "stress.nemesis",
       [
         Alcotest.test_case "220 nemesis schedules hold all invariants" `Slow
           test_stress_batch;
+        Alcotest.test_case "200 overload schedules keep admitted writes" `Slow
+          test_stress_overload_tier;
         Alcotest.test_case "leader crashes mid-read stay linearizable" `Slow
           test_stress_leader_crash_mid_read;
         Alcotest.test_case "leased reads stay fresh under clock drift" `Slow

@@ -10,6 +10,13 @@ open Grid_paxos.Types
 
 module RT = Grid_runtime.Runtime.Make (Kv)
 
+(* Typed-submit shim: these scripts sequence requests manually, so a
+   [`Busy] here is a test bug. *)
+let submit t c rtype ~payload =
+  match RT.submit t c rtype ~payload with
+  | `Submitted -> ()
+  | `Busy -> Alcotest.fail "submit: client busy"
+
 let cfg () = Config.make ~n:3 ~record_history:true ()
 
 (* A transaction script: ops as Txn_op, then Txn_commit whose payload
@@ -108,14 +115,14 @@ let test_txn_isolation_until_commit () =
   in
   reader_client := Some rc;
   (* Send the op, then (after it is answered) a read, then commit. *)
-  RT.submit t tc (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "v" }));
+  submit t tc (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "v" }));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t rc Read ~payload:(Kv.encode_op (Kv.Get "k"));
+  submit t rc Read ~payload:(Kv.encode_op (Kv.Get "k"));
   RT.run_until t (RT.now t +. 50.0);
   Alcotest.(check (option string)) "uncommitted write invisible" None !seen;
-  RT.submit t tc (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t tc (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t rc Read ~payload:(Kv.encode_op (Kv.Get "k"));
+  submit t rc Read ~payload:(Kv.encode_op (Kv.Get "k"));
   RT.run_until t (RT.now t +. 50.0);
   Alcotest.(check (option string)) "committed write visible" (Some "v") !seen
 
@@ -137,12 +144,12 @@ let test_txn_conflict_first_committer_wins () =
   let c2, tid2 = add_txn_client 2 1 in
   (* Both transactions write the same key; they interleave so both branch
      from the same commit point. *)
-  RT.submit t c1 (Txn_op tid1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "c1" }));
-  RT.submit t c2 (Txn_op tid2) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "c2" }));
+  submit t c1 (Txn_op tid1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "c1" }));
+  submit t c2 (Txn_op tid2) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "c2" }));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t c1 (Txn_commit tid1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t c1 (Txn_commit tid1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t c2 (Txn_commit tid2) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t c2 (Txn_commit tid2) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 200.0);
   Alcotest.(check bool) "first commit ok" true
     (Hashtbl.find statuses (1, 2) = Ok);
@@ -161,12 +168,12 @@ let test_txn_disjoint_no_conflict () =
       ()
   in
   let c1 = mk 1 and c2 = mk 2 in
-  RT.submit t c1 (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "a"; value = "1" }));
-  RT.submit t c2 (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "b"; value = "2" }));
+  submit t c1 (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "a"; value = "1" }));
+  submit t c2 (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "b"; value = "2" }));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t c1 (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t c1 (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 50.0);
-  RT.submit t c2 (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t c2 (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 200.0);
   Alcotest.(check bool) "c1 commit ok" true (Hashtbl.find statuses (1, 2) = Ok);
   Alcotest.(check bool) "c2 commit ok (disjoint keys rebase)" true
@@ -184,12 +191,12 @@ let test_txn_leader_switch_aborts () =
   let c =
     RT.add_client t ~id:1 ~on_reply:(fun reply -> last_status := reply.status) ()
   in
-  RT.submit t c (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "v" }));
+  submit t c (Txn_op 1) ~payload:(Kv.encode_op (Kv.Put { key = "k"; value = "v" }));
   RT.run_until t (RT.now t +. 20.0);
   RT.crash_replica t 0;
   RT.run_until t (RT.now t +. 2_000.0);
   Alcotest.(check bool) "new leader elected" true (RT.leader t <> None && RT.leader t <> Some 0);
-  RT.submit t c (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
+  submit t c (Txn_commit 1) ~payload:(Wire.encode (fun e -> Wire.Encoder.uint e 1));
   RT.run_until t (RT.now t +. 2_000.0);
   Alcotest.(check bool) "commit aborted after switch" true (!last_status = Txn_aborted);
   Alcotest.(check (option string)) "no partial effect" None

@@ -105,7 +105,9 @@ let test_open_loop_light_load () =
     (Printf.sprintf "completions ~1000 (%d)" r.completed)
     true
     (r.completed > 800 && r.completed < 1200);
-  Alcotest.(check int) "no stragglers" 0 r.dropped;
+  Alcotest.(check int) "no drops" 0 r.dropped;
+  Alcotest.(check int) "no stragglers" 0 r.still_inflight;
+  Alcotest.(check int) "arrivals = completions" r.arrivals r.completed;
   let mean =
     Array.fold_left ( +. ) 0.0 r.latencies_ms /. Float.of_int (Array.length r.latencies_ms)
   in
