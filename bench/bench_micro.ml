@@ -15,6 +15,7 @@ let sample_request : Types.request =
     id = Ids.Request_id.make ~client:(Ids.Client_id.of_int 3) ~seq:17;
     rtype = Types.Write;
     payload = String.make 64 'p';
+    trace = Types.no_trace;
   }
 
 let sample_proposal : Types.proposal =

@@ -20,8 +20,10 @@ let run_figure ~quick ~id ~scenario ~client_counts ~total () =
   List.iter
     (fun clients ->
       let measure rtype =
-        let label = Format.asprintf "%a c=%d" pp_rtype rtype clients in
-        Experiment.throughput ~report:(id, label) ~scenario ~rtype ~clients ~total
+        (* The whole figure family lands in one BENCH_throughput.json;
+           the figure id is part of the config label. *)
+        let label = Format.asprintf "%s %a c=%d" id pp_rtype rtype clients in
+        Experiment.throughput ~report:("throughput", label) ~scenario ~rtype ~clients ~total
           ~trials ()
       in
       let read = measure Read in
@@ -34,6 +36,9 @@ let run_figure ~quick ~id ~scenario ~client_counts ~total () =
   print_string (T.render table)
 
 let run ~quick ~only =
+  (* [--only throughput] runs the whole figure family in one process, so
+     BENCH_throughput.json holds every figure's samples. *)
+  let only = if only = Some "throughput" then None else only in
   let maybe id title f =
     if only = None || only = Some id then begin
       Experiment.section (Printf.sprintf "%s — %s" id title);

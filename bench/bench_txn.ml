@@ -38,7 +38,8 @@ let run_table1 ~quick () =
         (fun reqs_per_txn ->
           let acc =
             Experiment.txn_rrt
-              ~report:("table1", Printf.sprintf "%s r=%d" (mode_name mode) reqs_per_txn)
+              ~report:
+                ("txn", Printf.sprintf "table1 %s r=%d" (mode_name mode) reqs_per_txn)
               ~scenario ~mode ~reqs_per_txn ~txns ~trials ()
           in
           T.add_row table
@@ -66,7 +67,7 @@ let run_fig9 ~quick ~id ~reqs_per_txn () =
     (fun clients ->
       let measure mode =
         Experiment.txn_throughput
-          ~report:(id, Printf.sprintf "%s c=%d" (mode_name mode) clients)
+          ~report:("txn", Printf.sprintf "%s %s c=%d" id (mode_name mode) clients)
           ~scenario ~mode ~reqs_per_txn ~clients ~txns_total ~trials ()
       in
       let rw = measure Experiment.Read_write in
@@ -97,7 +98,7 @@ let run_txn_wan ~quick () =
   List.iter
     (fun mode ->
       let acc =
-        Experiment.txn_rrt ~report:("txn-wan", mode_name mode) ~scenario ~mode
+        Experiment.txn_rrt ~report:("txn", "txn-wan " ^ mode_name mode) ~scenario ~mode
           ~reqs_per_txn:3 ~txns ~trials ()
       in
       T.add_row table
@@ -113,6 +114,9 @@ let run_txn_wan ~quick () =
      write-only 4*106.7 ~ 427 ms)."
 
 let run ~quick ~only =
+  (* [--only txn] runs the whole transaction family in one process, so
+     BENCH_txn.json holds every experiment's samples. *)
+  let only = if only = Some "txn" then None else only in
   let maybe id title f =
     if only = None || only = Some id then begin
       Experiment.section (Printf.sprintf "%s — %s" id title);

@@ -16,10 +16,12 @@ let experiments =
     ("fig6", "Sysnet throughput, 8–128 clients (Figure 6)");
     ("fig7", "Berkeley → Princeton throughput (Figure 7)");
     ("fig8", "WAN throughput (Figure 8)");
+    ("throughput", "Figures 5–8 in one pass (fills BENCH_throughput.json)");
     ("table1", "Transaction response time (Table 1)");
     ("fig9a", "Transaction throughput, 3 req/txn (Figure 9a)");
     ("fig9b", "Transaction throughput, 5 req/txn (Figure 9b)");
     ("txn-wan", "Transaction response time across the WAN (ours)");
+    ("txn", "Table 1 + Figures 9a/9b + txn-wan in one pass (fills BENCH_txn.json)");
     ("abl-leader-switch", "Leader-switch sensitivity (§3.6)");
     ("abl-state-size", "State size × shipping mode (§3.3)");
     ("abl-t2", "t=2 replicas and WAN variance (§4.3)");
@@ -28,6 +30,7 @@ let experiments =
     ("overload", "Goodput vs offered load under admission control (ours)");
     ("shard", "Aggregate throughput vs shard count (ours)");
     ("semi-passive", "Semi-passive replication baseline (§5, ours)");
+    ("obs", "Introspection plane overhead: tracing off vs on (ours)");
     ("micro", "Data-structure microbenchmarks");
   ]
 
@@ -52,6 +55,7 @@ let run_all ~quick ~only =
   Bench_overload.run ~quick ~only;
   Bench_shard.run ~quick ~only;
   Bench_semi_passive.run ~quick ~only;
+  Bench_obs.run ~quick ~only;
   Bench_micro.run ~quick ~only;
   print_newline ();
   Report.flush ()

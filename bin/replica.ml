@@ -41,6 +41,7 @@ let run id cluster service storage verbose =
       Tcp.start_replica ~cfg ~id ~port ~peers ?storage:(Option.map fst storage) ()
     in
     Printf.printf "replica %d (%s service) listening on port %d\n%!" id S.name port;
+    Printf.printf "  admin: http://127.0.0.1:%d/{health,metrics,flightrec}\n%!" port;
     (* Report role changes until interrupted. *)
     let last = ref false in
     while true do

@@ -4,7 +4,8 @@
    timeline of a single request.
 
      dune exec bin/tracestat.exe -- trace.jsonl
-     dune exec bin/tracestat.exe -- trace.jsonl --req 'c0#2' *)
+     dune exec bin/tracestat.exe -- trace.jsonl --req 'c0#2'
+     dune exec bin/tracestat.exe -- trace.jsonl --tree 'c0#2' *)
 
 open Cmdliner
 module Ids = Grid_util.Ids
@@ -37,6 +38,22 @@ let print_timeline events req =
     | Some b -> Format.printf "breakdown: %a@." Lifecycle.pp_breakdown b
     | None -> Format.printf "breakdown: incomplete (no client-side spans)@.")
 
+let print_tree events req =
+  match Lifecycle.trace_id_of events req with
+  | None ->
+    Format.printf "request %a: no traced spans (was the run recorded with \
+                   tracing on?)@."
+      Ids.Request_id.pp req;
+    exit 1
+  | Some tid -> (
+    match Lifecycle.trace_tree events ~tid with
+    | [] ->
+      Format.printf "trace %d: no spans@." tid;
+      exit 1
+    | roots ->
+      Format.printf "trace %d (%a):@.%a@." tid Ids.Request_id.pp req
+        Lifecycle.pp_tree roots)
+
 let print_report events slowest_n =
   let timelines = Lifecycle.timelines events in
   let completed = List.filter Lifecycle.completed timelines in
@@ -53,24 +70,28 @@ let print_report events slowest_n =
           Lifecycle.pp_breakdown b)
       slow;
     Format.printf "@]@.@.");
-  match Lifecycle.message_counts events with
+  (match Lifecycle.message_counts events with
   | [] -> ()
   | counts ->
     Format.printf "@[<v2>messages sent per actor:";
     List.iter
       (fun (actor, kind, n) -> Format.printf "@ %-6s %-14s %d" actor kind n)
       counts;
-    Format.printf "@]@."
+    Format.printf "@]@.");
+  match Lifecycle.tail_attribution events with
+  | [] -> ()
+  | attr -> Format.printf "@.%a@." Lifecycle.pp_attribution attr
 
-let run file req slowest_n =
+let run file req tree slowest_n =
   let events = Span.load_file file in
   if events = [] then begin
     Printf.eprintf "%s: no trace events\n" file;
     exit 1
   end;
-  match req with
-  | Some r -> print_timeline events r
-  | None -> print_report events slowest_n
+  match (req, tree) with
+  | _, Some r -> print_tree events r
+  | Some r, None -> print_timeline events r
+  | None, None -> print_report events slowest_n
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace dump.")
@@ -81,11 +102,24 @@ let req_arg =
     & opt (some req_conv) None
     & info [ "req" ] ~docv:"ID" ~doc:"Print the timeline of one request (e.g. c0#2).")
 
+let tree_arg =
+  Arg.(
+    value
+    & opt (some req_conv) None
+    & info [ "tree" ] ~docv:"ID"
+        ~doc:
+          "Print the stitched causal trace tree of one request (e.g. c0#2): \
+           every span sharing its trace id, parented router -> client -> \
+           leader -> followers. Requires a trace recorded with causal \
+           propagation (any traced run).")
+
 let slowest_arg =
   Arg.(value & opt int 10 & info [ "slowest" ] ~docv:"N" ~doc:"How many slow requests to list.")
 
 let cmd =
   let doc = "Analyze a request-lifecycle trace dump" in
-  Cmd.v (Cmd.info "grid-tracestat" ~doc) Term.(const run $ file_arg $ req_arg $ slowest_arg)
+  Cmd.v
+    (Cmd.info "grid-tracestat" ~doc)
+    Term.(const run $ file_arg $ req_arg $ tree_arg $ slowest_arg)
 
 let () = exit (Cmd.eval cmd)

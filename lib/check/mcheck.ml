@@ -132,6 +132,12 @@ type outcome = {
   reordered : int;
   drifted : int;  (** clock-drift injections that fired *)
   shed : int;  (** [Overloaded] replies the leaders pushed back *)
+  watchdog_violations : int;
+      (** online invariant checks ({!Grid_obs.Watchdog}) that fired inside
+          the replicas during the run — the runtime mirror of the offline
+          oracles above, asserted silent on green schedules *)
+  watchdog_detail : string list;
+      (** one line per violation, in firing order *)
 }
 
 let failed o =
@@ -183,6 +189,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     (* Lifecycle spans recorded by the replicas, timed on [vnow] — fully
        deterministic for a given seed, which the trace tests exploit. *)
     obs : Grid_obs.Span.Recorder.t;
+    (* Online invariant sink shared by every replica incarnation: the
+       runtime mirror of the offline oracles below. Green schedules keep
+       it silent; planted bugs (disable_dedup) fire it. *)
+    wd : Grid_obs.Watchdog.t;
   }
 
   let record sched ev = sched.plan_rev <- ev :: sched.plan_rev
@@ -304,7 +314,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     sched.ctls.(back).tear_rate <- 0.0;
     let r =
       R.create ~cfg:sched.cfg ~id:back ~seed:(sched.base_seed + back)
-        ~storage:sched.stores.(back) ~obs:sched.obs ()
+        ~storage:sched.stores.(back) ~obs:sched.obs ~watchdog:sched.wd ()
     in
     R.load r (sched.reads.(back) ());
     sched.replicas.(back) <- r;
@@ -517,6 +527,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       reads.(i) <- read;
       ctls.(i) <- ctl
     done;
+    let wd_detail = ref [] in
+    let wd =
+      Grid_obs.Watchdog.create
+        ~on_violation:(fun ~check ~detail ->
+          wd_detail := (check ^ ": " ^ detail) :: !wd_detail)
+        ()
+    in
     let sched =
       {
         rng;
@@ -524,7 +541,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         cfg;
         replicas =
           Array.init cfg.n (fun i ->
-              R.create ~cfg ~id:i ~seed:(seed + i) ~storage:stores.(i) ~obs ());
+              R.create ~cfg ~id:i ~seed:(seed + i) ~storage:stores.(i) ~obs
+                ~watchdog:wd ());
         down = Array.make cfg.n false;
         stores;
         reads;
@@ -546,6 +564,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         crashes = 0;
         shed = 0;
         obs;
+        wd;
       }
     in
     Array.iteri (fun i r -> exec_actions sched i (R.bootstrap r)) sched.replicas;
@@ -585,7 +604,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
             Hashtbl.replace per_client client q;
             q
         in
-        Queue.add { id; rtype; payload } q)
+        Queue.add { id; rtype; payload; trace = no_trace } q)
       requests;
     let absorb_replies () =
       List.iter
@@ -763,6 +782,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       reordered = count (function Reorder_at _ -> true | _ -> false);
       drifted = count (function Drift_at _ -> true | _ -> false);
       shed = sched.shed;
+      watchdog_violations = Grid_obs.Watchdog.violations sched.wd;
+      watchdog_detail = List.rev !wd_detail;
     }
 
   (* Typed request triple: the class comes from [S.classify] and the

@@ -113,6 +113,11 @@ type outcome = {
   shed : int;
       (** [Overloaded] replies leaders pushed back (0 unless the config
           bounds admission via [max_inflight]/[max_queue]) *)
+  watchdog_violations : int;
+      (** online invariant checks ({!Grid_obs.Watchdog}) that fired inside
+          the replicas during the run — the runtime mirror of the offline
+          oracles, asserted silent on green schedules *)
+  watchdog_detail : string list;  (** one line per violation, firing order *)
 }
 
 val failed : outcome -> bool

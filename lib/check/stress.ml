@@ -62,6 +62,9 @@ type summary = {
           [0.] when no schedule completed a request *)
   delivered : int;
   replies : int;
+  watchdog_violations : int;
+      (** online invariant checks that fired inside the replicas across the
+          batch — zero on green runs *)
 }
 
 let empty_summary =
@@ -79,6 +82,7 @@ let empty_summary =
     admitted_p99_max = 0.0;
     delivered = 0;
     replies = 0;
+    watchdog_violations = 0;
   }
 
 let admitted_p99 (o : Mcheck.outcome) =
@@ -101,6 +105,7 @@ let add_outcome summary (o : Mcheck.outcome) failure =
     admitted_p99_max = Float.max summary.admitted_p99_max (admitted_p99 o);
     delivered = summary.delivered + o.delivered;
     replies = summary.replies + List.length o.replies;
+    watchdog_violations = summary.watchdog_violations + o.watchdog_violations;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -269,8 +274,20 @@ module Harness (Spec : SPEC) = struct
         [ "non-linearizable client history" ]
       else []
     in
+    (* The online watchdogs mirror the offline oracles; a firing check on
+       a schedule the oracles also flag strengthens the diagnosis, and one
+       the oracles miss is a failure in its own right. *)
+    let watchdog =
+      if o.watchdog_violations = 0 then []
+      else
+        [
+          Printf.sprintf "watchdog: %d online violation(s): %s"
+            o.watchdog_violations
+            (String.concat "; " o.watchdog_detail);
+        ]
+    in
     agreement @ o.durability @ o.stale_reads @ o.lost_admitted @ bounded_latency
-    @ lin
+    @ lin @ watchdog
 
   (* Run one seeded schedule; on failure optionally shrink its fault plan
      to a minimal one that still fails (under deterministic replay with
@@ -407,4 +424,6 @@ let pp_summary ppf s =
     s.meta_dropped s.duplicated s.reordered s.drifted s.delivered s.replies;
   if s.shed > 0 then
     Format.fprintf ppf "@ overload: %d shed, admitted p99 <= %.1f ms" s.shed
-      s.admitted_p99_max
+      s.admitted_p99_max;
+  if s.watchdog_violations > 0 then
+    Format.fprintf ppf "@ watchdog: %d online violation(s)" s.watchdog_violations

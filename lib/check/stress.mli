@@ -61,6 +61,10 @@ type summary = {
           [0.] when no schedule completed a request *)
   delivered : int;
   replies : int;
+  watchdog_violations : int;
+      (** online invariant checks ({!Grid_obs.Watchdog}) that fired inside
+          the replicas across the batch; a non-zero count also surfaces as
+          a failure reason on the offending schedule *)
 }
 
 val admitted_p99 : Mcheck.outcome -> float

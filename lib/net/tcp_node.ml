@@ -54,6 +54,17 @@ let set_backoff_gauge meters peer ms =
   | Some g -> Metrics.set g ms
   | None -> ()
 
+(* Release the per-peer backoff gauges when the node stops: their names
+   embed peer ids, so a node restarted against a different peer set must
+   not inherit stale series from the previous incarnation. *)
+let release_meters meters =
+  Hashtbl.iter
+    (fun p _ ->
+      Metrics.unregister meters.registry
+        (Printf.sprintf "grid_net_backoff_ms_peer_%d" p))
+    meters.nm_backoff;
+  Hashtbl.reset meters.nm_backoff
+
 (* Reconnect backoff: a peer that refused a dial is not redialed before a
    delay that doubles per consecutive failure, from [backoff_base_ms] up
    to [backoff_cap_ms], with jitter so a restarted replica is not hit by
@@ -128,6 +139,24 @@ let enqueue_msg core src msg =
 let inject core thunk =
   with_lock core (fun () -> Queue.add thunk core.thunks);
   wake core
+
+(* Run [f] on the node's loop thread and wait for its result: engine
+   access is confined to that thread, so introspection (admin endpoint,
+   test accessors) synchronizes through the inbox. *)
+let run_on_loop core f =
+  let result = ref None in
+  let m = Mutex.create () and c = Condition.create () in
+  inject core (fun () ->
+      Mutex.lock m;
+      result := Some (f ());
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !result = None do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Option.get !result
 
 let register_conn core peer fd =
   with_lock core (fun () ->
@@ -277,6 +306,78 @@ let shutdown core =
       List.iter (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ()) core.conns)
 
 (* ------------------------------------------------------------------ *)
+(* Admin endpoint: a minimal HTTP/1.0 responder sharing the replica's
+   accept loop. A protocol connection opens with a hello frame whose
+   first bytes are a little-endian length (tiny, so never printable
+   ASCII); an HTTP request opens with a method name — peeking four bytes
+   disambiguates without consuming either. No HTTP library: one request
+   line in, one Content-Length response out, connection closed. *)
+
+let sniff_http fd =
+  let buf = Bytes.create 4 in
+  let rec peek attempts =
+    match Unix.recv fd buf 0 4 [ Unix.MSG_PEEK ] with
+    | 4 ->
+      let s = Bytes.to_string buf in
+      s = "GET " || s = "HEAD" || s = "POST"
+    | n when n > 0 && attempts > 0 ->
+      (* A slow client may not have the whole method on the wire yet;
+         decide on the first byte once retries run out. *)
+      Thread.delay 0.002;
+      peek (attempts - 1)
+    | n when n > 0 -> (
+      match Bytes.get buf 0 with 'G' | 'H' | 'P' -> true | _ -> false)
+    | _ -> false
+  in
+  try peek 25 with Unix.Unix_error _ -> false
+
+(* Read up to the end of the request line; headers and body (if any) are
+   irrelevant to the admin surface and left unread. *)
+let read_request_line fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > 4096 then Buffer.contents buf
+    else if Unix.read fd b 0 1 <> 1 then Buffer.contents buf
+    else
+      match Bytes.get b 0 with
+      | '\n' -> Buffer.contents buf
+      | '\r' -> go ()
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* One thread per admin request: parse the path, ask the node's [routes]
+   callback for a body, answer, close. *)
+let http_thread routes fd =
+  (try
+     let line = read_request_line fd in
+     let path =
+       match String.split_on_char ' ' line with
+       | _meth :: path :: _ -> path
+       | _ -> "/"
+     in
+     let response =
+       match routes path with
+       | Some (content_type, body) ->
+         http_response ~status:"200 OK" ~content_type body
+       | None ->
+         http_response ~status:"404 Not Found" ~content_type:"text/plain"
+           "not found\n"
+     in
+     ignore (Unix.write_substring fd response 0 (String.length response))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 module Make (S : Grid_paxos.Service_intf.S) = struct
   module R = Grid_paxos.Replica.Make (S)
@@ -285,33 +386,59 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   type replica_handle = {
     r_core : core;
     replica : R.t;
+    r_watchdog : Grid_obs.Watchdog.t;
     r_loop : Thread.t;
     r_accept : Thread.t;
     listener : Unix.file_descr;
   }
 
-  let acceptor core listener =
+  let acceptor ?routes core listener =
     try
       while not core.stop do
         let fd, _ = Unix.accept listener in
         Unix.setsockopt fd TCP_NODELAY true;
-        match Framing.read_hello fd with
-        | peer ->
-          register_conn core peer fd;
-          ignore (Thread.create (fun () -> reader_thread core peer fd) ())
-        | exception (Framing.Closed | Grid_codec.Wire.Decode_error _) -> (
-          try Unix.close fd with _ -> ())
+        match routes with
+        | Some routes when sniff_http fd ->
+          ignore (Thread.create (fun () -> http_thread routes fd) ())
+        | _ -> (
+          match Framing.read_hello fd with
+          | peer ->
+            register_conn core peer fd;
+            ignore (Thread.create (fun () -> reader_thread core peer fd) ())
+          | exception (Framing.Closed | Grid_codec.Wire.Decode_error _) -> (
+            try Unix.close fd with _ -> ()))
       done
     with Unix.Unix_error _ -> ()
 
-  let start_replica ~cfg ~id ~port ~peers ?storage ?obs ?backoff_base_ms
-      ?backoff_cap_ms () =
+  let start_replica ~cfg ~id ~port ~peers ?storage ?obs ?(flight_capacity = 2048)
+      ?backoff_base_ms ?backoff_cap_ms () =
     let actor = "r" ^ string_of_int id in
+    (* Flight recorder: unless the caller supplies a recorder, keep a
+       bounded always-on one — the last [flight_capacity] events are a
+       crash-scene record dumped by the admin endpoint, at ring-buffer
+       cost. *)
+    let obs =
+      match obs with
+      | Some o -> o
+      | None -> Span.Recorder.create ~capacity:flight_capacity ~enabled:true ()
+    in
     let core =
-      create_core ?obs ?backoff_base_ms ?backoff_cap_ms ~node_id:id ~actor
+      create_core ~obs ?backoff_base_ms ?backoff_cap_ms ~node_id:id ~actor
         ~addresses:peers ()
     in
-    let replica = R.create ~cfg ~id ?storage ?obs () in
+    (* Online invariant checks: counted in this node's registry and noted
+       into the flight recorder, so /metrics and /flightrec both carry the
+       violation story. *)
+    let watchdog =
+      Grid_obs.Watchdog.create
+        ~fail_stop:cfg.Grid_paxos.Config.watchdog_fail_stop
+        ~metrics:core.meters.registry
+        ~on_violation:(fun ~check ~detail ->
+          Span.Recorder.note obs ~time:(now_ms ()) ~actor
+            (Printf.sprintf "watchdog %s: %s" check detail))
+        ()
+    in
+    let replica = R.create ~cfg ~id ?storage ~obs ~actor ~watchdog () in
     let listener = Unix.socket PF_INET SOCK_STREAM 0 in
     Unix.setsockopt listener SO_REUSEADDR true;
     Unix.bind listener (ADDR_INET (Unix.inet_addr_loopback, port));
@@ -320,37 +447,54 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
        injected thunk. *)
     inject core (fun () -> run_actions core (R.bootstrap replica));
     let handle ~now input = R.handle replica ~now input in
+    let health () =
+      run_on_loop core (fun () ->
+          let now = now_ms () in
+          let b = R.ballot replica in
+          let shed_reads, shed_writes = R.stats_shed replica in
+          Printf.sprintf
+            {|{"node":%d,"role":"%s","ballot":{"round":%d,"holder":%d},"commit_point":%d,"holds_lease":%b,"queue_depth":%d,"reads_inflight":%d,"shed_reads":%d,"shed_writes":%d,"watchdog_violations":%d}|}
+            id
+            (if R.is_leader replica then "leader" else "follower")
+            b.Grid_paxos.Types.Ballot.round b.Grid_paxos.Types.Ballot.holder
+            (R.commit_point replica)
+            (R.holds_lease replica ~now)
+            (R.queue_depth replica) (R.reads_inflight replica) shed_reads
+            shed_writes
+            (Grid_obs.Watchdog.violations watchdog))
+    in
+    let routes path =
+      match path with
+      | "/metrics" ->
+        Some ("text/plain; version=0.0.4", Metrics.expose core.meters.registry)
+      | "/health" -> Some ("application/json", health () ^ "\n")
+      | "/flightrec" ->
+        Some
+          ( "application/jsonl",
+            Span.dump_string
+              (run_on_loop core (fun () -> Span.Recorder.events obs)) )
+      | _ -> None
+    in
     let r_loop = Thread.create (fun () -> event_loop core handle) () in
-    let r_accept = Thread.create (fun () -> acceptor core listener) () in
-    { r_core = core; replica; r_loop; r_accept; listener }
+    let r_accept = Thread.create (fun () -> acceptor ~routes core listener) () in
+    { r_core = core; replica; r_watchdog = watchdog; r_loop; r_accept; listener }
 
   (* Engine introspection must also run on the loop thread. *)
-  let on_loop h f =
-    let result = ref None in
-    let m = Mutex.create () and c = Condition.create () in
-    inject h.r_core (fun () ->
-        Mutex.lock m;
-        result := Some (f ());
-        Condition.signal c;
-        Mutex.unlock m);
-    Mutex.lock m;
-    while !result = None do
-      Condition.wait c m
-    done;
-    Mutex.unlock m;
-    Option.get !result
-
+  let on_loop h f = run_on_loop h.r_core f
   let replica_is_leader h = on_loop h (fun () -> R.is_leader h.replica)
   let replica_commit_point h = on_loop h (fun () -> R.commit_point h.replica)
   let replica_state h = on_loop h (fun () -> R.state h.replica)
   let replica_metrics h = h.r_core.meters.registry
+  let replica_obs h = h.r_core.obs
+  let replica_watchdog h = h.r_watchdog
 
   let stop_replica h =
     shutdown h.r_core;
     (try Unix.shutdown h.listener SHUTDOWN_ALL with _ -> ());
     (try Unix.close h.listener with _ -> ());
     (try Thread.join h.r_loop with _ -> ());
-    try Thread.join h.r_accept with _ -> ()
+    (try Thread.join h.r_accept with _ -> ());
+    release_meters h.r_core.meters
 
   type client_handle = {
     c_core : core;
@@ -434,5 +578,6 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
 
   let stop_client h =
     shutdown h.c_core;
-    try Thread.join h.c_loop with _ -> ()
+    (try Thread.join h.c_loop with _ -> ());
+    release_meters h.c_core.meters
 end

@@ -16,6 +16,17 @@
     registry exposes the live per-peer delay as
     [grid_net_backoff_ms_peer_<id>] gauges (0 = healthy).
 
+    Each replica's listening port doubles as a plaintext admin endpoint:
+    the accept loop peeks the first bytes of a new connection and routes
+    HTTP methods ([GET]/[HEAD]/[POST]) to a minimal HTTP/1.0 responder
+    instead of the protocol handshake. [GET /metrics] serves the node's
+    registry in Prometheus exposition format, [GET /health] a one-line
+    JSON summary (role, ballot, commit point, lease, admission queue
+    depths, watchdog violations), and [GET /flightrec] the node's bounded
+    always-on flight recorder as JSONL (readable back with
+    {!Grid_obs.Span.load_string}). No extra port, thread pool or
+    dependency: one short-lived thread per request.
+
     This is the backend for [bin/replica.exe] and [bin/client.exe], and
     for the loopback integration tests. The evaluation itself uses the
     simulator (DESIGN.md §2) — this module demonstrates that the engines
@@ -33,26 +44,44 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     peers:(int * Unix.sockaddr) list ->
     ?storage:Grid_paxos.Storage.t ->
     ?obs:Grid_obs.Span.Recorder.t ->
+    ?flight_capacity:int ->
     ?backoff_base_ms:float ->
     ?backoff_cap_ms:float ->
     unit ->
     replica_handle
   (** Bind [port], bootstrap the replica engine, and serve until
-      {!stop_replica}. [peers] maps the other replica ids to their
-      addresses. [obs] receives the engine's lifecycle spans and the
-      transport's message events, timed on the wall clock (ms since the
-      epoch). [backoff_base_ms]/[backoff_cap_ms] bound the reconnect
-      backoff toward dead peers (defaults 20/2000). *)
+      {!stop_replica}; the same port answers admin HTTP requests
+      ([/metrics], [/health], [/flightrec]). [peers] maps the other
+      replica ids to their addresses. [obs] receives the engine's
+      lifecycle spans and the transport's message events, timed on the
+      wall clock (ms since the epoch); when omitted, the node keeps its
+      own always-on flight recorder over the last [flight_capacity]
+      events (default 2048). The replica also reports to an online
+      invariant watchdog ({!Grid_obs.Watchdog}) whose counters live in
+      {!replica_metrics} and which honours
+      [cfg.watchdog_fail_stop]. [backoff_base_ms]/[backoff_cap_ms] bound
+      the reconnect backoff toward dead peers (defaults 20/2000). *)
 
   val replica_is_leader : replica_handle -> bool
   val replica_commit_point : replica_handle -> int
   val replica_state : replica_handle -> S.state
 
   val replica_metrics : replica_handle -> Grid_obs.Metrics.t
-  (** Transport counters for this node: messages sent/received, dial
-      attempts and failures, established connections. *)
+  (** This node's registry: transport counters (messages sent/received,
+      dial attempts and failures, established connections, per-peer
+      backoff) and the watchdog violation counters. Served by
+      [GET /metrics]. *)
+
+  val replica_obs : replica_handle -> Grid_obs.Span.Recorder.t
+  (** The node's span recorder (the flight recorder unless [obs] was
+      supplied). Served by [GET /flightrec]. *)
+
+  val replica_watchdog : replica_handle -> Grid_obs.Watchdog.t
+  (** The node's online invariant sink; zero on healthy runs. *)
 
   val stop_replica : replica_handle -> unit
+  (** Stop the loops, close the listener and connections, and release the
+      per-peer backoff gauges from the node's registry. *)
 
   type client_handle
 

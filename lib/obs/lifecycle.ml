@@ -199,6 +199,141 @@ let message_counts events =
          match String.compare a1 a2 with 0 -> String.compare k1 k2 | c -> c)
 
 (* ------------------------------------------------------------------ *)
+(* Stitched trace trees                                                 *)
+
+(* One causal trace = every span event sharing a trace id, across shard
+   and actor boundaries. Edges come from the recorded [parent] span ids;
+   when several events share a span id (a retry re-recording the same
+   actor/phase), children attach to the first occurrence. *)
+
+type tree = { event : Span.event; id : string; children : tree list }
+
+let span_tid (e : Span.event) =
+  match e.body with Span { tid; _ } when tid <> 0 -> Some tid | _ -> None
+
+(* The trace id of a request: from the first traced span carrying it. *)
+let trace_id_of events req =
+  List.find_map
+    (fun (e : Span.event) ->
+      match e.body with
+      | Span { req = r; tid; _ } when tid <> 0 && compare_req r req = 0 -> Some tid
+      | _ -> None)
+    events
+
+let trace_ids events =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match span_tid e with
+      | Some tid when not (Hashtbl.mem seen tid) ->
+        Hashtbl.replace seen tid ();
+        order := tid :: !order
+      | _ -> ())
+    events;
+  List.rev !order
+
+let trace_tree events ~tid =
+  let spans =
+    List.filter (fun e -> span_tid e = Some tid) events
+    |> List.stable_sort (fun (a : Span.event) b -> Float.compare a.time b.time)
+    |> Array.of_list
+  in
+  let id_of i =
+    match spans.(i).body with
+    | Span { phase; _ } -> Span.span_id ~actor:spans.(i).actor phase
+    | _ -> assert false
+  in
+  let parent_of i =
+    match spans.(i).body with Span { parent; _ } -> parent | _ -> assert false
+  in
+  let first = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ -> if not (Hashtbl.mem first (id_of i)) then Hashtbl.add first (id_of i) i)
+    spans;
+  let children = Array.make (Array.length spans) [] in
+  let roots = ref [] in
+  (* Walk in reverse so the child lists come out in time order. *)
+  for i = Array.length spans - 1 downto 0 do
+    let p = parent_of i in
+    match (if p = "" then None else Hashtbl.find_opt first p) with
+    | Some pi when pi <> i -> children.(pi) <- i :: children.(pi)
+    | _ -> roots := i :: !roots
+  done;
+  let rec build i =
+    { event = spans.(i); id = id_of i; children = List.map build children.(i) }
+  in
+  List.map build !roots
+
+(* ------------------------------------------------------------------ *)
+(* Tail attribution                                                     *)
+
+(* Which inter-phase segment dominates tail latency, per protocol class:
+   over the completed requests whose total latency is at or above the
+   [pct] percentile, the mean duration of each consecutive phase-to-phase
+   segment (first-occurrence times, time-sorted), largest first. *)
+
+type attribution = {
+  a_protocol : protocol;
+  a_count : int;  (** completed requests of this class *)
+  a_tail : int;  (** requests at/above the threshold *)
+  a_threshold : float;  (** the [pct] percentile of total latency, ms *)
+  a_segments : (string * float) list;  (** segment -> mean ms over the tail *)
+}
+
+let tail_attribution ?(pct = 99.0) events =
+  let tls = timelines events in
+  List.filter_map
+    (fun proto ->
+      let completed =
+        List.filter_map
+          (fun (tl : timeline) ->
+            if tl.protocol <> proto then None
+            else Option.map (fun b -> (tl, b.total)) (breakdown tl))
+          tls
+      in
+      match completed with
+      | [] -> None
+      | _ ->
+        let totals = Array.of_list (List.map snd completed) in
+        let threshold = Grid_util.Stats.percentile totals pct in
+        let tail = List.filter (fun (_, t) -> t >= threshold) completed in
+        let sums = Hashtbl.create 8 in
+        List.iter
+          (fun ((tl : timeline), _) ->
+            let pts =
+              List.stable_sort
+                (fun (_, a) (_, b) -> Float.compare a b)
+                tl.phases
+            in
+            let rec segs = function
+              | (pa, ta) :: ((pb, tb) :: _ as rest) ->
+                let key = Span.phase_name pa ^ "->" ^ Span.phase_name pb in
+                let s, n =
+                  Option.value ~default:(0.0, 0) (Hashtbl.find_opt sums key)
+                in
+                Hashtbl.replace sums key (s +. (tb -. ta), n + 1);
+                segs rest
+              | _ -> ()
+            in
+            segs pts)
+          tail;
+        let segments =
+          Hashtbl.fold (fun k (s, n) acc -> (k, s /. Float.of_int n) :: acc) sums []
+          |> List.sort (fun (ka, a) (kb, b) ->
+                 match Float.compare b a with 0 -> String.compare ka kb | c -> c)
+        in
+        Some
+          {
+            a_protocol = proto;
+            a_count = List.length completed;
+            a_tail = List.length tail;
+            a_threshold = threshold;
+            a_segments = segments;
+          })
+    protocol_order
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
 let pp_breakdown ppf b =
@@ -235,3 +370,29 @@ let pp_phase_stats ppf stats =
         (cell s.mean_m_wan) (cell s.mean_exec) (cell s.mean_m_lan2)
         (cell s.mean_total))
     stats
+
+let pp_tree ppf roots =
+  let rec go depth node =
+    (match node.event.body with
+    | Span.Span { req; phase; instance; detail; _ } ->
+      Format.fprintf ppf "%s+%9.3f %-22s %a %s%s%s@." (String.make (2 * depth) ' ')
+        node.event.time
+        (node.event.actor ^ ":" ^ Span.phase_name phase)
+        Ids.Request_id.pp req
+        (if instance >= 0 then Printf.sprintf "i=%d " instance else "")
+        (if detail = "" then "" else detail ^ " ")
+        ""
+    | _ -> ());
+    List.iter (go (depth + 1)) node.children
+  in
+  List.iter (go 0) roots
+
+let pp_attribution ppf attrs =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-14s n=%d tail(>=p)=%d threshold=%.3f ms@."
+        (protocol_name a.a_protocol) a.a_count a.a_tail a.a_threshold;
+      List.iter
+        (fun (seg, mean) -> Format.fprintf ppf "    %-30s %10.3f ms@." seg mean)
+        a.a_segments)
+    attrs

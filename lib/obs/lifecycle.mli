@@ -63,6 +63,44 @@ val slowest : ?n:int -> Span.event list -> (timeline * breakdown) list
 val message_counts : Span.event list -> (string * string * int) list
 (** [(actor, msg kind, count)] triples, sorted by actor then kind. *)
 
+(** {1 Stitched trace trees}
+
+    One causal trace = every span event sharing a nonzero trace id,
+    across shard/actor boundaries; edges come from the recorded
+    [parent] span ids. *)
+
+type tree = { event : Span.event; id : string; children : tree list }
+
+val trace_id_of : Span.event list -> Ids.Request_id.t -> int option
+(** The trace id of a request, from its first traced span. *)
+
+val trace_ids : Span.event list -> int list
+(** Every distinct nonzero trace id, in order of first appearance. *)
+
+val trace_tree : Span.event list -> tid:int -> tree list
+(** The stitched tree(s) of one trace: spans time-sorted, children
+    attached to the first event bearing their parent's span id; spans
+    whose parent is empty or unresolvable become roots. *)
+
+(** {1 Tail attribution} *)
+
+type attribution = {
+  a_protocol : protocol;
+  a_count : int;  (** completed requests of this class *)
+  a_tail : int;  (** requests at/above the threshold *)
+  a_threshold : float;  (** the [pct] percentile of total latency, ms *)
+  a_segments : (string * float) list;
+      (** consecutive phase-to-phase segment -> mean duration (ms) over
+          the tail requests, largest first *)
+}
+
+val tail_attribution : ?pct:float -> Span.event list -> attribution list
+(** Which segment dominates tail latency per protocol class: over the
+    completed requests whose total latency is at or above the [pct]
+    (default 99) percentile for their class. *)
+
 val pp_breakdown : Format.formatter -> breakdown -> unit
 val pp_timeline : Format.formatter -> timeline -> unit
 val pp_phase_stats : Format.formatter -> phase_stats list -> unit
+val pp_tree : Format.formatter -> tree list -> unit
+val pp_attribution : Format.formatter -> attribution list -> unit

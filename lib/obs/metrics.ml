@@ -23,6 +23,13 @@ let register t name ~help metric =
     invalid_arg (Printf.sprintf "Metrics: duplicate metric %s" name);
   Hashtbl.replace t.tbl name (help, metric)
 
+(* Removing a metric frees its name for re-registration; handles already
+   held keep working but no longer feed the exposition. A shutting-down
+   component (e.g. a TCP node's per-peer backoff gauges) must unregister
+   what it registered, or restarts accumulate dead series. *)
+let unregister t name = Hashtbl.remove t.tbl name
+let mem t name = Hashtbl.mem t.tbl name
+
 let counter t name ~help =
   let c = { count = 0 } in
   register t name ~help (Counter c);

@@ -18,6 +18,14 @@ val counter : t -> string -> help:string -> counter
     [Invalid_argument] on a duplicate name. *)
 
 val gauge : t -> string -> help:string -> gauge
+
+val unregister : t -> string -> unit
+(** Remove a metric by name (no-op if absent). The name becomes free for
+    re-registration; a handle already held keeps working but stops
+    appearing in {!expose}/{!to_json}. Components that register metrics
+    dynamically (per-peer gauges) must unregister them on shutdown. *)
+
+val mem : t -> string -> bool
 val histogram :
   t -> string -> help:string -> lo:float -> hi:float -> bins:int -> Grid_util.Stats.Histogram.h
 (** Log-scale histogram over [\[lo, hi)] (see

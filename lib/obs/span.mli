@@ -12,6 +12,7 @@
 module Ids := Grid_util.Ids
 
 type phase =
+  | Route  (** the shard router resolved the owning group (trace root) *)
   | Client_send  (** client hands the request to the network *)
   | Leader_receive  (** leader engine first sees the request *)
   | Propose  (** leader starts the accept round for an instance *)
@@ -32,14 +33,28 @@ val phase_of_name : string -> phase option
 val pp_phase : Format.formatter -> phase -> unit
 
 type body =
-  | Span of { req : Ids.Request_id.t; phase : phase; instance : int; detail : string }
+  | Span of {
+      req : Ids.Request_id.t;
+      phase : phase;
+      instance : int;
+      detail : string;
+      tid : int;
+      parent : string;
+    }
       (** [instance = -1] when not tied to a consensus instance;
           [detail = ""] unless the site attaches a label (the request
-          type at [Leader_receive], the executing replica at [Apply]). *)
+          type at [Leader_receive], the executing replica at [Apply]).
+          [tid] is the causal trace id shared by every span of one
+          end-to-end request ([0] = untraced); [parent] is the
+          {!span_id} of the causally preceding span ([""] = root). *)
   | Msg of { kind : string; dst : int }
   | Note of string
 
 type event = { time : float; actor : string; body : body }
+
+val span_id : actor:string -> phase -> string
+(** [actor ^ ":" ^ phase_name phase] — the id another span's [parent]
+    field uses to point at this span. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -56,6 +71,8 @@ module Recorder : sig
   val enabled : t -> bool
 
   val span :
+    ?tid:int ->
+    ?parent:string ->
     t ->
     time:float ->
     actor:string ->
@@ -64,6 +81,7 @@ module Recorder : sig
     detail:string ->
     phase ->
     unit
+  (** [tid] defaults to [0] (untraced), [parent] to [""] (root). *)
 
   val msg : t -> time:float -> actor:string -> kind:string -> dst:int -> unit
   val note : t -> time:float -> actor:string -> string -> unit

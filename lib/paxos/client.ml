@@ -20,11 +20,18 @@ type t = {
   mutable backoff_until : float;
   obs : Span.Recorder.t;
   actor : string;  (* precomputed "c<id>" so recording allocates nothing *)
+  sid_send : string;  (* precomputed own client_send span id *)
 }
 
-let create ~id ~replicas ?(retry_ms = 500.0) ?seed ?(obs = Span.Recorder.disabled) () =
+let create ~id ~replicas ?(retry_ms = 500.0) ?seed ?(obs = Span.Recorder.disabled)
+    ?actor () =
   if replicas = [] then invalid_arg "Client.create: no replicas";
   let seed = match seed with Some s -> s | None -> 0xC11E47 + Ids.Client_id.to_int id in
+  let actor =
+    match actor with
+    | Some a -> a
+    | None -> "c" ^ string_of_int (Ids.Client_id.to_int id)
+  in
   {
     cid = id;
     replicas;
@@ -38,7 +45,8 @@ let create ~id ~replicas ?(retry_ms = 500.0) ?seed ?(obs = Span.Recorder.disable
     backoff_attempts = 0;
     backoff_until = neg_infinity;
     obs;
-    actor = "c" ^ string_of_int (Ids.Client_id.to_int id);
+    actor;
+    sid_send = Span.span_id ~actor Span.Client_send;
   }
 
 (* Retransmission intervals are jittered ±25% so retries cannot phase-lock
@@ -66,20 +74,37 @@ let backoff_until t = t.backoff_until
 let broadcast t (r : request) =
   List.map (fun dst -> send ~dst (Client_req r)) t.replicas
 
-let submit t ?(now = 0.0) rtype ~payload =
+(* Trace context: an explicit [trace] (from the shard router) wins;
+   otherwise, when recording is on, derive a deterministic trace id from
+   (client, seq) so standalone runs also stitch. The request carries our
+   [Client_send] span id as parent, so leader-side spans hang under it. *)
+let submit t ?(now = 0.0) ?trace rtype ~payload =
   match t.pending with
   | Some _ -> `Busy
   | None ->
     t.seq <- t.seq + 1;
+    let tid, parent =
+      match trace with
+      | Some (tid, parent) -> (tid, parent)
+      | None ->
+        if Span.Recorder.enabled t.obs then
+          ((Ids.Client_id.to_int t.cid * 1_000_000) + t.seq, "")
+        else (0, "")
+    in
     let r =
-      { id = Ids.Request_id.make ~client:t.cid ~seq:t.seq; rtype; payload }
+      {
+        id = Ids.Request_id.make ~client:t.cid ~seq:t.seq;
+        rtype;
+        payload;
+        trace = (if tid = 0 then no_trace else { tid; parent = t.sid_send });
+      }
     in
     t.pending <- Some r;
     t.sent <- t.sent + 1;
     t.backoff_attempts <- 0;
     t.backoff_until <- neg_infinity;
-    Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:r.id ~instance:(-1)
-      ~detail:"" Span.Client_send;
+    Span.Recorder.span ~tid ~parent t.obs ~time:now ~actor:t.actor ~req:r.id
+      ~instance:(-1) ~detail:"" Span.Client_send;
     `Sent (broadcast t r @ [ after ~delay:(retry_delay t) (Client_retry t.seq) ])
 
 let handle t ~now input =
@@ -118,15 +143,16 @@ let handle t ~now input =
           backoff_delay t ~retry_after_ms ~attempt:t.backoff_attempts
         in
         t.backoff_until <- now +. delay;
-        Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:reply.req
-          ~instance:(-1) ~detail:"overloaded" Span.Reply;
+        Span.Recorder.span ~tid:r.trace.tid ~parent:t.sid_send t.obs ~time:now
+          ~actor:t.actor ~req:reply.req ~instance:(-1) ~detail:"overloaded"
+          Span.Reply;
         ([ after ~delay (Client_retry r.id.seq) ], None)
       | Ok | Txn_aborted | Txn_conflict ->
         t.pending <- None;
         t.backoff_attempts <- 0;
         t.backoff_until <- neg_infinity;
-        Span.Recorder.span t.obs ~time:now ~actor:t.actor ~req:reply.req ~instance:(-1)
-          ~detail:"" Span.Reply;
+        Span.Recorder.span ~tid:r.trace.tid ~parent:t.sid_send t.obs ~time:now
+          ~actor:t.actor ~req:reply.req ~instance:(-1) ~detail:"" Span.Reply;
         ([], Some reply))
     | _ -> ([], None) (* duplicate or stale reply *))
   | Receive _ -> ([], None)

@@ -15,12 +15,15 @@ val create :
   ?retry_ms:float ->
   ?seed:int ->
   ?obs:Grid_obs.Span.Recorder.t ->
+  ?actor:string ->
   unit ->
   t
 (** [retry_ms] defaults to 500; actual retransmission delays are jittered
     ±25% (seeded by [seed], default derived from [id]) so that retries
     cannot phase-lock with periodic failures. [obs] receives
-    [Client_send]/[Reply] lifecycle spans (default: disabled recorder). *)
+    [Client_send]/[Reply] lifecycle spans (default: disabled recorder).
+    [actor] labels those spans (default ["c<id>"]; the sharded runtime
+    prefixes ["s<k>/"]). *)
 
 val id : t -> Grid_util.Ids.Client_id.t
 val node : t -> int
@@ -29,6 +32,7 @@ val node : t -> int
 val submit :
   t ->
   ?now:float ->
+  ?trace:int * string ->
   Types.rtype ->
   payload:string ->
   [ `Busy | `Sent of Types.action list ]
@@ -36,7 +40,12 @@ val submit :
     outstanding request — so [`Busy] is returned when one is already
     pending. [`Sent] carries the broadcast and the retransmission timer
     for the driver to interpret. [now] (default 0) timestamps the
-    [Client_send] span; pass the driver clock when tracing. *)
+    [Client_send] span; pass the driver clock when tracing.
+
+    [trace] is [(tid, parent)] from an upstream span (the shard router):
+    the [Client_send] span parents under it and the request carries the
+    trace onward. Without it, a deterministic trace id is derived from
+    (client id, seq) when recording is enabled. *)
 
 val handle : t -> now:float -> Types.input -> Types.action list * Types.reply option
 (** Feed a reply or timer. The returned reply is [Some] exactly when it

@@ -3,6 +3,7 @@ module Rng = Grid_util.Rng
 module Bitset = Grid_util.Bitset
 module Ids = Grid_util.Ids
 module Span = Grid_obs.Span
+module Watchdog = Grid_obs.Watchdog
 
 (* Constant labels attached to [Leader_receive] spans; returning string
    literals keeps the instrumented path allocation-free. *)
@@ -32,6 +33,8 @@ module Make (S : Service_intf.S) = struct
     mutable pr_leased : bool;
         (* dispatched on the lease fast path; reverts to the confirm
            path if the lease lapses before execution finishes *)
+    pr_watermark : int;  (* commit point at admission *)
+    mutable pr_exec_point : int;  (* commit point the read executed at *)
   }
 
   (* A leader-local transaction branch (T-Paxos). [tx_ops] and
@@ -127,10 +130,16 @@ module Make (S : Service_intf.S) = struct
        label, so the disabled path costs one branch and no allocation *)
     obs : Span.Recorder.t;
     actor : string;
+    sid_receive : string;
+        (* precomputed [Leader_receive] span id: downstream spans of a
+           traced request parent under this replica's receive span *)
+    wd : Watchdog.monitor;  (* runtime invariant checks; one-branch when off *)
   }
 
-  let create ~cfg ~id ?(storage = Storage.null ()) ?seed ?(obs = Span.Recorder.disabled) () =
+  let create ~cfg ~id ?(storage = Storage.null ()) ?seed ?(obs = Span.Recorder.disabled)
+      ?actor ?(watchdog = Watchdog.disabled) () =
     let seed = match seed with Some s -> s | None -> 0x5eed + id in
+    let actor = match actor with Some a -> a | None -> "r" ^ string_of_int id in
     {
       cfg;
       rid = id;
@@ -157,7 +166,9 @@ module Make (S : Service_intf.S) = struct
       shed_reads = 0;
       shed_writes = 0;
       obs;
-      actor = "r" ^ string_of_int id;
+      actor;
+      sid_receive = Span.span_id ~actor Span.Leader_receive;
+      wd = Watchdog.monitor watchdog ~actor;
     }
 
   (* Record one span for every request of a proposal (e.g. all members of
@@ -166,8 +177,8 @@ module Make (S : Service_intf.S) = struct
     if Span.Recorder.enabled t.obs then
       List.iter
         (fun (r : request) ->
-          Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance
-            ~detail:"" phase)
+          Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+            ~actor:t.actor ~req:r.id ~instance ~detail:"" phase)
         requests
 
   let id t = t.rid
@@ -244,6 +255,18 @@ module Make (S : Service_intf.S) = struct
   let lease_granted_to t ~now =
     if t.cfg.lease_ms > 0.0 && now < t.lease_until then Some t.lease_holder else None
 
+  (* How long the current grant quorum lasts with no further renewals:
+     the quorum-th largest grant expiry, counting the leader itself as
+     unexpiring. This is the window the lease mutual-exclusion watchdog
+     treats as "claimed" when a lease-local read is served. *)
+  let lease_horizon t (l : leadership) =
+    let es =
+      Array.to_list
+        (Array.mapi (fun i e -> if i = t.rid then infinity else e) l.l_grants)
+    in
+    match List.sort (fun a b -> Float.compare b a) es with
+    | sorted -> ( try List.nth sorted (quorum t - 1) with _ -> neg_infinity)
+
   (* ------------------------------------------------------------------ *)
   (* Snapshots, dedup, commit bookkeeping                                *)
 
@@ -270,6 +293,15 @@ module Make (S : Service_intf.S) = struct
 
   let record_commit_bookkeeping t ~instance (p : proposal) =
     List.iter (dedup_update t) p.replies;
+    (* Dup-commit watchdog: a (client, seq) must never commit at two
+       different instances — that is exactly the bug the dedup table
+       prevents and [disable_dedup] plants. *)
+    List.iter
+      (fun (r : request) ->
+        Watchdog.record_commit t.wd
+          ~client:(Ids.Client_id.to_int r.id.client)
+          ~seq:r.id.seq ~instance)
+      p.requests;
     (* Footprints for T-Paxos conflict detection: derived from the ops. *)
     let footprint =
       List.concat_map
@@ -433,6 +465,17 @@ module Make (S : Service_intf.S) = struct
       fl.fl_proposal.requests;
     l.l_phase <- None;
     span_requests t Span.Commit ~instance:fl.fl_instance fl.fl_proposal.requests;
+    (* Lost-ack watchdog: every Ok reply released here must correspond to
+       a commit just recorded above. *)
+    List.iter
+      (fun (r : reply) ->
+        match r.status with
+        | Ok ->
+          Watchdog.write_acked t.wd
+            ~client:(Ids.Client_id.to_int r.req.client)
+            ~seq:r.req.seq
+        | _ -> ())
+      fl.fl_to_send;
     broadcast t (Commit { ballot = l.l_ballot; instance = fl.fl_instance })
     @ reply_actions fl.fl_to_send
     @ pump t
@@ -559,6 +602,8 @@ module Make (S : Service_intf.S) = struct
           pr_exec_done = false;
           pr_result = "";
           pr_leased = holds_lease t ~now:t.now;
+          pr_watermark = Plog.commit_point t.log;
+          pr_exec_point = -1;
         }
       in
       Hashtbl.replace l.l_reads r.id pr;
@@ -727,16 +772,17 @@ module Make (S : Service_intf.S) = struct
         (* Reads must not change state; the post-state is discarded. *)
         pr.pr_exec_done <- true;
         pr.pr_result <- S.encode_result outcome.result;
-        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-          ~detail:"" Span.Apply;
+        pr.pr_exec_point <- Plog.commit_point t.log;
+        Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+          ~actor:t.actor ~req:r.id ~instance:(-1) ~detail:"" Span.Apply;
         check_read_ready t l pr)
     | Exec_original r ->
       (* Unreplicated baseline: execute and answer with no coordination. *)
       let op = S.decode_op r.payload in
       let outcome = S.apply ~rng:t.rng ~now:t.now t.app_state op in
       t.app_state <- outcome.state;
-      Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-        ~detail:"" Span.Apply;
+      Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+        ~actor:t.actor ~req:r.id ~instance:(-1) ~detail:"" Span.Apply;
       reply_actions [ { req = r.id; status = Ok; payload = S.encode_result outcome.result } ]
     | Exec_txn_op r -> (
       match r.rtype with
@@ -765,8 +811,8 @@ module Make (S : Service_intf.S) = struct
         List.iter (fun k -> Hashtbl.replace txn.tx_footprint k ()) (S.footprint op);
         let reply = { req = r.id; status = Ok; payload = S.encode_result outcome.result } in
         txn.tx_replies <- reply :: txn.tx_replies;
-        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-          ~detail:"" Span.Apply;
+        Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+          ~actor:t.actor ~req:r.id ~instance:(-1) ~detail:"" Span.Apply;
         reply_actions [ reply ]
       | _ -> [])
 
@@ -776,8 +822,15 @@ module Make (S : Service_intf.S) = struct
       (* Lease fast path: execution alone completes the read — no
          confirm round, zero protocol messages. *)
       Hashtbl.remove l.l_reads pr.pr_request.id;
-      Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:pr.pr_request.id
-        ~instance:(-1) ~detail:"" Span.Lease_local;
+      Span.Recorder.span ~tid:pr.pr_request.trace.tid ~parent:pr.pr_request.trace.parent
+        t.obs ~time:t.now ~actor:t.actor ~req:pr.pr_request.id ~instance:(-1) ~detail:""
+        Span.Lease_local;
+      Watchdog.lease_claimed t.wd ~now:t.now ~until:(lease_horizon t l)
+        ~slack_ms:(2.0 *. t.cfg.clock_skew_bound_ms);
+      Watchdog.read_replied t.wd
+        ~client:(Ids.Client_id.to_int pr.pr_request.id.client)
+        ~seq:pr.pr_request.id.seq ~watermark:pr.pr_watermark
+        ~exec_point:pr.pr_exec_point;
       reply_actions [ { req = pr.pr_request.id; status = Ok; payload = pr.pr_result } ]
     end
     else begin
@@ -788,6 +841,10 @@ module Make (S : Service_intf.S) = struct
       if pr.pr_leased then pr.pr_leased <- false;
       if Bitset.cardinal pr.pr_confirms >= quorum t then begin
         Hashtbl.remove l.l_reads pr.pr_request.id;
+        Watchdog.read_replied t.wd
+          ~client:(Ids.Client_id.to_int pr.pr_request.id.client)
+          ~seq:pr.pr_request.id.seq ~watermark:pr.pr_watermark
+          ~exec_point:pr.pr_exec_point;
         reply_actions [ { req = pr.pr_request.id; status = Ok; payload = pr.pr_result } ]
       end
       else []
@@ -814,8 +871,8 @@ module Make (S : Service_intf.S) = struct
     (match r.rtype with
     | Read -> t.shed_reads <- t.shed_reads + 1
     | _ -> t.shed_writes <- t.shed_writes + 1);
-    Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-      ~detail:"shed" Span.Leader_receive;
+    Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+      ~actor:t.actor ~req:r.id ~instance:(-1) ~detail:"shed" Span.Leader_receive;
     reply_actions
       [
         {
@@ -840,8 +897,15 @@ module Make (S : Service_intf.S) = struct
       | Read when holds_lease t ~now:t.now -> "read_leased"
       | _ -> rtype_label r.rtype
     in
-    Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id ~instance:(-1)
-      ~detail Span.Leader_receive;
+    Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+      ~actor:t.actor ~req:r.id ~instance:(-1) ~detail Span.Leader_receive;
+    (* Hop boundary: everything downstream of this receive — propose,
+       apply, commit, the followers' state-ship spans — parents under it,
+       so the stitched tree shows client -> leader -> quorum edges. *)
+    let r =
+      if r.trace.tid = 0 then r
+      else { r with trace = { r.trace with parent = t.sid_receive } }
+    in
     match r.rtype with
     | Read ->
       (* A retransmission of a read we already hold is not re-admitted
@@ -859,8 +923,9 @@ module Make (S : Service_intf.S) = struct
            our state may be missing writes the old leader answered, so
            executing this read now could travel back in time. It holds
            its admission slot and runs when recovery commits. *)
-        Span.Recorder.span t.obs ~time:t.now ~actor:t.actor ~req:r.id
-          ~instance:(-1) ~detail:"read_deferred" Span.Leader_receive;
+        Span.Recorder.span ~tid:r.trace.tid ~parent:r.trace.parent t.obs ~time:t.now
+          ~actor:t.actor ~req:r.id ~instance:(-1) ~detail:"read_deferred"
+          Span.Leader_receive;
         l.l_deferred_reads <- r :: l.l_deferred_reads;
         []
       end
@@ -1401,6 +1466,15 @@ module Make (S : Service_intf.S) = struct
              snapshot carries dedup state only up to its own commit
              point; the replayed suffix must contribute its share. *)
           List.iter (dedup_update t) entry.proposal.replies;
+          (* Seed (not check) the watchdog: these commits were validated
+             by the previous incarnation, and the re-seeded table is what
+             lets a later re-delivery of the same instance pass. *)
+          List.iter
+            (fun (r : request) ->
+              Watchdog.seed_commit t.wd
+                ~client:(Ids.Client_id.to_int r.id.client)
+                ~seq:r.id.seq ~instance:i)
+            entry.proposal.requests;
           if t.cfg.record_history then
             t.history <-
               (i, entry.proposal.requests, S.encode_state t.app_state) :: t.history;

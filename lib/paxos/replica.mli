@@ -54,12 +54,19 @@ module Make (S : Service_intf.S) : sig
     ?storage:Storage.t ->
     ?seed:int ->
     ?obs:Grid_obs.Span.Recorder.t ->
+    ?actor:string ->
+    ?watchdog:Grid_obs.Watchdog.t ->
     unit ->
     t
   (** [seed] initializes the replica-local RNG handed to the service
       (defaults to a function of [id]). [obs] receives request-lifecycle
       spans ({!Grid_obs.Span.phase}); defaults to the shared disabled
-      recorder, in which case instrumentation costs one branch per site. *)
+      recorder, in which case instrumentation costs one branch per site.
+      [actor] overrides the span label (default ["r<id>"]; sharded
+      runtimes pass ["s<g>/r<id>"]). [watchdog] is the shared sink the
+      replica's online invariant checks (duplicate commit, lost ack,
+      stale read, lease mutual exclusion) report to; defaults to the
+      disabled sink, one branch per check. *)
 
   val bootstrap : t -> Types.action list
   (** Initial timers (heartbeat and suspicion ticks). Call once before

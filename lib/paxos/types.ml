@@ -95,9 +95,23 @@ let decode_rtype d =
   | 5 -> Txn_abort (Wire.Decoder.uint d)
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad rtype %d" n })
 
+(** Causal trace context carried inside the request as it crosses
+    process boundaries: the trace id shared by every span of one
+    end-to-end request, and the span id of the sender-side span the next
+    hop should parent its spans under. [no_trace] for untraced traffic —
+    the hot paths branch on [tid = 0] and touch nothing else. *)
+type trace_ctx = { tid : int; parent : string }
+
+let no_trace = { tid = 0; parent = "" }
+
 (** A client request. [payload] is the service operation, already encoded
     by the service codec; the replication layer never interprets it. *)
-type request = { id : Ids.Request_id.t; rtype : rtype; payload : string }
+type request = {
+  id : Ids.Request_id.t;
+  rtype : rtype;
+  payload : string;
+  trace : trace_ctx;
+}
 
 let pp_request ppf r =
   Format.fprintf ppf "%a:%a(%d bytes)" Ids.Request_id.pp r.id pp_rtype r.rtype
@@ -107,14 +121,18 @@ let encode_request e (r : request) =
   Wire.Encoder.uint e (Ids.Client_id.to_int r.id.client);
   Wire.Encoder.uint e r.id.seq;
   encode_rtype e r.rtype;
-  Wire.Encoder.string e r.payload
+  Wire.Encoder.string e r.payload;
+  Wire.Encoder.uint e r.trace.tid;
+  Wire.Encoder.string e r.trace.parent
 
 let decode_request d : request =
   let client = Ids.Client_id.of_int (Wire.Decoder.uint d) in
   let seq = Wire.Decoder.uint d in
   let rtype = decode_rtype d in
   let payload = Wire.Decoder.string d in
-  { id = Ids.Request_id.make ~client ~seq; rtype; payload }
+  let tid = Wire.Decoder.uint d in
+  let parent = Wire.Decoder.string d in
+  { id = Ids.Request_id.make ~client ~seq; rtype; payload; trace = { tid; parent } }
 
 type status =
   | Ok

@@ -48,9 +48,22 @@ val pp_rtype : Format.formatter -> rtype -> unit
 val encode_rtype : Grid_codec.Wire.Encoder.t -> rtype -> unit
 val decode_rtype : Grid_codec.Wire.Decoder.t -> rtype
 
+(** Causal trace context carried inside the request across process
+    boundaries: the trace id shared by every span of one end-to-end
+    request and the span id the next hop parents its spans under.
+    [tid = 0] means untraced. *)
+type trace_ctx = { tid : int; parent : string }
+
+val no_trace : trace_ctx
+
 (** A client request. [payload] is the service operation, already encoded
     by the service codec; the replication layer never interprets it. *)
-type request = { id : Grid_util.Ids.Request_id.t; rtype : rtype; payload : string }
+type request = {
+  id : Grid_util.Ids.Request_id.t;
+  rtype : rtype;
+  payload : string;
+  trace : trace_ctx;
+}
 
 val pp_request : Format.formatter -> request -> unit
 val encode_request : Grid_codec.Wire.Encoder.t -> request -> unit

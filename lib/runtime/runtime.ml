@@ -17,6 +17,7 @@ module Engine = Grid_sim.Engine
 module Network = Grid_sim.Network
 module Span = Grid_obs.Span
 module Metrics = Grid_obs.Metrics
+module Watchdog = Grid_obs.Watchdog
 module Rng = Grid_util.Rng
 module Ids = Grid_util.Ids
 module Config = Grid_paxos.Config
@@ -71,6 +72,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     replica_actors : string array;  (* precomputed "r<i>" labels *)
     metrics : Metrics.t;
     meters : meters;
+    watchdog : Watchdog.t;  (* online invariant checks, shared sink *)
     mutable next_client_id : int;  (* fresh ids for successive workloads *)
   }
 
@@ -80,6 +82,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let scenario t = t.scenario
   let obs t = t.obs
   let metrics t = t.metrics
+  let watchdog t = t.watchdog
   let replica t i = t.replicas.(i)
   let node_base t = t.node_base
   let now t = Engine.now t.eng
@@ -151,7 +154,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | _ -> ()
 
   let create ?(seed = 42) ?(trace = false) ?trace_capacity ?attach ?obs ?(node_base = 0)
-      ?shard ~cfg ~scenario:(sc : Scenario.t) () =
+      ?shard ?watchdog ~cfg ~scenario:(sc : Scenario.t) () =
     let cfg = sc.tune (Config.with_n cfg sc.n) in
     let root = Rng.of_int seed in
     let eng, net =
@@ -169,11 +172,18 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     let actor_prefix =
       match shard with Some k -> "s" ^ string_of_int k ^ "/" | None -> ""
     in
+    let metrics = Metrics.create () in
+    let watchdog =
+      match watchdog with
+      | Some w -> w
+      | None -> Watchdog.create ~fail_stop:cfg.watchdog_fail_stop ~metrics ()
+    in
     let replicas =
       Array.init cfg.n (fun i ->
-          R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ~obs ())
+          R.create ~cfg ~id:i ~seed:(Int64.to_int (Rng.bits64 root) land 0xFFFFFF) ~obs
+            ~actor:(actor_prefix ^ "r" ^ string_of_int i)
+            ~watchdog ())
     in
-    let metrics = Metrics.create () in
     let meters =
       {
         m_requests =
@@ -208,6 +218,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           Array.init cfg.n (fun i -> actor_prefix ^ "r" ^ string_of_int i);
         metrics;
         meters;
+        watchdog;
         next_client_id = 0;
       }
     in
@@ -242,15 +253,14 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       () =
     if id >= t.next_client_id then t.next_client_id <- id + 1;
     let cid = Ids.Client_id.of_int id in
+    let actor = t.actor_prefix ^ "c" ^ string_of_int id in
     let client =
       Client.create ~id:cid
         ~replicas:(Config.replica_ids t.cfg)
-        ~retry_ms:t.cfg.client_retry_ms ~obs:t.obs ()
+        ~retry_ms:t.cfg.client_retry_ms ~obs:t.obs ~actor ()
     in
     let node = Client.node client in
-    let slot =
-      { client; actor = t.actor_prefix ^ "c" ^ string_of_int id; on_reply }
-    in
+    let slot = { client; actor; on_reply } in
     Hashtbl.replace t.clients node slot;
     let share = if light then 0.0 else Float.of_int machine_share in
     Network.add_node t.net ~id:node
@@ -279,8 +289,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | Some slot -> slot.on_reply <- f
     | None -> invalid_arg "Runtime.set_on_reply: unknown client"
 
-  let submit t client rtype ~payload =
-    match Client.submit client ~now:(Engine.now t.eng) rtype ~payload with
+  let submit t client ?trace rtype ~payload =
+    match Client.submit client ~now:(Engine.now t.eng) ?trace rtype ~payload with
     | `Busy -> `Busy
     | `Sent actions ->
       Metrics.inc t.meters.m_requests;
@@ -288,7 +298,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       `Submitted
 
   (* Alias kept for callers that predate the typed return. *)
-  let try_submit = submit
+  let try_submit t client rtype ~payload = submit t client rtype ~payload
 
   (* Typed submission: classify and encode inside the runtime, so
      workloads and examples never build payload strings. The commit
@@ -304,11 +314,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         Grid_codec.Wire.encode (fun e -> Grid_codec.Wire.Encoder.uint e ops) )
     | Abort_txn tid -> (Txn_abort tid, "")
 
-  let submit_item t client it =
+  let submit_item t client ?trace it =
     let rtype, payload = encode_item it in
-    submit t client rtype ~payload
+    submit t client ?trace rtype ~payload
 
-  let try_submit_item = submit_item
+  let try_submit_item t client ?trace it = submit_item t client ?trace it
   let submit_op t client op = submit_item t client (Do op)
 
   (** {1 Failure control} *)

@@ -29,6 +29,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?obs:Grid_obs.Span.Recorder.t ->
     ?node_base:int ->
     ?shard:int ->
+    ?watchdog:Grid_obs.Watchdog.t ->
     cfg:Grid_paxos.Config.t ->
     scenario:Scenario.t ->
     unit ->
@@ -45,7 +46,13 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       simulation this way. [node_base] (default 0) offsets the group's
       replica ids in the shared node space; [shard] tags the group's
       span actors with an ["s<k>/"] prefix; [obs] shares a recorder
-      across groups (overriding [trace]/[trace_capacity]). *)
+      across groups (overriding [trace]/[trace_capacity]).
+
+      [watchdog] is the sink for the replicas' online invariant checks
+      ({!Grid_obs.Watchdog}); by default the runtime creates its own,
+      registered in {!metrics} and honouring
+      [cfg.watchdog_fail_stop]. The sharded runtime passes one sink to
+      all groups so the lease mutual-exclusion view spans shards. *)
 
   (** {1 Accessors} *)
 
@@ -62,6 +69,11 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val metrics : t -> Grid_obs.Metrics.t
   (** Registry with request/reply/message counters and the closed-loop
       latency histogram; always live (metrics are cheap). *)
+
+  val watchdog : t -> Grid_obs.Watchdog.t
+  (** The online invariant sink the replicas report to. Green runs keep
+      every counter at zero; a planted bug (e.g. [cfg.disable_dedup])
+      fires it. *)
 
   val replica : t -> int -> R.t
   val node_base : t -> int
@@ -91,6 +103,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val submit :
     t ->
     Grid_paxos.Client.t ->
+    ?trace:int * string ->
     Grid_paxos.Types.rtype ->
     payload:string ->
     [ `Busy | `Submitted ]
@@ -99,7 +112,11 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       returns [`Busy] and nothing is sent — drivers react (defer, pick
       another session, count a drop) instead of crashing. Prefer
       {!submit_op}/{!submit_item}, which keep payload encoding inside
-      the runtime. *)
+      the runtime.
+
+      [trace] is an upstream [(trace id, parent span id)] — the shard
+      router passes its [Route] span here so the whole cross-shard
+      request stitches into one tree. *)
 
   val try_submit :
     t ->
@@ -114,8 +131,11 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   (** Typed entry point: classify via [S.classify], encode via
       [S.encode_op], and submit. Equivalent to [submit_item t c (Do op)]. *)
 
-  val submit_item : t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
-  val try_submit_item : t -> Grid_paxos.Client.t -> S.op item -> [ `Busy | `Submitted ]
+  val submit_item :
+    t -> Grid_paxos.Client.t -> ?trace:int * string -> S.op item -> [ `Busy | `Submitted ]
+
+  val try_submit_item :
+    t -> Grid_paxos.Client.t -> ?trace:int * string -> S.op item -> [ `Busy | `Submitted ]
   (** Alias of {!submit_item}. *)
 
   (** {1 Failure control} *)

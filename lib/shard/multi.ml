@@ -25,6 +25,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     id : int;
     handles : Grid_paxos.Client.t array;  (* indexed by shard *)
     txns : (int, int) Hashtbl.t;  (* open transaction -> pinned shard *)
+    mutable lseq : int;
+        (* logical submissions so far: the deterministic trace-id source
+           (id * 1e6 + lseq), advanced only on successful submits *)
   }
 
   type t = {
@@ -35,28 +38,48 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     groups : Group.t array;
     scenario : Scenario.t;
     obs : Span.Recorder.t;
+    watchdog : Grid_obs.Watchdog.t;
+    sid_route : string;  (* precomputed router span id *)
     mutable next_client_id : int;
   }
 
   let create ?(seed = 42) ?(trace = false) ?trace_capacity ?spec
-      ?(route = S.footprint) ~cfg ~scenario:(sc : Scenario.t) ~shards () =
+      ?(route = S.footprint) ?watchdog ~cfg ~scenario:(sc : Scenario.t) ~shards () =
     let root = Rng.of_int seed in
     let eng = Engine.create () in
     let net = Network.create eng (Rng.split root) in
     let obs = Span.Recorder.create ?capacity:trace_capacity ~enabled:trace () in
     let part = Partition.create ?spec ~shards () in
+    (* One watchdog sink for every group: the lease mutual-exclusion view
+       is keyed by shard prefix, so sharing is safe and keeps one violation
+       count for the whole sharded service. *)
+    let watchdog =
+      match watchdog with Some w -> w | None -> Grid_obs.Watchdog.create ()
+    in
     (* Group g occupies global nodes [g*n .. g*n + n - 1]; its spans are
        tagged "s<g>/..." and its metrics live in its own registry. *)
     let groups =
       Array.init shards (fun g ->
           Group.create ~seed:(seed + ((g + 1) * 7919)) ~attach:(eng, net) ~obs
-            ~node_base:(g * sc.n) ~shard:g ~cfg ~scenario:sc ())
+            ~node_base:(g * sc.n) ~shard:g ~watchdog ~cfg ~scenario:sc ())
     in
-    { eng; net; part; route; groups; scenario = sc; obs; next_client_id = 0 }
+    {
+      eng;
+      net;
+      part;
+      route;
+      groups;
+      scenario = sc;
+      obs;
+      watchdog;
+      sid_route = Span.span_id ~actor:"rtr" Span.Route;
+      next_client_id = 0;
+    }
 
   let engine t = t.eng
   let network t = t.net
   let obs t = t.obs
+  let watchdog t = t.watchdog
   let partition t = t.part
   let shards t = Array.length t.groups
   let group t g = t.groups.(g)
@@ -75,7 +98,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           Group.add_client group ~id:((id * k) + g) ?machine_share ?on_reply ())
         t.groups
     in
-    { id; handles; txns = Hashtbl.create 4 }
+    { id; handles; txns = Hashtbl.create 4; lseq = 0 }
 
   let set_on_reply t cl f =
     Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
@@ -130,9 +153,31 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let try_submit_item t cl it : (int, submit_error) result =
     match route_item t cl it with
     | Error e -> Error (e :> submit_error)
-    | Ok s -> (
-      match Group.try_submit_item t.groups.(s) cl.handles.(s) it with
-      | `Submitted -> Ok s
+    | Ok s ->
+      (* When recording, every submission gets a deterministic trace id
+         derived from (logical client, submission count); the per-shard
+         protocol client parents its [Client_send] under the router's
+         [Route] span, so the whole cross-shard request stitches into one
+         tree. Untraced runs pass no context and pay one branch. *)
+      (* +1 keeps the id nonzero: tid 0 is the untraced sentinel, and
+         logical client 0's first submission would otherwise produce it. *)
+      let trace =
+        if Span.Recorder.enabled t.obs then
+          Some ((cl.id * 1_000_000) + cl.lseq + 1, t.sid_route)
+        else None
+      in
+      (match Group.try_submit_item t.groups.(s) cl.handles.(s) ?trace it with
+      | `Submitted ->
+        (match trace with
+        | Some (tid, _) ->
+          cl.lseq <- cl.lseq + 1;
+          (match Grid_paxos.Client.outstanding cl.handles.(s) with
+          | Some r ->
+            Span.Recorder.span ~tid t.obs ~time:(now t) ~actor:"rtr" ~req:r.id
+              ~instance:s ~detail:"" Span.Route
+          | None -> ())
+        | None -> ());
+        Ok s
       | `Busy -> Error `Busy)
 
   let submit_item t cl it =

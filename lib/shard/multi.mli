@@ -22,6 +22,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?trace_capacity:int ->
     ?spec:Partition.spec ->
     ?route:(S.op -> string list) ->
+    ?watchdog:Grid_obs.Watchdog.t ->
     cfg:Grid_paxos.Config.t ->
     scenario:Grid_runtime.Scenario.t ->
     shards:int ->
@@ -34,13 +35,21 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       ({!metrics}). [route] maps an operation to its partition keys and
       defaults to [S.footprint]; services whose footprint understates
       routing (e.g. a global read with an empty conflict footprint)
-      supply their own (see {!Grid_services.Kv_store.route}). *)
+      supply their own (see {!Grid_services.Kv_store.route}).
+
+      [watchdog] (default: a fresh enabled sink) is shared by every
+      group, so one violation count covers the whole sharded service and
+      the lease mutual-exclusion view spans shards. *)
 
   (** {1 Accessors} *)
 
   val engine : t -> Grid_sim.Engine.t
   val network : t -> Grid_paxos.Types.msg Grid_sim.Network.t
   val obs : t -> Grid_obs.Span.Recorder.t
+
+  val watchdog : t -> Grid_obs.Watchdog.t
+  (** The shared online-invariant sink (zero on green runs). *)
+
   val partition : t -> Partition.t
   val shards : t -> int
 
@@ -77,7 +86,14 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       group may serve it). Transaction items pin their [tid] to the
       first operation's shard; commit/abort follow the pin. Cross-shard
       operations return [`Cross_shard]/[`All_shards] without submitting
-      anything. *)
+      anything.
+
+      When the shared recorder is enabled, each successful submit records
+      a router [Route] span with a deterministic nonzero trace id
+      ([logical id * 1e6 + submission count + 1]) and threads it into the
+      per-shard protocol client, so every span of the request — router,
+      client, leader, followers — shares one trace id and parents into
+      one tree ({!Grid_obs.Lifecycle.trace_tree}). *)
 
   val submit_item : t -> client -> S.op Grid_runtime.Runtime.item -> int
   (** {!try_submit_item}, raising [Invalid_argument] on any error. *)

@@ -97,7 +97,8 @@ let elect t i =
   assert (Replica.is_leader t.replicas.(i))
 
 let client_request ?(client = 1) ~seq ~rtype ~payload () : request =
-  { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload }
+  { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload;
+    trace = no_trace }
 
 (* Broadcast a client request to every replica. *)
 let submit t (r : request) =

@@ -10,7 +10,7 @@ open Grid_paxos.Types
 
 let mk_req seq : request =
   { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int 1) ~seq;
-    rtype = Write; payload = "p" }
+    rtype = Write; payload = "p"; trace = no_trace }
 
 (* ------------------------------------------------------------------ *)
 (* Agreement checker *)

@@ -180,7 +180,8 @@ module HK = struct
       t.replicas
 
   let req ?(client = 1) ~seq ~rtype ~payload () : request =
-    { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload }
+    { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload;
+      trace = no_trace }
 
   let take_replies t =
     let r = List.rev t.replies in

@@ -244,6 +244,7 @@ let test_file_storage_reload () =
             id = Grid_util.Ids.Request_id.make ~client:(Grid_util.Ids.Client_id.of_int 1) ~seq;
             rtype = Write;
             payload = Counter.encode_op (Counter.Add 10);
+            trace = no_trace;
           }
         in
         ignore

@@ -6,6 +6,7 @@ let () =
        [
          Test_util.suite;
          Test_obs.suite;
+         Test_watchdog.suite;
          Test_codec.suite;
          Test_sim.suite;
          Test_paxos_unit.suite;

@@ -58,7 +58,8 @@ let test_msg_wire_roundtrip () =
       Client_req
         { id = Grid_util.Ids.Request_id.make ~client:(Grid_util.Ids.Client_id.of_int 4) ~seq:2;
           rtype = Read;
-          payload = "op" };
+          payload = "op";
+          trace = no_trace };
       Prepare { ballot = Ballot.make ~round:3 ~holder:1; commit_point = 17 };
       Accept
         { ballot = Ballot.make ~round:3 ~holder:1;
@@ -167,6 +168,141 @@ let test_loopback_cluster () =
           in
           wait_converged ()))
 
+(* ------------------------------------------------------------------ *)
+(* Admin endpoint: the replica port answers plain HTTP alongside the
+   protocol handshake. *)
+
+let http_get port path =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      (try drain () with Unix.Unix_error _ -> ());
+      let raw = Buffer.contents buf in
+      let status =
+        match String.index_opt raw '\r' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let body =
+        let sep = "\r\n\r\n" in
+        let n = String.length raw and k = String.length sep in
+        let rec find i =
+          if i + k > n then ""
+          else if String.sub raw i k = sep then String.sub raw (i + k) (n - i - k)
+          else find (i + 1)
+        in
+        find 0
+      in
+      (status, body))
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let test_admin_endpoint () =
+  let ports = Array.init 3 (fun _ -> free_port ()) in
+  let addr i = Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(i)) in
+  let peers_of i =
+    List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
+  in
+  let cfg =
+    Config.make ~n:3 ~hb_period_ms:10.0 ~suspicion_ms:60.0 ~stability_ms:20.0
+      ~client_retry_ms:150.0 ~accept_retry_ms:50.0 ()
+  in
+  let replicas =
+    List.map
+      (fun i -> Tcp.start_replica ~cfg ~id:i ~port:ports.(i) ~peers:(peers_of i) ())
+      [ 0; 1; 2 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Tcp.stop_replica replicas)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_leader () =
+        if List.exists Tcp.replica_is_leader replicas then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no leader elected on loopback cluster"
+        else begin
+          Thread.delay 0.02;
+          wait_leader ()
+        end
+      in
+      wait_leader ();
+      let leader_id =
+        let rec find i = function
+          | [] -> Alcotest.fail "leader vanished"
+          | r :: rest -> if Tcp.replica_is_leader r then i else find (i + 1) rest
+        in
+        find 0 replicas
+      in
+      (* Commit some work so the scrape reflects live state. *)
+      let client =
+        Tcp.start_client ~id:1 ~replicas:(List.map (fun i -> (i, addr i)) [ 0; 1; 2 ]) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Tcp.stop_client client)
+        (fun () ->
+          for k = 1 to 3 do
+            match
+              Tcp.call client Write ~payload:(Counter.encode_op (Counter.Add k))
+                ~timeout_s:5.0
+            with
+            | Some reply -> Alcotest.(check bool) "write ok" true (reply.status = Ok)
+            | None -> Alcotest.fail (Printf.sprintf "write %d timed out" k)
+          done;
+          (* /health on the leader: role, commit point, zero violations. *)
+          let status, body = http_get ports.(leader_id) "/health" in
+          Alcotest.(check bool) "health 200" true (contains status "200");
+          Alcotest.(check bool) "health says leader" true
+            (contains body {|"role":"leader"|});
+          Alcotest.(check bool) "health has commit point" true
+            (contains body {|"commit_point":|});
+          Alcotest.(check bool) "health watchdog silent" true
+            (contains body {|"watchdog_violations":0|});
+          (* /metrics: Prometheus exposition with transport and watchdog
+             series. *)
+          let status, body = http_get ports.(leader_id) "/metrics" in
+          Alcotest.(check bool) "metrics 200" true (contains status "200");
+          Alcotest.(check bool) "metrics transport counters" true
+            (contains body "grid_net_messages_sent_total");
+          Alcotest.(check bool) "metrics watchdog silent" true
+            (contains body "grid_watchdog_violations_total 0");
+          (* /flightrec: the always-on recorder dumps parseable JSONL. *)
+          let status, body = http_get ports.(leader_id) "/flightrec" in
+          Alcotest.(check bool) "flightrec 200" true (contains status "200");
+          let events = Grid_obs.Span.load_string body in
+          Alcotest.(check bool) "flightrec has events" true (events <> []);
+          (* Unknown paths 404; the protocol survives admin traffic. *)
+          let status, _ = http_get ports.(leader_id) "/nope" in
+          Alcotest.(check bool) "404 on unknown path" true (contains status "404");
+          (match
+             Tcp.call client Read ~payload:(Counter.encode_op Counter.Get)
+               ~timeout_s:5.0
+           with
+          | Some reply ->
+            Alcotest.(check int) "protocol alive after admin scrapes" 6
+              (Counter.decode_result reply.payload)
+          | None -> Alcotest.fail "read after admin scrapes timed out");
+          List.iter
+            (fun r ->
+              Alcotest.(check int) "watchdog silent on every replica" 0
+                (Grid_obs.Watchdog.violations (Tcp.replica_watchdog r)))
+            replicas))
+
 let test_loopback_duplicate_request () =
   (* A client retransmission arriving after the commit must hit the dedup
      table: the leader resends the cached reply and the op is not applied
@@ -216,7 +352,8 @@ let test_loopback_duplicate_request () =
           let req =
             { id = Grid_util.Ids.Request_id.make ~client:cid ~seq:1;
               rtype = Write;
-              payload = Counter.encode_op (Counter.Add 7) }
+              payload = Counter.encode_op (Counter.Add 7);
+              trace = no_trace }
           in
           let read_reply what =
             match Framing.read_msg fd with
@@ -260,6 +397,8 @@ let suite =
     ( "net.loopback",
       [
         Alcotest.test_case "3-replica cluster + client" `Slow test_loopback_cluster;
+        Alcotest.test_case "admin endpoint serves metrics/health/flightrec" `Slow
+          test_admin_endpoint;
         Alcotest.test_case "duplicate request hits the dedup table" `Slow
           test_loopback_duplicate_request;
       ] );

@@ -103,6 +103,21 @@ let test_metrics_exposition () =
   in
   Alcotest.(check string) "exposition golden" expected text
 
+let test_metrics_unregister () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "grid_net_backoff_ms_peer_1" ~help:"Backoff" in
+  Metrics.set g 40.0;
+  Alcotest.(check bool) "registered" true (Metrics.mem m "grid_net_backoff_ms_peer_1");
+  Metrics.unregister m "grid_net_backoff_ms_peer_1";
+  Alcotest.(check bool) "gone" false (Metrics.mem m "grid_net_backoff_ms_peer_1");
+  Alcotest.(check string) "exposition empty" "" (Metrics.expose m);
+  (* The name is free again: a restarted node re-registers cleanly. *)
+  let g' = Metrics.gauge m "grid_net_backoff_ms_peer_1" ~help:"Backoff" in
+  Metrics.set g' 0.0;
+  Alcotest.(check (float 0.0)) "fresh gauge" 0.0 (Metrics.gauge_value g');
+  (* Unregistering an absent name is a no-op, not an error. *)
+  Metrics.unregister m "never_registered"
+
 (* ------------------------------------------------------------------ *)
 (* Span recorder and JSONL *)
 
@@ -121,10 +136,10 @@ let test_span_jsonl_roundtrip () =
   let events =
     [ { Span.time = 0.0; actor = "c0";
         body = Span.Span { req = req ~client:0 ~seq:1; phase = Span.Client_send;
-                           instance = -1; detail = "" } };
+                           instance = -1; detail = ""; tid = 0; parent = "" } };
       { Span.time = 35.125; actor = "r0";
         body = Span.Span { req = req ~client:0 ~seq:1; phase = Span.Leader_receive;
-                           instance = -1; detail = "write" } };
+                           instance = -1; detail = "write"; tid = 7; parent = "c0:client_send" } };
       { Span.time = 36.0; actor = "r0"; body = Span.Msg { kind = "accept"; dst = 2 } };
       { Span.time = 37.5; actor = "r1"; body = Span.Note "leader changed" } ]
   in
@@ -216,6 +231,47 @@ let test_lifecycle_find_and_slowest () =
   Alcotest.(check bool) "message counts non-empty" true
     (Lifecycle.message_counts events <> [])
 
+(* Satellite: the M/E/2m classification must survive shard-tagged actor
+   labels — a sharded run records "s<k>/r<i>" and "s<k>/c<j>" actors, and
+   the lifecycle layer classifies each group's requests exactly as it
+   does a single-group run. *)
+let test_lifecycle_shard_tagged () =
+  let module MKv = Grid_shard.Multi.Make (Grid_services.Kv_store) in
+  let cfg = Grid_paxos.Config.default ~n:3 in
+  let t =
+    MKv.create ~seed:17 ~trace:true ~cfg ~scenario:(Scenario.uniform ())
+      ~route:Grid_services.Kv_store.route ~shards:2 ()
+  in
+  let _ =
+    MKv.run_closed_loop t ~clients:2 ~requests_per_client:4
+      ~gen:(fun ~client () ->
+        Some
+          (Grid_runtime.Runtime.Do
+             (Grid_services.Kv_store.Put
+                { key = Printf.sprintf "k%d" client; value = "v" })))
+  in
+  let events = Span.Recorder.events (MKv.obs t) in
+  let tagged =
+    List.exists
+      (fun (e : Span.event) ->
+        String.length e.Span.actor > 3 && String.sub e.Span.actor 0 3 = "s1/")
+      events
+  in
+  Alcotest.(check bool) "some spans tagged s1/" true tagged;
+  let completed = List.filter Lifecycle.completed (Lifecycle.timelines events) in
+  Alcotest.(check int) "all 8 requests completed" 8 (List.length completed);
+  List.iter
+    (fun (tl : Lifecycle.timeline) ->
+      Alcotest.(check bool) "classified basic" true
+        (tl.Lifecycle.protocol = Lifecycle.Basic);
+      match Lifecycle.breakdown tl with
+      | None -> Alcotest.fail "no breakdown for sharded request"
+      | Some b ->
+        Alcotest.(check bool) "M recorded" true (Float.is_finite b.Lifecycle.m_wan);
+        Alcotest.(check bool) "2m recorded" true
+          (Float.is_finite b.Lifecycle.m_lan2))
+    completed
+
 (* The simulator's latency metrics registry fills during a run. *)
 let test_runtime_metrics () =
   let cfg = Grid_paxos.Config.default ~n:3 in
@@ -279,6 +335,7 @@ let suite =
         Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_gauges;
         Alcotest.test_case "histogram snapshot" `Quick test_metrics_histogram;
         Alcotest.test_case "prometheus exposition" `Quick test_metrics_exposition;
+        Alcotest.test_case "unregister" `Quick test_metrics_unregister;
       ] );
     ( "obs.span",
       [
@@ -293,6 +350,8 @@ let suite =
         Alcotest.test_case "x-paxos reads skip accept round" `Quick
           test_lifecycle_read_skips_accept;
         Alcotest.test_case "find and slowest" `Quick test_lifecycle_find_and_slowest;
+        Alcotest.test_case "shard-tagged actors classify" `Quick
+          test_lifecycle_shard_tagged;
         Alcotest.test_case "runtime metrics registry" `Quick test_runtime_metrics;
       ] );
     ( "obs.determinism",

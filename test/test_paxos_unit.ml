@@ -11,7 +11,8 @@ module Wire = Grid_codec.Wire
 module Ids = Grid_util.Ids
 
 let mk_req ?(client = 1) ?(seq = 1) ?(rtype = Types.Write) ?(payload = "p") () : Types.request =
-  { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload }
+  { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq; rtype; payload;
+    trace = Types.no_trace }
 
 let mk_proposal ?(payload = "p") ?(update = Types.Full "state") () : Types.proposal =
   {
@@ -81,7 +82,8 @@ let gen_request =
       (fun (client, seq, rtype, payload) ->
         ({ id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq;
            rtype;
-           payload }
+           payload;
+           trace = Types.no_trace }
           : Types.request))
       (quad (int_range 0 1000) (int_range 0 100000) gen_rtype string))
 

@@ -98,7 +98,7 @@ let gen_request =
     map
       (fun (c, s, p) ->
         ({ id = Ids.Request_id.make ~client:(Ids.Client_id.of_int c) ~seq:s;
-           rtype = Write; payload = p } : request))
+           rtype = Write; payload = p; trace = no_trace } : request))
       (triple (int_range 0 50) (int_range 0 1000) (string_size (int_range 0 12))))
 
 let gen_reply =

@@ -89,6 +89,7 @@ module H = struct
         id = Ids.Request_id.make ~client:(Ids.Client_id.of_int client) ~seq;
         rtype = Write;
         payload = Counter.encode_op op;
+        trace = no_trace;
       }
     in
     Array.iteri (fun i _ -> feed t i (Receive { src = client_node r.id.client; msg = Client_req r })) t.replicas

@@ -272,6 +272,93 @@ let test_per_shard_linearizability () =
       true (Lin.Kv.check history)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Stitched causal trace: one request through a 4-shard cluster must
+   produce a single trace tree — one trace id, the router's [Route] span
+   at the root, the shard client's [Client_send] under it and the group
+   leader's [Leader_receive] below that — and the dump must be
+   byte-identical across runs of the same seed. *)
+
+module Span = Grid_obs.Span
+module Lifecycle = Grid_obs.Lifecycle
+
+let traced_single_request () =
+  let t =
+    M.create ~seed:31 ~trace:true
+      ~cfg:(Config.make ~n:3 ~suspicion_ms:60.0 ~stability_ms:20.0 ())
+      ~scenario:(Scenario.uniform ()) ~route:Kv.route ~shards:4 ()
+  in
+  (match M.await_leaders t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "leaders did not emerge");
+  let replied = ref false in
+  let cl = M.add_client t ~id:0 ~on_reply:(fun _ -> replied := true) () in
+  let shard = M.submit_item t cl (Runtime.Do (Kv.Put { key = "k"; value = "v" })) in
+  M.run_until t (M.now t +. 5_000.0);
+  Alcotest.(check bool) "request completed" true !replied;
+  (shard, Span.Recorder.events (M.obs t))
+
+let is_phase p (n : Lifecycle.tree) =
+  match n.Lifecycle.event.Span.body with
+  | Span.Span { phase; _ } -> phase = p
+  | _ -> false
+
+let rec tree_size (n : Lifecycle.tree) =
+  1 + List.fold_left (fun a c -> a + tree_size c) 0 n.Lifecycle.children
+
+let rec tree_has p (n : Lifecycle.tree) =
+  is_phase p n || List.exists (tree_has p) n.Lifecycle.children
+
+let test_stitched_trace_tree () =
+  let shard, events = traced_single_request () in
+  let req =
+    { Grid_util.Ids.Request_id.client = Grid_util.Ids.Client_id.of_int shard;
+      seq = 1 }
+  in
+  (* Logical client 0's first submission: deterministic trace id 1. *)
+  (match Lifecycle.trace_id_of events req with
+  | Some 1 -> ()
+  | Some tid -> Alcotest.failf "unexpected trace id %d" tid
+  | None -> Alcotest.fail "request left no traced spans");
+  Alcotest.(check (list int)) "one traced request" [ 1 ] (Lifecycle.trace_ids events);
+  match Lifecycle.trace_tree events ~tid:1 with
+  | [ root ] ->
+    Alcotest.(check string) "root is the router" "rtr"
+      root.Lifecycle.event.Span.actor;
+    Alcotest.(check bool) "root is a Route span" true (is_phase Span.Route root);
+    let send =
+      match List.filter (is_phase Span.Client_send) root.Lifecycle.children with
+      | [ n ] -> n
+      | l ->
+        Alcotest.failf "expected one Client_send under the root, got %d"
+          (List.length l)
+    in
+    Alcotest.(check string) "client span shard-tagged"
+      (Printf.sprintf "s%d/c%d" shard shard)
+      send.Lifecycle.event.Span.actor;
+    Alcotest.(check bool) "leader receive parents under client send" true
+      (List.exists (tree_has Span.Leader_receive) send.Lifecycle.children);
+    (* Every span carrying the trace id is stitched into this one tree:
+       correct parent edges all the way down, no orphan roots. *)
+    let traced =
+      List.length
+        (List.filter
+           (fun (e : Span.event) ->
+             match e.Span.body with
+             | Span.Span { tid = 1; _ } -> true
+             | _ -> false)
+           events)
+    in
+    Alcotest.(check int) "every traced span stitched" traced (tree_size root)
+  | l -> Alcotest.failf "expected one trace root, got %d" (List.length l)
+
+let test_stitched_trace_deterministic () =
+  let dump () =
+    let _, events = traced_single_request () in
+    Span.dump_string events
+  in
+  Alcotest.(check string) "byte-identical across runs" (dump ()) (dump ())
+
 let suite =
   [
     ( "shard.partition",
@@ -286,5 +373,12 @@ let suite =
       [
         Alcotest.test_case "per-shard under nemesis" `Quick
           test_per_shard_linearizability;
+      ] );
+    ( "shard.trace",
+      [
+        Alcotest.test_case "one request, one stitched tree" `Quick
+          test_stitched_trace_tree;
+        Alcotest.test_case "stitched trace byte-deterministic" `Quick
+          test_stitched_trace_deterministic;
       ] );
   ]

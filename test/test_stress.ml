@@ -34,7 +34,10 @@ let test_stress_batch () =
   Alcotest.(check bool) "torn persists injected" true (summary.torn_persists > 0);
   Alcotest.(check bool) "metadata drops injected" true (summary.meta_dropped > 0);
   Alcotest.(check bool) "duplication injected" true (summary.duplicated > 0);
-  Alcotest.(check bool) "reordering injected" true (summary.reordered > 0)
+  Alcotest.(check bool) "reordering injected" true (summary.reordered > 0);
+  (* The online watchdogs ran inside every replica of every schedule and
+     stayed silent alongside the offline oracles. *)
+  Alcotest.(check int) "watchdogs silent" 0 summary.watchdog_violations
 
 (* A recorded fault plan replays to the identical outcome. *)
 let test_stress_replay_deterministic () =
@@ -99,6 +102,10 @@ let test_stress_planted_dedup_shrinks () =
          contains ~needle:"committed request" r
          || contains ~needle:"non-linearizable" r)
        f.reasons);
+  (* The online watchdog caught the same planted bug from inside the
+     replicas, in real time. *)
+  Alcotest.(check bool) "watchdog fired on the planted bug" true
+    (List.exists (contains ~needle:"watchdog:") f.reasons);
   match f.shrunk with
   | None -> Alcotest.fail "no shrunk plan"
   | Some shrunk ->
