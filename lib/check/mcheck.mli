@@ -42,6 +42,9 @@ type fault_event =
           the channel head *)
   | Drift_at of { step : int; victim : int; offset_ms : float }
       (** the victim's clock becomes virtual time + [offset_ms] *)
+  | Upgrade_at of { step : int; victim : int; version : int }
+      (** rolling upgrade: the victim is bounced (crash-consistent
+          restart) and comes back speaking wire-protocol [version] *)
 
 type plan = fault_event list
 
@@ -110,9 +113,15 @@ type outcome = {
   duplicated : int;
   reordered : int;
   drifted : int;  (** clock-drift injections that fired *)
+  upgraded : int;  (** rolling-upgrade bounces that fired *)
   shed : int;
       (** [Overloaded] replies leaders pushed back (0 unless the config
           bounds admission via [max_inflight]/[max_queue]) *)
+  wire_errors : string list;
+      (** wire-codec oracle breaches: a message that failed the
+          encode → decode roundtrip through the version negotiated for
+          its link. Always empty unless the run models wire versions
+          ([wire_versions]/[upgrades]); non-empty fails the run. *)
   watchdog_violations : int;
       (** online invariant checks ({!Grid_obs.Watchdog}) that fired inside
           the replicas during the run — the runtime mirror of the offline
@@ -121,8 +130,8 @@ type outcome = {
 }
 
 val failed : outcome -> bool
-(** Agreement or durability violated, a stale read observed, or an
-    admitted write lost. *)
+(** Agreement or durability violated, a stale read observed, an admitted
+    write lost, or a wire-codec roundtrip failure. *)
 
 module Make (S : Grid_paxos.Service_intf.S) : sig
   module R : module type of Grid_paxos.Replica.Make (S)
@@ -141,6 +150,8 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
+    ?wire_versions:int array ->
+    ?upgrades:(int * int * int) list ->
     unit ->
     outcome
   (** Explore one schedule over a 3-replica group. [obs] receives the
@@ -154,7 +165,17 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
       request-dedup table exists to prevent (for validating that the
       checkers and shrinker catch it). [cfg_tweak] edits the group's
       {!Grid_paxos.Config.t} before the replicas are built — e.g. to
-      enable leader leases ([lease_ms]) for the stale-read oracle. *)
+      enable leader leases ([lease_ms]) for the stale-read oracle.
+
+      [wire_versions] turns on the wire-codec model: one protocol
+      version per replica, and every delivered message is run through
+      the codec its link would negotiate over TCP
+      (min of the endpoints' versions; clients speak
+      {!Grid_paxos.Wire_codec.latest_version}). [upgrades] scripts
+      rolling upgrades as [(step, victim, version)] triples: at [step]
+      the victim is bounced crash-consistently and comes back speaking
+      [version] — the mixed-version cluster scenario. Roundtrip
+      failures land in [wire_errors] and fail the run. *)
 
   val replay :
     ?obs:Grid_obs.Span.Recorder.t ->
@@ -165,10 +186,13 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
+    ?wire_versions:int array ->
     plan:plan ->
     unit ->
     outcome
-  (** Re-run a schedule applying faults from [plan] instead of dice.
+  (** Re-run a schedule applying faults from [plan] instead of dice
+      (including any [Upgrade_at] events the recording produced; pass
+      the same [wire_versions] as the recording).
       With the plan and parameters of a recorded run, the replay is
       exact; with a shrunk plan it is best-effort (events whose
       preconditions no longer hold are skipped). *)
@@ -181,6 +205,7 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
     ?disable_dedup:bool ->
     ?cfg_tweak:(Grid_paxos.Config.t -> Grid_paxos.Config.t) ->
     ?requests:(int * Grid_paxos.Types.rtype * string) list ->
+    ?wire_versions:int array ->
     plan:plan ->
     unit ->
     plan

@@ -2,33 +2,58 @@ open Grid_paxos.Types
 module Rng = Grid_util.Rng
 module Span = Grid_obs.Span
 module Metrics = Grid_obs.Metrics
+module Wire_codec = Grid_paxos.Wire_codec
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
 (* Transport counters, one registry per node. Unlike the simulator's
    metrics these count real socket traffic: dial attempts and failures
-   feed the backoff story, sent/received feed throughput sanity checks. *)
+   feed the backoff story, sent/received feed throughput sanity checks,
+   and the byte counters price the wire format itself (the reason the
+   codec is versioned at all). *)
 type net_meters = {
   registry : Metrics.t;
   nm_sent : Metrics.counter;
   nm_received : Metrics.counter;
+  nm_bytes : Metrics.counter;  (* both directions, frame overhead included *)
+  nm_bytes_sent : Metrics.counter;
+  nm_bytes_received : Metrics.counter;
+  nm_bytes_by_kind : (string, Metrics.counter) Hashtbl.t;
+      (* per message kind, both directions *)
+  nm_decode_errors : Metrics.counter;
   nm_dials : Metrics.counter;
   nm_dial_failures : Metrics.counter;
   nm_conns : Metrics.gauge;
   nm_backoff : (int, Metrics.gauge) Hashtbl.t;
       (* per-peer current reconnect delay, 0 when healthy *)
+  nm_wire_version : (int, Metrics.gauge) Hashtbl.t;
+      (* per-peer negotiated protocol version, 0 when disconnected *)
 }
 
 let make_meters ~peers () =
   let registry = Metrics.create () in
   let nm_backoff = Hashtbl.create 8 in
+  let nm_wire_version = Hashtbl.create 8 in
   List.iter
     (fun p ->
       Hashtbl.replace nm_backoff p
         (Metrics.gauge registry
            (Printf.sprintf "grid_net_backoff_ms_peer_%d" p)
-           ~help:"Current reconnect backoff delay toward this peer (0 = healthy)"))
+           ~help:"Current reconnect backoff delay toward this peer (0 = healthy)");
+      Hashtbl.replace nm_wire_version p
+        (Metrics.gauge registry
+           (Printf.sprintf "grid_net_wire_version_peer_%d" p)
+           ~help:
+             "Wire-protocol version negotiated with this peer (0 = not connected)"))
     peers;
+  let nm_bytes_by_kind = Hashtbl.create 16 in
+  List.iter
+    (fun kind ->
+      Hashtbl.replace nm_bytes_by_kind kind
+        (Metrics.counter registry
+           (Printf.sprintf "grid_net_bytes_total_%s" kind)
+           ~help:"On-wire bytes carrying this message kind, both directions"))
+    Grid_paxos.Types.all_msg_kinds;
   {
     registry;
     nm_sent =
@@ -37,6 +62,19 @@ let make_meters ~peers () =
     nm_received =
       Metrics.counter registry "grid_net_messages_received_total"
         ~help:"Protocol messages read off peer sockets";
+    nm_bytes =
+      Metrics.counter registry "grid_net_bytes_total"
+        ~help:"On-wire bytes, both directions, frame overhead included";
+    nm_bytes_sent =
+      Metrics.counter registry "grid_net_bytes_sent_total"
+        ~help:"On-wire bytes written to peer sockets";
+    nm_bytes_received =
+      Metrics.counter registry "grid_net_bytes_received_total"
+        ~help:"On-wire bytes read off peer sockets";
+    nm_bytes_by_kind;
+    nm_decode_errors =
+      Metrics.counter registry "grid_net_decode_errors_total"
+        ~help:"Frames dropped as corrupt or undecodable (connection closed)";
     nm_dials =
       Metrics.counter registry "grid_net_dials_total"
         ~help:"Outbound connection attempts";
@@ -47,6 +85,7 @@ let make_meters ~peers () =
       Metrics.gauge registry "grid_net_connections"
         ~help:"Currently established peer connections";
     nm_backoff;
+    nm_wire_version;
   }
 
 let set_backoff_gauge meters peer ms =
@@ -54,16 +93,33 @@ let set_backoff_gauge meters peer ms =
   | Some g -> Metrics.set g ms
   | None -> ()
 
-(* Release the per-peer backoff gauges when the node stops: their names
-   embed peer ids, so a node restarted against a different peer set must
-   not inherit stale series from the previous incarnation. *)
+let set_version_gauge meters peer v =
+  match Hashtbl.find_opt meters.nm_wire_version peer with
+  | Some g -> Metrics.set g (float_of_int v)
+  | None -> ()
+
+let count_bytes meters msg n =
+  Metrics.inc ~by:n meters.nm_bytes;
+  match Hashtbl.find_opt meters.nm_bytes_by_kind (msg_kind msg) with
+  | Some c -> Metrics.inc ~by:n c
+  | None -> ()
+
+(* Release the per-peer gauges when the node stops: their names embed
+   peer ids, so a node restarted against a different peer set must not
+   inherit stale series from the previous incarnation. *)
 let release_meters meters =
   Hashtbl.iter
     (fun p _ ->
       Metrics.unregister meters.registry
         (Printf.sprintf "grid_net_backoff_ms_peer_%d" p))
     meters.nm_backoff;
-  Hashtbl.reset meters.nm_backoff
+  Hashtbl.reset meters.nm_backoff;
+  Hashtbl.iter
+    (fun p _ ->
+      Metrics.unregister meters.registry
+        (Printf.sprintf "grid_net_wire_version_peer_%d" p))
+    meters.nm_wire_version;
+  Hashtbl.reset meters.nm_wire_version
 
 (* Reconnect backoff: a peer that refused a dial is not redialed before a
    delay that doubles per consecutive failure, from [backoff_base_ms] up
@@ -75,17 +131,38 @@ let default_backoff_base_ms = 20.0
 let default_backoff_cap_ms = 2000.0
 
 (* ------------------------------------------------------------------ *)
+(* Per-connection codec: fixed at handshake time by version negotiation
+   and used for every frame on that socket in both directions. *)
+
+module type CONN_CODEC = sig
+  val write_msg : Unix.file_descr -> msg -> int
+  val read_msg : Unix.file_descr -> (msg * int, Framing.read_error) result
+end
+
+module Codec_v1 = Framing.Codec (Wire_codec.V1)
+module Codec_v2 = Framing.Codec (Wire_codec.V2)
+
+let conn_codec version : (module CONN_CODEC) =
+  match version with
+  | 1 -> (module Codec_v1)
+  | 2 -> (module Codec_v2)
+  | v -> invalid_arg (Printf.sprintf "Tcp_node.conn_codec: version %d" v)
+
+type conn = { fd : Unix.file_descr; version : int; codec : (module CONN_CODEC) }
+
+(* ------------------------------------------------------------------ *)
 (* Generic event loop: an inbox fed by reader threads, a timer queue, and
    a self-pipe so the main loop can sleep in [select] yet wake on either
    a message or a due timer. *)
 
 type core = {
   node_id : int;
+  max_wire_version : int;  (* highest version advertised in hellos *)
   mutex : Mutex.t;
   inbox : (int * msg) Queue.t;
   thunks : (unit -> unit) Queue.t;  (* injected work, run on the loop thread *)
   mutable timers : (float * timer) list;  (* sorted by due time *)
-  mutable conns : (int * Unix.file_descr) list;
+  mutable conns : (int * conn) list;
   mutable stop : bool;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
@@ -102,11 +179,16 @@ type core = {
 
 let create_core ?(obs = Span.Recorder.disabled)
     ?(backoff_base_ms = default_backoff_base_ms)
-    ?(backoff_cap_ms = default_backoff_cap_ms) ~node_id ~actor ~addresses () =
+    ?(backoff_cap_ms = default_backoff_cap_ms)
+    ?(max_wire_version = Wire_codec.latest_version) ~node_id ~actor ~addresses
+    () =
+  if max_wire_version < Wire_codec.min_version then
+    invalid_arg "Tcp_node.create_core: max_wire_version below min_version";
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
   {
     node_id;
+    max_wire_version;
     mutex = Mutex.create ();
     inbox = Queue.create ();
     thunks = Queue.create ();
@@ -158,32 +240,61 @@ let run_on_loop core f =
   Mutex.unlock m;
   Option.get !result
 
-let register_conn core peer fd =
+let register_conn core peer conn =
   with_lock core (fun () ->
-      core.conns <- (peer, fd) :: List.remove_assoc peer core.conns;
-      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)))
+      core.conns <- (peer, conn) :: List.remove_assoc peer core.conns;
+      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)));
+  set_version_gauge core.meters peer conn.version
 
 let drop_conn core peer =
   with_lock core (fun () ->
       core.conns <- List.remove_assoc peer core.conns;
-      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)))
+      Metrics.set core.meters.nm_conns (float_of_int (List.length core.conns)));
+  set_version_gauge core.meters peer 0
 
-(* Reader thread: handshake already done; pump messages into the inbox. *)
-let reader_thread core peer fd =
-  (try
-     while not core.stop do
-       let msg = Framing.read_msg fd in
-       enqueue_msg core peer msg
-     done
-   with Framing.Closed | Unix.Unix_error _ | Grid_codec.Wire.Decode_error _ -> ());
+(* The negotiated version per live peer connection, for /health. *)
+let peer_versions core =
+  with_lock core (fun () -> List.map (fun (p, c) -> (p, c.version)) core.conns)
+
+let note_corrupt core ~peer err =
+  Metrics.inc core.meters.nm_decode_errors;
+  if Span.Recorder.enabled core.obs then
+    Span.Recorder.note core.obs ~time:(now_ms ()) ~actor:core.actor
+      (Format.asprintf "drop conn to %d: %a" peer Framing.pp_read_error err)
+
+(* Reader thread: handshake already done; pump messages into the inbox.
+   [Eof] is a peer going away (normal churn); [Corrupt] is an
+   unresynchronizable stream — count it, note it, and drop the
+   connection. Either way the socket is closed and the next send
+   redials. *)
+let reader_thread core peer (conn : conn) =
+  let module C = (val conn.codec : CONN_CODEC) in
+  let rec pump () =
+    if core.stop then ()
+    else
+      match C.read_msg conn.fd with
+      | Ok (msg, bytes) ->
+        Metrics.inc ~by:bytes core.meters.nm_bytes_received;
+        count_bytes core.meters msg bytes;
+        enqueue_msg core peer msg;
+        pump ()
+      | Error Eof -> ()
+      | Error (Corrupt _ as err) -> note_corrupt core ~peer err
+      | exception Unix.Unix_error _ -> ()
+  in
+  pump ();
   drop_conn core peer;
-  try Unix.close fd with _ -> ()
+  try Unix.close conn.fd with _ -> ()
 
 (* Get (or dial) the connection to [peer]; None if unreachable or still
-   backing off after a failed dial. *)
+   backing off after a failed dial. Dialing performs the version
+   handshake synchronously: send our hello, read the listener's hello
+   back, settle on min(local, peer). *)
+exception Handshake_failed of string
+
 let connection core peer =
   match with_lock core (fun () -> List.assoc_opt peer core.conns) with
-  | Some fd -> Some fd
+  | Some conn -> Some conn
   | None -> (
     match List.assoc_opt peer core.addresses with
     | None -> None
@@ -200,15 +311,44 @@ let connection core peer =
         Metrics.inc core.meters.nm_dials;
         try
           let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-          Unix.setsockopt fd TCP_NODELAY true;
-          Unix.connect fd addr;
-          Framing.write_hello fd ~node_id:core.node_id;
+          let conn =
+            try
+              Unix.setsockopt fd TCP_NODELAY true;
+              Unix.connect fd addr;
+              Framing.write_hello fd ~node_id:core.node_id
+                ~max_version:core.max_wire_version;
+              let _peer_id, peer_max =
+                match Framing.read_hello fd with
+                | Ok hello -> hello
+                | Error e ->
+                  raise
+                    (Handshake_failed
+                       (Format.asprintf "%a" Framing.pp_read_error e))
+              in
+              let version =
+                match
+                  Wire_codec.negotiate ~local_max:core.max_wire_version
+                    ~peer_max
+                with
+                | Some v -> v
+                | None ->
+                  raise
+                    (Handshake_failed
+                       (Printf.sprintf "no common wire version (peer max %d)"
+                          peer_max))
+              in
+              { fd; version; codec = conn_codec version }
+            with e ->
+              (try Unix.close fd with _ -> ());
+              raise e
+          in
           with_lock core (fun () -> Hashtbl.remove core.backoff peer);
           set_backoff_gauge core.meters peer 0.0;
-          register_conn core peer fd;
-          ignore (Thread.create (fun () -> reader_thread core peer fd) ());
-          Some fd
-        with Unix.Unix_error _ ->
+          register_conn core peer conn;
+          ignore (Thread.create (fun () -> reader_thread core peer conn) ());
+          Some conn
+        with
+        | Unix.Unix_error _ | Framing.Closed | Handshake_failed _ ->
           Metrics.inc core.meters.nm_dial_failures;
           with_lock core (fun () ->
               let prev =
@@ -235,10 +375,13 @@ let send_msg core ~dst msg =
       ~kind:(msg_kind msg) ~dst;
   match connection core dst with
   | None -> ()  (* unreachable peer: retransmission recovers *)
-  | Some fd -> (
+  | Some conn -> (
+    let module C = (val conn.codec : CONN_CODEC) in
     try
-      Framing.write_msg fd msg;
-      Metrics.inc core.meters.nm_sent
+      let bytes = C.write_msg conn.fd msg in
+      Metrics.inc core.meters.nm_sent;
+      Metrics.inc ~by:bytes core.meters.nm_bytes_sent;
+      count_bytes core.meters msg bytes
     with Framing.Closed | Unix.Unix_error _ -> drop_conn core dst)
 
 let arm_timer core ~due timer =
@@ -303,7 +446,9 @@ let shutdown core =
   core.stop <- true;
   wake core;
   with_lock core (fun () ->
-      List.iter (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ()) core.conns)
+      List.iter
+        (fun (_, c) -> try Unix.shutdown c.fd SHUTDOWN_ALL with _ -> ())
+        core.conns)
 
 (* ------------------------------------------------------------------ *)
 (* Admin endpoint: a minimal HTTP/1.0 responder sharing the replica's
@@ -392,6 +537,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     listener : Unix.file_descr;
   }
 
+  (* Inbound handshake: read the dialer's hello, answer with ours, keep
+     the connection iff the version ranges overlap. A corrupt hello (or
+     a version gap) closes the socket; the dialer sees EOF and backs
+     off. *)
   let acceptor ?routes core listener =
     try
       while not core.stop do
@@ -402,16 +551,37 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           ignore (Thread.create (fun () -> http_thread routes fd) ())
         | _ -> (
           match Framing.read_hello fd with
-          | peer ->
-            register_conn core peer fd;
-            ignore (Thread.create (fun () -> reader_thread core peer fd) ())
-          | exception (Framing.Closed | Grid_codec.Wire.Decode_error _) -> (
-            try Unix.close fd with _ -> ()))
+          | Ok (peer, peer_max) -> (
+            match
+              Wire_codec.negotiate ~local_max:core.max_wire_version ~peer_max
+            with
+            | Some version -> (
+              match
+                Framing.write_hello fd ~node_id:core.node_id
+                  ~max_version:core.max_wire_version
+              with
+              | () ->
+                let conn = { fd; version; codec = conn_codec version } in
+                register_conn core peer conn;
+                ignore (Thread.create (fun () -> reader_thread core peer conn) ())
+              | exception (Framing.Closed | Unix.Unix_error _) -> (
+                try Unix.close fd with _ -> ()))
+            | None ->
+              note_corrupt core ~peer
+                (Framing.Corrupt
+                   { pos = 0;
+                     msg = Printf.sprintf "no common wire version (peer max %d)" peer_max
+                   });
+              (try Unix.close fd with _ -> ()))
+          | Error Eof -> ( try Unix.close fd with _ -> ())
+          | Error (Corrupt _ as err) ->
+            note_corrupt core ~peer:(-1) err;
+            (try Unix.close fd with _ -> ()))
       done
     with Unix.Unix_error _ -> ()
 
   let start_replica ~cfg ~id ~port ~peers ?storage ?obs ?(flight_capacity = 2048)
-      ?backoff_base_ms ?backoff_cap_ms () =
+      ?backoff_base_ms ?backoff_cap_ms ?max_wire_version () =
     let actor = "r" ^ string_of_int id in
     (* Flight recorder: unless the caller supplies a recorder, keep a
        bounded always-on one — the last [flight_capacity] events are a
@@ -423,8 +593,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | None -> Span.Recorder.create ~capacity:flight_capacity ~enabled:true ()
     in
     let core =
-      create_core ~obs ?backoff_base_ms ?backoff_cap_ms ~node_id:id ~actor
-        ~addresses:peers ()
+      create_core ~obs ?backoff_base_ms ?backoff_cap_ms ?max_wire_version
+        ~node_id:id ~actor ~addresses:peers ()
     in
     (* Online invariant checks: counted in this node's registry and noted
        into the flight recorder, so /metrics and /flightrec both carry the
@@ -448,12 +618,18 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     inject core (fun () -> run_actions core (R.bootstrap replica));
     let handle ~now input = R.handle replica ~now input in
     let health () =
+      let peer_json =
+        peer_versions core
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map (fun (p, v) -> Printf.sprintf {|"%d":%d|} p v)
+        |> String.concat ","
+      in
       run_on_loop core (fun () ->
           let now = now_ms () in
           let b = R.ballot replica in
           let shed_reads, shed_writes = R.stats_shed replica in
           Printf.sprintf
-            {|{"node":%d,"role":"%s","ballot":{"round":%d,"holder":%d},"commit_point":%d,"holds_lease":%b,"queue_depth":%d,"reads_inflight":%d,"shed_reads":%d,"shed_writes":%d,"watchdog_violations":%d}|}
+            {|{"node":%d,"role":"%s","ballot":{"round":%d,"holder":%d},"commit_point":%d,"holds_lease":%b,"queue_depth":%d,"reads_inflight":%d,"shed_reads":%d,"shed_writes":%d,"watchdog_violations":%d,"wire_version":%d,"peer_wire_versions":{%s}}|}
             id
             (if R.is_leader replica then "leader" else "follower")
             b.Grid_paxos.Types.Ballot.round b.Grid_paxos.Types.Ballot.holder
@@ -461,7 +637,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
             (R.holds_lease replica ~now)
             (R.queue_depth replica) (R.reads_inflight replica) shed_reads
             shed_writes
-            (Grid_obs.Watchdog.violations watchdog))
+            (Grid_obs.Watchdog.violations watchdog)
+            core.max_wire_version peer_json)
     in
     let routes path =
       match path with
@@ -487,6 +664,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   let replica_metrics h = h.r_core.meters.registry
   let replica_obs h = h.r_core.obs
   let replica_watchdog h = h.r_watchdog
+  let replica_peer_versions h = peer_versions h.r_core
 
   let stop_replica h =
     shutdown h.r_core;
@@ -506,14 +684,15 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   }
 
   let start_client ~id ~replicas ?(retry_ms = 200.0) ?obs ?backoff_base_ms
-      ?backoff_cap_ms () =
+      ?backoff_cap_ms ?max_wire_version () =
     let cid = Grid_util.Ids.Client_id.of_int id in
     let client =
       Client.create ~id:cid ~replicas:(List.map fst replicas) ~retry_ms ?obs ()
     in
     let core =
-      create_core ?obs ?backoff_base_ms ?backoff_cap_ms ~node_id:(client_node cid)
-        ~actor:("c" ^ string_of_int id) ~addresses:replicas ()
+      create_core ?obs ?backoff_base_ms ?backoff_cap_ms ?max_wire_version
+        ~node_id:(client_node cid) ~actor:("c" ^ string_of_int id)
+        ~addresses:replicas ()
     in
     let c_mutex = Mutex.create () in
     let c_cond = Condition.create () in
@@ -532,6 +711,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     let c_loop = Thread.create (fun () -> event_loop core handle) () in
     { c_core = core; client; c_loop; c_mutex; c_cond; c_reply }
 
+  (* Internal: the raw rtype/payload request path. Exposed only through
+     {!call_op}, which derives both from the service signature — callers
+     never build wire payloads by hand. *)
   let call h rtype ~payload ~timeout_s =
     Mutex.lock h.c_mutex;
     h.c_reply := None;
@@ -566,7 +748,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     wait ()
 
   (* Typed entrypoint: classification and encoding stay inside the
-     library, so callers never build wire payloads by hand. *)
+     library. *)
   let call_op h ?(unreplicated = false) op ~timeout_s =
     let rtype : rtype =
       if unreplicated then Original
@@ -575,6 +757,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     call h rtype ~payload:(S.encode_op op) ~timeout_s
 
   let client_metrics h = h.c_core.meters.registry
+  let client_peer_versions h = peer_versions h.c_core
 
   let stop_client h =
     shutdown h.c_core;

@@ -311,7 +311,30 @@ type msg =
   | Sp_decide of { instance : int; proposal : proposal }
 
 
-(* Full message codec, used by the TCP transport and the wire tests. *)
+(* Message tags, shared by every codec version: a tag is the stable
+   on-wire identity of a constructor and must never be renumbered. *)
+let msg_tag = function
+  | Client_req _ -> 0
+  | Reply_msg _ -> 1
+  | Prepare _ -> 2
+  | Prepare_ack _ -> 3
+  | Accept _ -> 4
+  | Accept_ack _ -> 5
+  | Reject _ -> 6
+  | Commit _ -> 7
+  | Read_confirm _ -> 8
+  | Heartbeat _ -> 9
+  | Catchup_req _ -> 10
+  | Catchup _ -> 11
+  | Sp_estimate _ -> 12
+  | Sp_propose _ -> 13
+  | Sp_ack _ -> 14
+  | Sp_decide _ -> 15
+
+(* The body codec below is protocol version 1: the seed's unversioned
+   encoding, kept byte-identical so a V1-capped node interoperates with
+   every build since the seed. Version 2 (compact header, flag-gated
+   fields) lives in {!Wire_codec}. *)
 
 let encode_msg e = function
   | Client_req r ->
@@ -500,6 +523,15 @@ let msg_size = function
   | Sp_propose { proposal; _ } -> 24 + proposal_size proposal
   | Sp_ack _ -> 24
   | Sp_decide { proposal; _ } -> 16 + proposal_size proposal
+
+(* Every message kind, in tag order — per-kind metric registration and
+   the wire benches iterate this instead of hand-maintaining a list. *)
+let all_msg_kinds =
+  [
+    "client_req"; "reply"; "prepare"; "prepare_ack"; "accept"; "accept_ack";
+    "reject"; "commit"; "read_confirm"; "heartbeat"; "catchup_req"; "catchup";
+    "sp_estimate"; "sp_propose"; "sp_ack"; "sp_decide";
+  ]
 
 let msg_kind = function
   | Client_req _ -> "client_req"

@@ -180,7 +180,14 @@ type msg =
   | Sp_ack of { instance : int; round : int }
   | Sp_decide of { instance : int; proposal : proposal }
 
-(** Full message codec, used by the TCP transport and the wire tests. *)
+val msg_tag : msg -> int
+(** Stable on-wire constructor tag, shared by every codec version;
+    never renumbered. *)
+
+(** Version-1 message body codec: the seed's unversioned encoding,
+    kept byte-identical for rolling-upgrade compatibility. The TCP
+    transport goes through {!Wire_codec} instead, which wraps this as
+    [V1] and adds the compact-header [V2]. *)
 
 val encode_msg : Grid_codec.Wire.Encoder.t -> msg -> unit
 val decode_msg : Grid_codec.Wire.Decoder.t -> msg
@@ -195,6 +202,9 @@ val msg_size : msg -> int
 
 val msg_kind : msg -> string
 (** Short stable tag per constructor, for metrics and message counting. *)
+
+val all_msg_kinds : string list
+(** Every {!msg_kind} value, in tag order — for metric registration. *)
 
 val pp_msg : Format.formatter -> msg -> unit
 

@@ -140,70 +140,145 @@ let test_mcheck_deterministic_replay () =
   Alcotest.(check int) "same timer fires" o1.timer_fires o2.timer_fires;
   Alcotest.(check (array int)) "same commit points" o1.committed o2.committed
 
+(* Convert model-checker replies into a counter history: each client's
+   ops are sequential (program order via invocation windows), ordering
+   across clients unknown, so cross-client events overlap fully. A
+   retransmitted read may be answered twice (reads are not
+   deduplicated); the client accepts the first reply. *)
+let counter_history (replies : reply list) =
+  let seen = Hashtbl.create 8 in
+  let first_replies =
+    List.filter
+      (fun (r : reply) ->
+        let key = (r.req.client, r.req.seq) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      replies
+  in
+  List.filter_map
+    (fun (r : reply) ->
+      let client = Grid_util.Ids.Client_id.to_int r.req.client in
+      let seq = r.req.seq in
+      let base = Float.of_int (seq * 10) in
+      let op_of (_, rt, payload) =
+        match rt with
+        | Read -> Some Lin.Counter_model.Get
+        | Write -> Some (Lin.Counter_model.Add
+                           (match Counter.decode_op payload with
+                           | Counter.Add n -> n
+                           | Counter.Get -> 0))
+        | _ -> None
+      in
+      let rec find i = function
+        | [] -> None
+        | ((c, _, _) as req) :: rest ->
+          if c = client then
+            if i = seq - 1 then op_of req else find (i + 1) rest
+          else find i rest
+      in
+      match find 0 mc_requests with
+      | Some op ->
+        Some
+          {
+            Lin.client;
+            op;
+            result = Counter.decode_result r.payload;
+            invoked_at = base;
+            responded_at = base +. 1000.0;
+          }
+      | None -> None)
+    first_replies
+
 let test_mcheck_reads_linearizable () =
-  (* Convert model-checker replies into a history and check the counter
-     linearizes: each client's ops are sequential, ordering unknown, so
-     give all events overlapping windows except program order per client. *)
   for seed = 1 to 40 do
     let o = MC.run ~seed ~steps:2_000 ~crash_prob:0.0 ~requests:mc_requests () in
-    if o.all_replied then begin
-      (* A retransmitted read may be answered twice (reads are not
-         deduplicated); the client accepts the first reply. *)
-      let seen = Hashtbl.create 8 in
-      let first_replies =
-        List.filter
-          (fun (r : reply) ->
-            let key = (r.req.client, r.req.seq) in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.replace seen key ();
-              true
-            end)
-          o.replies
-      in
-      let history =
-        List.filter_map
-          (fun (r : reply) ->
-            let client = Grid_util.Ids.Client_id.to_int r.req.client in
-            let seq = r.req.seq in
-            let base = Float.of_int (seq * 10) in
-            (* Per-client program order is preserved via invocation
-               windows; cross-client ops overlap fully. *)
-            let op_of (_, rt, payload) =
-              match rt with
-              | Read -> Some Lin.Counter_model.Get
-              | Write -> Some (Lin.Counter_model.Add
-                                 (match Counter.decode_op payload with
-                                 | Counter.Add n -> n
-                                 | Counter.Get -> 0))
-              | _ -> None
-            in
-            let rec find i = function
-              | [] -> None
-              | ((c, _, _) as req) :: rest ->
-                if c = client then
-                  if i = seq - 1 then op_of req else find (i + 1) rest
-                else find i rest
-            in
-            match find 0 mc_requests with
-            | Some op ->
-              Some
-                {
-                  Lin.client;
-                  op;
-                  result = Counter.decode_result r.payload;
-                  invoked_at = base;
-                  responded_at = base +. 1000.0;
-                }
-            | None -> None)
-          first_replies
-      in
-      (* Reads return unit payload for writes in the noop encoding of
-         counter: writes return the new value, so results are usable. *)
-      if not (Lin.Counter.check history) then
+    if o.all_replied then
+      (* Writes return the new counter value, so results are usable. *)
+      if not (Lin.Counter.check (counter_history o.replies)) then
         Alcotest.fail (Printf.sprintf "seed %d: non-linearizable history" seed)
-    end
   done
+
+(* ------------------------------------------------------------------ *)
+(* Wire-codec model: every delivery roundtrips through the codec its
+   link would negotiate over TCP; [upgrades] script rolling upgrades. *)
+
+let test_mcheck_wire_static_versions () =
+  (* Homogeneous and mixed static clusters: the per-link min-negotiated
+     codec must roundtrip every message — zero wire errors, safety and
+     liveness intact. *)
+  List.iter
+    (fun versions ->
+      let label =
+        String.concat "" (Array.to_list (Array.map string_of_int versions))
+      in
+      let o =
+        MC.explore ~seed:11 ~steps:2_000 ~requests:mc_requests
+          ~wire_versions:versions ()
+      in
+      Alcotest.(check int) (label ^ ": no violations") 0 (List.length o.violations);
+      Alcotest.(check (list string)) (label ^ ": no wire errors") [] o.wire_errors;
+      Alcotest.(check bool) (label ^ ": all replied") true o.all_replied)
+    [ [| 1; 1; 1 |]; [| 2; 2; 2 |]; [| 1; 2; 1 |]; [| 2; 1; 2 |] ]
+
+let test_mcheck_rolling_upgrade () =
+  (* The acceptance scenario: 3 replicas start on V1 and are upgraded
+     one at a time — each upgrade a crash-consistent bounce after which
+     the victim speaks V2 — under a nemesis that also injects crashes,
+     duplication and reordering. Safety oracles, the wire model and
+     linearizability must stay green through every mixed-version
+     configuration the cluster passes through. *)
+  let nemesis =
+    { Grid_check.Mcheck.no_faults with
+      crash_prob = 0.002;
+      dup_prob = 0.01;
+      reorder_prob = 0.01;
+    }
+  in
+  let upgrades = [ (400, 0, 2); (900, 1, 2); (1400, 2, 2) ] in
+  for seed = 1 to 25 do
+    let o =
+      MC.explore ~seed ~steps:2_500 ~nemesis ~requests:mc_requests
+        ~wire_versions:[| 1; 1; 1 |] ~upgrades ()
+    in
+    if o.violations <> [] then
+      Alcotest.fail (Printf.sprintf "seed %d: agreement violation" seed);
+    if o.wire_errors <> [] then
+      Alcotest.fail
+        (Printf.sprintf "seed %d: wire errors: %s" seed
+           (String.concat "; " o.wire_errors));
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: all three upgrades fired" seed)
+      3 o.upgraded;
+    if not o.all_replied then
+      Alcotest.fail (Printf.sprintf "seed %d: unreplied requests" seed);
+    if not (Lin.Counter.check (counter_history o.replies)) then
+      Alcotest.fail
+        (Printf.sprintf "seed %d: non-linearizable mixed-version history" seed)
+  done
+
+let test_mcheck_upgrade_replay_deterministic () =
+  (* A recorded plan containing Upgrade_at events replays exactly. *)
+  let nemesis = { Grid_check.Mcheck.no_faults with crash_prob = 0.002 } in
+  let upgrades = [ (300, 0, 2); (800, 1, 2) ] in
+  let o1 =
+    MC.explore ~seed:42 ~steps:1_500 ~nemesis ~requests:mc_requests
+      ~wire_versions:[| 1; 1; 1 |] ~upgrades ()
+  in
+  Alcotest.(check bool) "plan records the upgrades" true
+    (List.exists
+       (function Grid_check.Mcheck.Upgrade_at _ -> true | _ -> false)
+       o1.plan);
+  let o2 =
+    MC.replay ~seed:42 ~steps:1_500 ~requests:mc_requests
+      ~wire_versions:[| 1; 1; 1 |] ~plan:o1.plan ()
+  in
+  Alcotest.(check int) "same upgrades" o1.upgraded o2.upgraded;
+  Alcotest.(check int) "same deliveries" o1.delivered o2.delivered;
+  Alcotest.(check (array int)) "same commit points" o1.committed o2.committed;
+  Alcotest.(check (list string)) "replay also wire-clean" [] o2.wire_errors
 
 let suite =
   [
@@ -231,5 +306,14 @@ let suite =
           test_mcheck_deterministic_replay;
         Alcotest.test_case "reply histories linearizable" `Slow
           test_mcheck_reads_linearizable;
+      ] );
+    ( "check.mcheck_wire",
+      [
+        Alcotest.test_case "static version mixes clean" `Quick
+          test_mcheck_wire_static_versions;
+        Alcotest.test_case "rolling upgrade under nemesis" `Slow
+          test_mcheck_rolling_upgrade;
+        Alcotest.test_case "upgrade plans replay deterministically" `Quick
+          test_mcheck_upgrade_replay_deterministic;
       ] );
   ]

@@ -8,6 +8,7 @@ let () =
          Test_obs.suite;
          Test_watchdog.suite;
          Test_codec.suite;
+         Test_wire.suite;
          Test_sim.suite;
          Test_paxos_unit.suite;
          Test_replica_unit.suite;

@@ -4,14 +4,22 @@
 
 module Framing = Grid_net.Framing
 module Wire = Grid_codec.Wire
+module Wire_codec = Grid_paxos.Wire_codec
 module Counter = Grid_services.Counter
 module Config = Grid_paxos.Config
 open Grid_paxos.Types
 
 module Tcp = Grid_net.Tcp_node.Make (Counter)
+module C1 = Framing.Codec (Wire_codec.V1)
+module C2 = Framing.Codec (Wire_codec.V2)
 
 (* ------------------------------------------------------------------ *)
 (* Framing *)
+
+let read_frame_ok what fd =
+  match Framing.read_frame fd with
+  | Stdlib.Ok payload -> payload
+  | Stdlib.Error e -> Alcotest.failf "%s: %s" what (Format.asprintf "%a" Framing.pp_read_error e)
 
 let test_framing_roundtrip () =
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
@@ -20,13 +28,14 @@ let test_framing_roundtrip () =
       Unix.close a;
       Unix.close b)
     (fun () ->
-      Framing.write_frame a "hello frame";
-      Alcotest.(check string) "roundtrip" "hello frame" (Framing.read_frame b);
-      Framing.write_frame a "";
-      Alcotest.(check string) "empty payload" "" (Framing.read_frame b);
+      let n = Framing.write_frame a "hello frame" in
+      Alcotest.(check int) "bytes = header + payload + crc" (4 + 11 + 4) n;
+      Alcotest.(check string) "roundtrip" "hello frame" (read_frame_ok "roundtrip" b);
+      ignore (Framing.write_frame a "");
+      Alcotest.(check string) "empty payload" "" (read_frame_ok "empty" b);
       let big = String.make 100_000 'z' in
-      Framing.write_frame a big;
-      Alcotest.(check string) "large payload" big (Framing.read_frame b))
+      ignore (Framing.write_frame a big);
+      Alcotest.(check string) "large payload" big (read_frame_ok "large" b))
 
 let test_framing_closed () =
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
@@ -34,8 +43,8 @@ let test_framing_closed () =
   Fun.protect
     ~finally:(fun () -> Unix.close b)
     (fun () ->
-      Alcotest.check_raises "eof raises Closed" Framing.Closed (fun () ->
-          ignore (Framing.read_frame b)))
+      Alcotest.(check bool) "eof is a typed Eof, not an exception" true
+        (Framing.read_frame b = Stdlib.Error Framing.Eof))
 
 let test_framing_corruption () =
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
@@ -47,46 +56,67 @@ let test_framing_corruption () =
       (* A frame whose CRC does not match its payload. *)
       let bogus = "\x08\x00\x00\x00ABCDWXYZ" in
       ignore (Unix.write_substring a bogus 0 (String.length bogus));
-      Alcotest.(check bool) "corruption detected" true
-        (match Framing.read_frame b with
-        | _ -> false
-        | exception Wire.Decode_error _ -> true))
+      Alcotest.(check bool) "corruption detected as typed Corrupt" true
+        (match Framing.read_frame b with Stdlib.Error (Framing.Corrupt _) -> true | _ -> false))
 
-let test_msg_wire_roundtrip () =
-  let msgs =
-    [
-      Client_req
-        { id = Grid_util.Ids.Request_id.make ~client:(Grid_util.Ids.Client_id.of_int 4) ~seq:2;
-          rtype = Read;
-          payload = "op";
-          trace = no_trace };
-      Prepare { ballot = Ballot.make ~round:3 ~holder:1; commit_point = 17 };
-      Accept
-        { ballot = Ballot.make ~round:3 ~holder:1;
-          instance = 18;
-          proposal = { requests = []; update = Full "state"; replies = [] } };
-      Commit { ballot = Ballot.make ~round:3 ~holder:1; instance = 18 };
-      Heartbeat
-        { round_seen = 5;
-          commit_point = 17;
-          promised = Ballot.make ~round:3 ~holder:1;
-          sent_at = 42.5;
-          lease_anchor = 40.0 };
-      Catchup { snapshot = "snap" };
-    ]
-  in
+let test_framing_truncated_body () =
+  (* EOF in the middle of a frame body is corruption, not a clean Eof. *)
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
   Fun.protect
-    ~finally:(fun () ->
-      Unix.close a;
-      Unix.close b)
+    ~finally:(fun () -> Unix.close b)
     (fun () ->
-      List.iter (Framing.write_msg a) msgs;
-      List.iter
-        (fun expected ->
-          let got = Framing.read_msg b in
-          Alcotest.(check string) "message kinds match" (msg_kind expected) (msg_kind got))
-        msgs)
+      let partial = "\x40\x00\x00\x00only-a-few-bytes" in
+      ignore (Unix.write_substring a partial 0 (String.length partial));
+      Unix.close a;
+      Alcotest.(check bool) "truncated body is Corrupt" true
+        (match Framing.read_frame b with Stdlib.Error (Framing.Corrupt _) -> true | _ -> false))
+
+let sample_msgs =
+  [
+    Client_req
+      { id = Grid_util.Ids.Request_id.make ~client:(Grid_util.Ids.Client_id.of_int 4) ~seq:2;
+        rtype = Read;
+        payload = "op";
+        trace = no_trace };
+    Prepare { ballot = Ballot.make ~round:3 ~holder:1; commit_point = 17 };
+    Accept
+      { ballot = Ballot.make ~round:3 ~holder:1;
+        instance = 18;
+        proposal = { requests = []; update = Full "state"; replies = [] } };
+    Commit { ballot = Ballot.make ~round:3 ~holder:1; instance = 18 };
+    Heartbeat
+      { round_seen = 5;
+        commit_point = 17;
+        promised = Ballot.make ~round:3 ~holder:1;
+        sent_at = 42.5;
+        lease_anchor = 40.0 };
+    Catchup { snapshot = "snap" };
+  ]
+
+let test_msg_wire_roundtrip () =
+  (* Both negotiated codecs must carry the same messages over a socket. *)
+  List.iter
+    (fun (name, write_msg, read_msg) ->
+      let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close a;
+          Unix.close b)
+        (fun () ->
+          List.iter (fun m -> ignore (write_msg a m)) sample_msgs;
+          List.iter
+            (fun expected ->
+              match read_msg b with
+              | Stdlib.Ok (got, bytes) ->
+                Alcotest.(check string)
+                  (name ^ ": message kinds match")
+                  (msg_kind expected) (msg_kind got);
+                Alcotest.(check bool) (name ^ ": byte count positive") true (bytes > 8)
+              | Stdlib.Error e ->
+                Alcotest.failf "%s: %s" name
+                  (Format.asprintf "%a" Framing.pp_read_error e))
+            sample_msgs))
+    [ ("v1", C1.write_msg, C1.read_msg); ("v2", C2.write_msg, C2.read_msg) ]
 
 (* ------------------------------------------------------------------ *)
 (* Loopback cluster *)
@@ -138,16 +168,11 @@ let test_loopback_cluster () =
         (fun () ->
           (* Five writes then a read, synchronously. *)
           for k = 1 to 5 do
-            match
-              Tcp.call client Write ~payload:(Counter.encode_op (Counter.Add k))
-                ~timeout_s:5.0
-            with
+            match Tcp.call_op client (Counter.Add k) ~timeout_s:5.0 with
             | Some reply -> Alcotest.(check bool) "write ok" true (reply.status = Ok)
             | None -> Alcotest.fail (Printf.sprintf "write %d timed out" k)
           done;
-          (match
-             Tcp.call client Read ~payload:(Counter.encode_op Counter.Get) ~timeout_s:5.0
-           with
+          (match Tcp.call_op client Counter.Get ~timeout_s:5.0 with
           | Some reply ->
             Alcotest.(check int) "read sees all writes" 15
               (Counter.decode_result reply.payload)
@@ -160,6 +185,88 @@ let test_loopback_cluster () =
             else if Unix.gettimeofday () > deadline then
               Alcotest.fail
                 (Printf.sprintf "replicas did not converge: %s"
+                   (String.concat "," (List.map string_of_int states)))
+            else begin
+              Thread.delay 0.02;
+              wait_converged ()
+            end
+          in
+          wait_converged ()))
+
+let test_loopback_mixed_versions () =
+  (* One replica capped at wire V1 (an un-upgraded build): connections
+     touching it negotiate V1, the V2↔V2 pair keeps V2, and the cluster
+     still commits. *)
+  let ports = Array.init 3 (fun _ -> free_port ()) in
+  let addr i = Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(i)) in
+  let peers_of i =
+    List.filter_map (fun j -> if j = i then None else Some (j, addr j)) [ 0; 1; 2 ]
+  in
+  let cfg =
+    Config.make ~n:3 ~hb_period_ms:10.0 ~suspicion_ms:60.0 ~stability_ms:20.0
+      ~client_retry_ms:150.0 ~accept_retry_ms:50.0 ()
+  in
+  let version_of = function 1 -> 1 | _ -> 2 in
+  let replicas =
+    List.map
+      (fun i ->
+        Tcp.start_replica ~cfg ~id:i ~port:ports.(i) ~peers:(peers_of i)
+          ~max_wire_version:(version_of i) ())
+      [ 0; 1; 2 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Tcp.stop_replica replicas)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_leader () =
+        if List.exists Tcp.replica_is_leader replicas then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no leader elected on mixed-version cluster"
+        else begin
+          Thread.delay 0.02;
+          wait_leader ()
+        end
+      in
+      wait_leader ();
+      let client =
+        Tcp.start_client ~id:1 ~replicas:(List.map (fun i -> (i, addr i)) [ 0; 1; 2 ]) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Tcp.stop_client client)
+        (fun () ->
+          for k = 1 to 5 do
+            match Tcp.call_op client (Counter.Add k) ~timeout_s:5.0 with
+            | Some reply ->
+              Alcotest.(check bool) "mixed-version write ok" true (reply.status = Ok)
+            | None -> Alcotest.fail (Printf.sprintf "mixed-version write %d timed out" k)
+          done;
+          (* Every negotiated version is min(local, peer). *)
+          List.iteri
+            (fun i h ->
+              List.iter
+                (fun (peer, v) ->
+                  if not (node_is_client peer) then
+                    Alcotest.(check int)
+                      (Printf.sprintf "replica %d <-> %d negotiated min" i peer)
+                      (min (version_of i) (version_of peer))
+                      v)
+                (Tcp.replica_peer_versions h))
+            replicas;
+          (* The client (latest) speaks V1 to the capped replica and V2 to
+             the rest. *)
+          List.iter
+            (fun (peer, v) ->
+              Alcotest.(check int)
+                (Printf.sprintf "client <-> replica %d negotiated min" peer)
+                (version_of peer) v)
+            (Tcp.client_peer_versions client);
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let rec wait_converged () =
+            let states = List.map Tcp.replica_state replicas in
+            if List.for_all (fun s -> s = 15) states then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail
+                (Printf.sprintf "mixed-version replicas did not converge: %s"
                    (String.concat "," (List.map string_of_int states)))
             else begin
               Thread.delay 0.02;
@@ -257,14 +364,12 @@ let test_admin_endpoint () =
         ~finally:(fun () -> Tcp.stop_client client)
         (fun () ->
           for k = 1 to 3 do
-            match
-              Tcp.call client Write ~payload:(Counter.encode_op (Counter.Add k))
-                ~timeout_s:5.0
-            with
+            match Tcp.call_op client (Counter.Add k) ~timeout_s:5.0 with
             | Some reply -> Alcotest.(check bool) "write ok" true (reply.status = Ok)
             | None -> Alcotest.fail (Printf.sprintf "write %d timed out" k)
           done;
-          (* /health on the leader: role, commit point, zero violations. *)
+          (* /health on the leader: role, commit point, zero violations,
+             wire-version visibility. *)
           let status, body = http_get ports.(leader_id) "/health" in
           Alcotest.(check bool) "health 200" true (contains status "200");
           Alcotest.(check bool) "health says leader" true
@@ -273,12 +378,25 @@ let test_admin_endpoint () =
             (contains body {|"commit_point":|});
           Alcotest.(check bool) "health watchdog silent" true
             (contains body {|"watchdog_violations":0|});
+          Alcotest.(check bool) "health reports wire version" true
+            (contains body
+               (Printf.sprintf {|"wire_version":%d|} Wire_codec.latest_version));
+          Alcotest.(check bool) "health reports peer wire versions" true
+            (contains body {|"peer_wire_versions":{|});
           (* /metrics: Prometheus exposition with transport and watchdog
              series. *)
           let status, body = http_get ports.(leader_id) "/metrics" in
           Alcotest.(check bool) "metrics 200" true (contains status "200");
           Alcotest.(check bool) "metrics transport counters" true
             (contains body "grid_net_messages_sent_total");
+          Alcotest.(check bool) "metrics byte counters" true
+            (contains body "grid_net_bytes_total");
+          Alcotest.(check bool) "metrics per-kind byte counters" true
+            (contains body "grid_net_bytes_total_accept");
+          Alcotest.(check bool) "metrics per-peer wire version gauges" true
+            (contains body "grid_net_wire_version_peer_");
+          Alcotest.(check bool) "metrics decode errors silent" true
+            (contains body "grid_net_decode_errors_total 0");
           Alcotest.(check bool) "metrics watchdog silent" true
             (contains body "grid_watchdog_violations_total 0");
           (* /flightrec: the always-on recorder dumps parseable JSONL. *)
@@ -289,10 +407,7 @@ let test_admin_endpoint () =
           (* Unknown paths 404; the protocol survives admin traffic. *)
           let status, _ = http_get ports.(leader_id) "/nope" in
           Alcotest.(check bool) "404 on unknown path" true (contains status "404");
-          (match
-             Tcp.call client Read ~payload:(Counter.encode_op Counter.Get)
-               ~timeout_s:5.0
-           with
+          (match Tcp.call_op client Counter.Get ~timeout_s:5.0 with
           | Some reply ->
             Alcotest.(check int) "protocol alive after admin scrapes" 6
               (Counter.decode_result reply.payload)
@@ -348,7 +463,17 @@ let test_loopback_duplicate_request () =
           Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
           Unix.connect fd (addr leader);
           let cid = Grid_util.Ids.Client_id.of_int 9 in
-          Framing.write_hello fd ~node_id:(client_node cid);
+          (* Speak the handshake by hand: advertise V2, read the
+             replica's hello back, and check the negotiation result. *)
+          Framing.write_hello fd ~node_id:(client_node cid) ~max_version:2;
+          (match Framing.read_hello fd with
+          | Stdlib.Ok (peer_id, peer_max) ->
+            Alcotest.(check int) "hello echoes the replica id" leader peer_id;
+            Alcotest.(check int) "replica advertises latest version"
+              Wire_codec.latest_version peer_max
+          | Stdlib.Error e ->
+            Alcotest.failf "hello ack: %s"
+              (Format.asprintf "%a" Framing.pp_read_error e));
           let req =
             { id = Grid_util.Ids.Request_id.make ~client:cid ~seq:1;
               rtype = Write;
@@ -356,15 +481,18 @@ let test_loopback_duplicate_request () =
               trace = no_trace }
           in
           let read_reply what =
-            match Framing.read_msg fd with
-            | Reply_msg r -> r
-            | m -> Alcotest.failf "%s: expected a reply, got %s" what (msg_kind m)
+            match C2.read_msg fd with
+            | Stdlib.Ok (Reply_msg r, _) -> r
+            | Stdlib.Ok (m, _) -> Alcotest.failf "%s: expected a reply, got %s" what (msg_kind m)
+            | Stdlib.Error e ->
+              Alcotest.failf "%s: %s" what
+                (Format.asprintf "%a" Framing.pp_read_error e)
           in
-          Framing.write_msg fd (Client_req req);
+          ignore (C2.write_msg fd (Client_req req));
           let r1 = read_reply "first send" in
           Alcotest.(check bool) "first reply ok" true (r1.status = Ok);
           (* Retransmit the identical request after the commit. *)
-          Framing.write_msg fd (Client_req req);
+          ignore (C2.write_msg fd (Client_req req));
           let r2 = read_reply "duplicate send" in
           Alcotest.(check bool) "cached reply ok" true (r2.status = Ok);
           Alcotest.(check string) "cached reply payload identical" r1.payload
@@ -392,11 +520,14 @@ let suite =
         Alcotest.test_case "roundtrip" `Quick test_framing_roundtrip;
         Alcotest.test_case "closed" `Quick test_framing_closed;
         Alcotest.test_case "corruption" `Quick test_framing_corruption;
-        Alcotest.test_case "msg wire roundtrip" `Quick test_msg_wire_roundtrip;
+        Alcotest.test_case "truncated body" `Quick test_framing_truncated_body;
+        Alcotest.test_case "msg wire roundtrip (v1+v2)" `Quick test_msg_wire_roundtrip;
       ] );
     ( "net.loopback",
       [
         Alcotest.test_case "3-replica cluster + client" `Slow test_loopback_cluster;
+        Alcotest.test_case "mixed wire versions negotiate min" `Slow
+          test_loopback_mixed_versions;
         Alcotest.test_case "admin endpoint serves metrics/health/flightrec" `Slow
           test_admin_endpoint;
         Alcotest.test_case "duplicate request hits the dedup table" `Slow

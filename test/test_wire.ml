@@ -1,0 +1,395 @@
+(* Property and fuzz tier for the versioned wire codecs (V1, V2).
+
+   Three obligations:
+   - every [Types.msg] constructor roundtrips through every codec
+     version (exhaustive samples + randomized instances);
+   - decoding is total: truncations, byte flips and random garbage
+     produce a typed [Error], never an exception or silent garbage;
+   - the version plumbing (negotiate, of_version, header magic,
+     reserved flag bits, cross-version rejection) behaves as
+     DESIGN.md §15 specifies.
+
+   Message equality goes through the canonical V1 body encoding rather
+   than [(=)]: lease anchors and heartbeat clocks are floats that can be
+   [nan], and [nan <> nan] would fail structural comparison on messages
+   that are byte-identical on the wire. *)
+
+module Types = Grid_paxos.Types
+module WC = Grid_paxos.Wire_codec
+module Wire = Grid_codec.Wire
+module Wire_intf = Grid_codec.Wire_intf
+module Ids = Grid_util.Ids
+
+let codecs =
+  [ (module WC.V1 : Wire_intf.WIRE with type msg = Types.msg); (module WC.V2) ]
+
+(* Canonical bytes of a message: the V1 body encoding (no header). Equal
+   canon = equal message, nan-safe. *)
+let canon m = Wire.encode (fun e -> Types.encode_msg e m)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive constructor samples. *)
+
+let ballot = Types.Ballot.make ~round:3 ~holder:1
+
+let req ?(rtype = Types.Write) ?(trace = Types.no_trace) ?(payload = "op") seq :
+    Types.request =
+  { id = Ids.Request_id.make ~client:(Ids.Client_id.of_int 4) ~seq;
+    rtype; payload; trace }
+
+let traced = { Types.tid = 77; parent = "span-3" }
+
+let reply ?(status = Types.Ok) ?(payload = "res") seq : Types.reply =
+  { req = (req seq).id; status; payload }
+
+let proposal_aligned : Types.proposal =
+  { requests = [ req 1; req 2 ];
+    update = Types.Delta "d";
+    replies = [ reply 1; reply 2 ] }
+
+let proposal_misaligned : Types.proposal =
+  (* Reply ids do not match the request batch: V2 must fall back to the
+     positional-id-free encoding. *)
+  { requests = [ req 1 ];
+    update = Types.Full "state";
+    replies = [ reply 9 ] }
+
+(* At least one sample per constructor, plus the variants that exercise
+   each V2 flag and escape path (traced/untraced, lease present/absent,
+   aligned/misaligned, option arms). *)
+let sample_msgs : (string * Types.msg) list =
+  [
+    ("client_req", Client_req (req 1));
+    ("client_req traced", Client_req (req ~trace:traced 2));
+    ("client_req txn", Client_req (req ~rtype:(Types.Txn_op 5) 3));
+    ("reply", Reply_msg (reply 1));
+    ("reply overloaded",
+     Reply_msg (reply ~status:(Types.Overloaded { retry_after_ms = 12.5 }) 2));
+    ("prepare", Prepare { ballot; commit_point = 41 });
+    ("prepare_ack empty",
+     Prepare_ack { ballot; commit_point = 41; snapshot = None; accepted = [] });
+    ("prepare_ack full",
+     Prepare_ack
+       { ballot; commit_point = 41; snapshot = Some "snap";
+         accepted =
+           [ { Types.instance = 42; ballot; proposal = proposal_aligned } ] });
+    ("accept", Accept { ballot; instance = 42; proposal = proposal_aligned });
+    ("accept misaligned",
+     Accept { ballot; instance = 42; proposal = proposal_misaligned });
+    ("accept traced",
+     Accept
+       { ballot; instance = 43;
+         proposal =
+           { proposal_aligned with requests = [ req ~trace:traced 1; req 2 ] } });
+    ("accept_ack", Accept_ack { ballot; instance = 42 });
+    ("reject", Reject { promised = ballot });
+    ("commit", Commit { ballot; instance = 42 });
+    ("read_confirm leased",
+     Read_confirm { ballot; req = (req 5).id; lease_anchor = 123.5 });
+    ("read_confirm no lease",
+     Read_confirm { ballot; req = (req 5).id; lease_anchor = Float.nan });
+    ("heartbeat leased",
+     Heartbeat
+       { round_seen = 3; commit_point = 41; promised = ballot; sent_at = 99.25;
+         lease_anchor = 98.0 });
+    ("heartbeat no lease",
+     Heartbeat
+       { round_seen = 3; commit_point = 41; promised = ballot; sent_at = 99.25;
+         lease_anchor = Float.nan });
+    ("catchup_req", Catchup_req { from_instance = 17 });
+    ("catchup", Catchup { snapshot = String.make 100 's' });
+    ("sp_estimate none", Sp_estimate { instance = 7; round = 2; estimate = None });
+    ("sp_estimate some",
+     Sp_estimate
+       { instance = 7; round = 2; estimate = Some (proposal_aligned, 1) });
+    ("sp_propose",
+     Sp_propose { instance = 7; round = 2; proposal = proposal_aligned });
+    ("sp_ack", Sp_ack { instance = 7; round = 2 });
+    ("sp_decide", Sp_decide { instance = 7; proposal = proposal_misaligned });
+  ]
+
+let test_every_constructor_roundtrips () =
+  (* The sample set must cover all 16 wire tags. *)
+  let tags =
+    List.sort_uniq compare (List.map (fun (_, m) -> Types.msg_tag m) sample_msgs)
+  in
+  Alcotest.(check int) "all 16 tags sampled" 16 (List.length tags);
+  List.iter
+    (fun (module W : Wire_intf.WIRE with type msg = Types.msg) ->
+      List.iter
+        (fun (name, m) ->
+          match W.decode (W.encode m) with
+          | Stdlib.Ok m' ->
+            Alcotest.(check string)
+              (Printf.sprintf "v%d %s" W.version name)
+              (canon m) (canon m')
+          | Stdlib.Error e ->
+            Alcotest.fail
+              (Printf.sprintf "v%d %s: %s" W.version name
+                 (Wire_intf.decode_error_to_string e)))
+        sample_msgs)
+    codecs
+
+(* ------------------------------------------------------------------ *)
+(* Version plumbing. *)
+
+let test_negotiate () =
+  Alcotest.(check (option int)) "min wins" (Some 1)
+    (WC.negotiate ~local_max:2 ~peer_max:1);
+  Alcotest.(check (option int)) "symmetric" (Some 1)
+    (WC.negotiate ~local_max:1 ~peer_max:2);
+  Alcotest.(check (option int)) "latest" (Some 2)
+    (WC.negotiate ~local_max:2 ~peer_max:2);
+  Alcotest.(check (option int)) "future peer capped" (Some 2)
+    (WC.negotiate ~local_max:2 ~peer_max:9);
+  Alcotest.(check (option int)) "below min rejected" None
+    (WC.negotiate ~local_max:2 ~peer_max:0)
+
+let test_of_version () =
+  List.iter
+    (fun v ->
+      match WC.of_version v with
+      | Some (module W : Wire_intf.WIRE with type msg = Types.msg) ->
+        Alcotest.(check int) "version field" v W.version
+      | None -> Alcotest.fail (Printf.sprintf "version %d should resolve" v))
+    [ 1; 2 ];
+  Alcotest.(check bool) "0 unknown" true (WC.of_version 0 = None);
+  Alcotest.(check bool) "3 unknown" true (WC.of_version 3 = None);
+  Alcotest.check_raises "of_version_exn on unknown"
+    (Invalid_argument "Wire_codec.of_version_exn: version 9") (fun () ->
+      ignore (WC.of_version_exn 9))
+
+let is_error = function Stdlib.Error _ -> true | Stdlib.Ok _ -> false
+
+let test_cross_version_rejection () =
+  (* A V2 frame starts with the 0xA2 header byte, which V1 reads as an
+     out-of-range message tag; a V1 frame starts with a tag varint that
+     fails V2's magic check. Neither can be misparsed as the other. *)
+  List.iter
+    (fun (_, m) ->
+      Alcotest.(check bool) "v1 rejects v2 bytes" true
+        (is_error (WC.V1.decode (WC.V2.encode m)));
+      Alcotest.(check bool) "v2 rejects v1 bytes" true
+        (is_error (WC.V2.decode (WC.V1.encode m))))
+    sample_msgs
+
+let test_v2_header_validation () =
+  let m = Types.Accept { ballot; instance = 42; proposal = proposal_aligned } in
+  let s = WC.V2.encode m in
+  Alcotest.(check int) "magic nibble" 0xA (Char.code s.[0] lsr 4);
+  Alcotest.(check int) "version nibble" 2 (Char.code s.[0] land 0xF);
+  (* Reserved flag bit: a decoder that ignored it would silently
+     misparse frames from a future minor revision. *)
+  let reserved = Bytes.of_string s in
+  Bytes.set reserved 1 (Char.chr (Char.code s.[1] lor 0x80));
+  Alcotest.(check bool) "reserved flag rejected" true
+    (is_error (WC.V2.decode (Bytes.to_string reserved)));
+  (* Future version in the header: not ours to parse. *)
+  let future = Bytes.of_string s in
+  Bytes.set future 0 (Wire_intf.header_byte ~version:3);
+  Alcotest.(check bool) "future version rejected" true
+    (is_error (WC.V2.decode (Bytes.to_string future)));
+  (* Degenerate inputs. *)
+  List.iter
+    (fun (module W : Wire_intf.WIRE with type msg = Types.msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "v%d empty rejected" W.version)
+        true
+        (is_error (W.decode ""));
+      Alcotest.(check bool)
+        (Printf.sprintf "v%d one byte rejected" W.version)
+        true
+        (is_error (W.decode "\xA2")))
+    codecs
+
+let test_decode_error_metadata () =
+  List.iter
+    (fun (module W : Wire_intf.WIRE with type msg = Types.msg) ->
+      match W.decode "" with
+      | Stdlib.Error e ->
+        Alcotest.(check int) "error names its codec" W.version e.version
+      | Stdlib.Ok _ -> Alcotest.fail "empty input decoded")
+    codecs
+
+(* ------------------------------------------------------------------ *)
+(* Randomized instances and fuzz. *)
+
+open QCheck2
+
+let gen_payload = Gen.(string_size (int_bound 24))
+
+let gen_trace =
+  Gen.oneof
+    [ Gen.return Types.no_trace;
+      Gen.map2
+        (fun tid parent -> { Types.tid = tid + 1; parent })
+        (Gen.int_bound 1000) gen_payload ]
+
+let gen_rtype =
+  Gen.oneofl
+    [ Types.Read; Types.Write; Types.Original; Types.Txn_op 3;
+      Types.Txn_commit 9; Types.Txn_abort 9 ]
+
+let gen_status =
+  Gen.oneofl
+    [ Types.Ok; Types.Txn_aborted; Types.Txn_conflict; Types.Retry;
+      Types.Overloaded { retry_after_ms = 40.0 } ]
+
+let gen_ballot =
+  Gen.map2
+    (fun round holder -> Types.Ballot.make ~round ~holder)
+    Gen.small_nat (Gen.int_bound 4)
+
+let gen_float = Gen.oneofl [ 0.0; 1.5; -2.25; 9999.125; Float.nan ]
+
+let gen_request =
+  Gen.map3
+    (fun (client, seq) (rtype, payload) trace ->
+      { Types.id =
+          Ids.Request_id.make ~client:(Ids.Client_id.of_int client)
+            ~seq:(seq + 1);
+        rtype; payload; trace })
+    (Gen.pair (Gen.int_bound 9) (Gen.int_bound 100))
+    (Gen.pair gen_rtype gen_payload)
+    gen_trace
+
+let gen_reply_for (r : Types.request) =
+  Gen.map2
+    (fun status payload -> { Types.req = r.id; status; payload })
+    gen_status gen_payload
+
+let gen_proposal =
+  (* Half the time the replies line up with the request batch (the
+     committed-entry shape V2 encodes positionally), half the time they
+     do not. *)
+  let open Gen in
+  gen_request >>= fun r1 ->
+  gen_request >>= fun r2 ->
+  gen_reply_for r1 >>= fun p1 ->
+  gen_reply_for r2 >>= fun p2 ->
+  gen_reply_for r2 >>= fun stray ->
+  map2
+    (fun update aligned ->
+      { Types.requests = [ r1; r2 ];
+        update;
+        replies = (if aligned then [ p1; p2 ] else [ stray ]) })
+    (oneofl
+       [ Types.Full "full-state"; Types.Delta "delta"; Types.Witness "w" ])
+    bool
+
+let gen_msg =
+  let open Gen in
+  gen_ballot >>= fun ballot ->
+  gen_request >>= fun r ->
+  gen_proposal >>= fun p ->
+  gen_reply_for r >>= fun rep ->
+  gen_float >>= fun f1 ->
+  gen_float >>= fun f2 ->
+  int_bound 100 >>= fun n ->
+  oneofl
+    [ Types.Client_req r;
+      Types.Reply_msg rep;
+      Types.Prepare { ballot; commit_point = n };
+      Types.Prepare_ack
+        { ballot; commit_point = n; snapshot = None; accepted = [] };
+      Types.Prepare_ack
+        { ballot; commit_point = n; snapshot = Some "snap";
+          accepted = [ { Types.instance = n + 1; ballot; proposal = p } ] };
+      Types.Accept { ballot; instance = n; proposal = p };
+      Types.Accept_ack { ballot; instance = n };
+      Types.Reject { promised = ballot };
+      Types.Commit { ballot; instance = n };
+      Types.Read_confirm { ballot; req = r.id; lease_anchor = f1 };
+      Types.Heartbeat
+        { round_seen = n; commit_point = n; promised = ballot; sent_at = f1;
+          lease_anchor = f2 };
+      Types.Catchup_req { from_instance = n };
+      Types.Catchup { snapshot = "snap" };
+      Types.Sp_estimate { instance = n; round = 2; estimate = None };
+      Types.Sp_estimate { instance = n; round = 2; estimate = Some (p, 1) };
+      Types.Sp_propose { instance = n; round = 2; proposal = p };
+      Types.Sp_ack { instance = n; round = 2 };
+      Types.Sp_decide { instance = n; proposal = p } ]
+
+let prop_roundtrip (module W : Wire_intf.WIRE with type msg = Types.msg) =
+  Test.make
+    ~name:(Printf.sprintf "v%d roundtrips random messages" W.version)
+    ~count:400 gen_msg (fun m ->
+      match W.decode (W.encode m) with
+      | Stdlib.Ok m' -> canon m' = canon m
+      | Stdlib.Error _ -> false)
+
+let prop_cross_version_agreement =
+  (* Decoding a message through either version yields the same message
+     (canonically) — upgrading a link cannot change what is delivered. *)
+  Test.make ~name:"v1/v2 decode to the same message" ~count:400 gen_msg (fun m ->
+      match (WC.V1.decode (WC.V1.encode m), WC.V2.decode (WC.V2.encode m)) with
+      | Stdlib.Ok a, Stdlib.Ok b -> canon a = canon b
+      | _ -> false)
+
+(* Decoding never raises: every mangled input yields Ok or a typed
+   Error. (An [Ok] is legitimate — a flip inside a payload string is a
+   different valid message; a truncation at a flag-gated tail decodes
+   with the field absent.) *)
+let total_decode (module W : Wire_intf.WIRE with type msg = Types.msg) s =
+  match W.decode s with
+  | Stdlib.Ok _ | Stdlib.Error _ -> true
+  | exception e ->
+    Printf.eprintf "v%d decode raised %s\n" W.version (Printexc.to_string e);
+    false
+
+let prop_truncation_total (module W : Wire_intf.WIRE with type msg = Types.msg)
+    =
+  Test.make
+    ~name:(Printf.sprintf "v%d truncated frames decode totally" W.version)
+    ~count:400
+    Gen.(pair gen_msg (int_bound 1000))
+    (fun (m, cut) ->
+      let s = W.encode m in
+      let s = String.sub s 0 (cut mod max 1 (String.length s)) in
+      total_decode (module W) s)
+
+let prop_byteflip_total (module W : Wire_intf.WIRE with type msg = Types.msg) =
+  Test.make
+    ~name:(Printf.sprintf "v%d byte-flipped frames decode totally" W.version)
+    ~count:600
+    Gen.(triple gen_msg (int_bound 10_000) (int_range 1 255))
+    (fun (m, pos, x) ->
+      let s = Bytes.of_string (W.encode m) in
+      let pos = pos mod Bytes.length s in
+      Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor x));
+      total_decode (module W) (Bytes.to_string s))
+
+let prop_garbage_total (module W : Wire_intf.WIRE with type msg = Types.msg) =
+  Test.make
+    ~name:(Printf.sprintf "v%d random garbage decodes totally" W.version)
+    ~count:600
+    Gen.(string_size (int_bound 64))
+    (fun s -> total_decode (module W) s)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "wire.versions",
+      [
+        Alcotest.test_case "every constructor roundtrips" `Quick
+          test_every_constructor_roundtrips;
+        Alcotest.test_case "negotiate" `Quick test_negotiate;
+        Alcotest.test_case "of_version" `Quick test_of_version;
+        Alcotest.test_case "cross-version rejection" `Quick
+          test_cross_version_rejection;
+        Alcotest.test_case "v2 header validation" `Quick
+          test_v2_header_validation;
+        Alcotest.test_case "decode errors name their codec" `Quick
+          test_decode_error_metadata;
+      ] );
+    ( "wire.properties",
+      qcheck
+        (List.concat_map
+           (fun w ->
+             [ prop_roundtrip w; prop_truncation_total w; prop_byteflip_total w;
+               prop_garbage_total w ])
+           codecs
+        @ [ prop_cross_version_agreement ]) );
+  ]
