@@ -77,6 +77,8 @@ let test_snapshot =
                     { Types.req = Ids.Request_id.make ~client:(Ids.Client_id.of_int c) ~seq:9;
                       status = Types.Ok;
                       payload = "ok" } ));
+            prepared = [];
+            outcomes = [];
           }
         in
         fun () ->

@@ -1,0 +1,154 @@
+(* Cross-shard transactions (ours): commit latency and throughput of the
+   2PC-over-T-Paxos path (DESIGN.md §16) against the single-shard
+   transaction baseline, on an 8-group Sysnet cluster.
+
+   A cross-shard transaction touching k groups pays k parallel branch
+   executions, then a prepare round (one consensus instance per group)
+   and a decision round (home group first, then fan-out) — roughly three
+   sequential consensus latencies end to end regardless of k, with
+   per-group work growing linearly. The single-shard baseline is one
+   branch op plus one T-Paxos commit: one consensus instance. *)
+
+module Config = Grid_paxos.Config
+module Scenario = Grid_runtime.Scenario
+module Runtime = Grid_runtime.Runtime
+module Stats = Grid_util.Stats
+module T = Grid_util.Text_table
+module Kv = Grid_services.Kv_store
+module Partition = Grid_shard.Partition
+module M = Grid_shard.Multi.Make (Kv)
+
+let shards = 8
+let spans = [ 1; 2; 4; 8 ]  (* groups touched; 1 = single-shard baseline *)
+
+let keyset part shard =
+  let rec go i =
+    let k = Printf.sprintf "x%d-%d" shard i in
+    if Partition.owner_of_key part ("kv/" ^ k) = shard then k else go (i + 1)
+  in
+  go 0
+
+(* Closed-loop: one coordinator, [count] transactions back to back;
+   returns per-commit latency samples (ms) and throughput (txn/s). *)
+let trial ~span ~count ~seed =
+  let t =
+    M.create ~seed ~cfg:(Config.default ~n:3) ~scenario:Scenario.sysnet
+      ~route:Kv.route ~shards ()
+  in
+  (match M.await_leaders t with
+  | Some _ -> ()
+  | None -> failwith "bench_xshard: no leaders");
+  let keys = Array.init shards (fun s -> keyset (M.partition t) s) in
+  let cl = M.add_client t ~id:0 () in
+  let lat = ref [] in
+  let completed = ref 0 in
+  let committed = ref 0 in
+  let started = ref 0.0 in
+  let finish () =
+    lat := (M.now t -. !started) :: !lat;
+    incr completed
+  in
+  let next_single =
+    (* Single-shard baseline: one branch op then a T-Paxos commit, on a
+       rotating home group. *)
+    let tid = ref 0 in
+    let phase = ref `Idle in
+    M.set_on_reply t cl (fun _ ->
+        match !phase with
+        | `Op ->
+          phase := `Commit;
+          ignore (M.submit_item t cl (Runtime.Commit_txn { tid = !tid; ops = 1 }))
+        | `Commit ->
+          phase := `Idle;
+          incr committed;
+          finish ()
+        | `Idle -> ());
+    fun () ->
+      incr tid;
+      started := M.now t;
+      phase := `Op;
+      ignore
+        (M.submit_item t cl
+           (Runtime.In_txn
+              (!tid, Kv.Put { key = keys.(!tid mod shards); value = "v" })))
+  in
+  let next_cross span () =
+    started := M.now t;
+    ignore
+      (M.submit_cross_txn t cl
+         ~ops:
+           (List.init span (fun g ->
+                Kv.Put { key = keys.((!completed + g) mod shards); value = "v" }))
+         ~on_done:(fun r ->
+           (match r with M.X_committed -> incr committed | _ -> ());
+           finish ()))
+  in
+  (* Rotating key windows can collide for span > 1 only across txns, and
+     the coordinator is sequential, so every txn should commit. *)
+  let next = if span = 1 then next_single else next_cross span in
+  let t0 = M.now t in
+  let launched = ref 0 in
+  let deadline = t0 +. 600_000.0 in
+  while !completed < count && M.now t < deadline do
+    if !launched = !completed then begin
+      incr launched;
+      next ()
+    end;
+    M.run_until t (M.now t +. 0.1)
+  done;
+  if !committed < count then
+    Printf.printf "  (span %d seed %d: only %d/%d committed)\n%!" span seed
+      !committed count;
+  (!lat, float_of_int !completed /. ((M.now t -. t0) /. 1000.0))
+
+let run ~quick ~only =
+  if only = None || only = Some "xshard" then begin
+    Experiment.section
+      "xshard — cross-shard 2PC commit vs single-shard transactions (ours)";
+    let trials = if quick then 3 else 6 in
+    let count = if quick then 60 else 200 in
+    let table =
+      T.create
+        ~columns:
+          [ ("Groups/txn", T.Right); ("Latency (ms)", T.Right);
+            ("p95 (ms)", T.Right); ("Throughput (txn/s)", T.Right);
+            ("vs single", T.Right) ]
+    in
+    let base = ref 0.0 in
+    List.iter
+      (fun span ->
+        let lat_all = ref [] in
+        let tput = Stats.create () in
+        let cfg suffix =
+          if span = 1 then "single-shard-" ^ suffix
+          else Printf.sprintf "cross-%d-groups-%s" span suffix
+        in
+        for seed = 1 to trials do
+          let lat, rps = trial ~span ~count ~seed in
+          lat_all := List.rev_append lat !lat_all;
+          Stats.add tput rps;
+          let s = Stats.create () in
+          List.iter (Stats.add s) lat;
+          Report.sample ~experiment:"xshard" ~config:(cfg "latency-ms")
+            (Stats.mean s);
+          Report.sample ~experiment:"xshard" ~config:(cfg "tput") rps
+        done;
+        let samples = Array.of_list !lat_all in
+        let mean =
+          Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+        in
+        if span = 1 then base := mean;
+        T.add_row table
+          [ (if span = 1 then "1 (single)" else string_of_int span);
+            Printf.sprintf "%.2f" mean;
+            Printf.sprintf "%.2f" (Stats.percentile samples 95.0);
+            Experiment.pp_tput tput;
+            Printf.sprintf "%.2fx" (mean /. !base) ])
+      spans;
+    print_string (T.render table);
+    print_endline
+      "Expected shape: a cross-shard commit costs ~3 consensus rounds (branch\n\
+       ops, replicated PREPARE votes, replicated decision) against the single\n\
+       instance of a same-group commit, and the gap is flat in the number of\n\
+       groups touched — the rounds run per group in parallel (DESIGN.md §16)."
+  end

@@ -30,6 +30,7 @@ let experiments =
     ("openloop", "Median latency vs offered load, open loop (ours)");
     ("overload", "Goodput vs offered load under admission control (ours)");
     ("shard", "Aggregate throughput vs shard count (ours)");
+    ("xshard", "Cross-shard 2PC commit vs single-shard transactions (ours)");
     ("semi-passive", "Semi-passive replication baseline (§5, ours)");
     ("obs", "Introspection plane overhead: tracing off vs on (ours)");
     ("micro", "Data-structure microbenchmarks");
@@ -56,6 +57,7 @@ let run_all ~quick ~only =
   Bench_openloop.run ~quick ~only;
   Bench_overload.run ~quick ~only;
   Bench_shard.run ~quick ~only;
+  Bench_xshard.run ~quick ~only;
   Bench_semi_passive.run ~quick ~only;
   Bench_obs.run ~quick ~only;
   Bench_micro.run ~quick ~only;

@@ -198,8 +198,36 @@ let run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue ~shrink
   else if summary.failures = [] then 0
   else 1
 
+(* The cross-shard tier: sharded KV runtime, 2PC transactions under
+   crashes, duplication/reordering and abandoned coordinators, with the
+   agreement and cross-shard atomicity/serializability oracles on every
+   schedule (see Grid_check.Xstress). *)
+let run_xshard ~schedules ~base_seed ~quiet =
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun (s : Grid_check.Xstress.summary) ->
+          if s.s_schedules mod 50 = 0 then
+            Format.printf "  ... %d schedules, %d failing@." s.s_schedules
+              (List.length s.s_failures))
+  in
+  let summary = Grid_check.Xstress.run ~schedules ~base_seed ?progress () in
+  Format.printf "%a@." Grid_check.Xstress.pp_summary summary;
+  List.iter
+    (fun (o : Grid_check.Xstress.outcome) ->
+      Format.printf "FAIL %a@." Grid_check.Xstress.pp_outcome o;
+      List.iter (fun v -> Format.printf "  %s@." v) o.o_violations)
+    summary.s_failures;
+  if summary.s_committed = 0 then begin
+    Format.printf "no cross-shard commit exercised — FAIL@.";
+    1
+  end
+  else if summary.s_failures = [] then 0
+  else 1
+
 let main schedules seed base_seed steps service crash torn dup reorder meta_drop
-    drift drift_max lease_ms plant_dedup overload max_inflight max_queue
+    drift drift_max lease_ms plant_dedup overload xshard max_inflight max_queue
     disable_dedup no_shrink quiet trace_dump =
   let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop ~drift ~drift_max in
   let cfg_tweak =
@@ -208,6 +236,7 @@ let main schedules seed base_seed steps service crash torn dup reorder meta_drop
   in
   let services = services_of service in
   if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
+  else if xshard then run_xshard ~schedules ~base_seed ~quiet
   else if overload then
     run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue
       ~shrink:(not no_shrink) ~quiet
@@ -288,6 +317,18 @@ let overload_arg =
            admitted-p99 oracles on every schedule. Honours --schedules, \
            --base-seed, --steps, --max-inflight, --max-queue and --no-shrink.")
 
+let xshard_arg =
+  Arg.(
+    value & flag
+    & info [ "xshard" ]
+        ~doc:
+          "Run the cross-shard tier instead of the default batch: sharded KV \
+           runtime driving 2PC transactions against replica crashes, message \
+           duplication/reordering, contending single-shard traffic and \
+           abandoned coordinators, with the per-group agreement and \
+           cross-shard atomicity/serializability oracles on every schedule. \
+           Honours --schedules, --base-seed and --quiet.")
+
 let max_inflight_arg =
   Arg.(
     value & opt int 2
@@ -327,7 +368,8 @@ let cmd =
       const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
       $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
       $ meta_drop_arg $ drift_arg $ drift_max_arg $ lease_ms_arg $ plant_arg
-      $ overload_arg $ max_inflight_arg $ max_queue_arg $ disable_dedup_arg
+      $ overload_arg $ xshard_arg $ max_inflight_arg $ max_queue_arg
+      $ disable_dedup_arg
       $ no_shrink_arg $ quiet_arg $ trace_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,343 @@
+(* Cross-shard nemesis tier: seeded schedules over the sharded KV runtime
+   driving 2PC transactions (DESIGN.md §16) against replica crashes,
+   message duplication and reordering, and abandoned coordinators that a
+   fresh client later recovers with presumed abort. Every schedule ends
+   with per-group agreement ({!Agreement.check}) and the cross-shard
+   atomicity/serializability oracle ({!Xshard.check}). *)
+
+module M = Grid_shard.Multi.Make (Grid_services.Kv_store)
+module Kv = Grid_services.Kv_store
+module Partition = Grid_shard.Partition
+module Rng = Grid_util.Rng
+module Ids = Grid_util.Ids
+module Engine = Grid_sim.Engine
+module Network = Grid_sim.Network
+module Scenario = Grid_runtime.Scenario
+module Config = Grid_paxos.Config
+module Types = Grid_paxos.Types
+
+let shards = 3
+let replicas = 3
+
+type outcome = {
+  o_seed : int;
+  o_committed : int;  (* cross txns the live coordinator committed *)
+  o_aborted : int;
+  o_conflicted : int;
+  o_abandoned : int;  (* coordinators parked mid-protocol *)
+  o_recovered : int;  (* abandoned txns resolved by recovery *)
+  o_singles : int;  (* single-shard requests completed alongside *)
+  o_crashes : int;
+  o_violations : string list;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "seed %d: %d committed, %d aborted, %d conflicted, %d abandoned (%d \
+     recovered), %d singles, %d crashes%s"
+    o.o_seed o.o_committed o.o_aborted o.o_conflicted o.o_abandoned o.o_recovered
+    o.o_singles o.o_crashes
+    (match o.o_violations with
+    | [] -> ""
+    | vs -> Printf.sprintf ", %d VIOLATIONS" (List.length vs))
+
+(* A few keys owned by shard [s], so transactions can be aimed at a
+   chosen set of groups. Small pools on purpose: contention is what
+   exercises the conflict votes and the prepared locks. *)
+let keys_for p s =
+  let rec go i acc found =
+    if found >= 4 then List.rev acc
+    else
+      let k = Printf.sprintf "x%d-%d" s i in
+      if Partition.owner_of_key p ("kv/" ^ k) = s then go (i + 1) (k :: acc) (found + 1)
+      else go (i + 1) acc found
+  in
+  Array.of_list (go 0 [] 0)
+
+(* Drive a cross-shard transaction part-way by hand — per-shard branch
+   ops, then prepares at a (possibly empty, possibly complete) subset of
+   participants — and stop before any decision: an abandoned
+   coordinator. [on_parked] fires once every submitted request has been
+   answered, leaving the client's handles idle again. *)
+let park_cross_txn t cl ~tid ~(shard_ops : (int * Kv.op) list) ~(prepare : int list)
+    ~on_parked =
+  let ops_pending = ref (List.length shard_ops) in
+  let votes_pending = ref 0 in
+  let phase = ref `Ops in
+  let finish () =
+    M.set_on_reply t cl (fun _ -> ());
+    on_parked ()
+  in
+  let submit_prepares () =
+    phase := `Votes;
+    if prepare = [] then finish ()
+    else begin
+      votes_pending := List.length prepare;
+      List.iter
+        (fun s ->
+          match M.submit_prepare t cl ~shard:s ~tid ~ops:1 with
+          | `Submitted -> ()
+          | `Busy -> invalid_arg "Xstress.park_cross_txn: busy handle")
+        prepare
+    end
+  in
+  M.set_on_reply t cl (fun (_ : Types.reply) ->
+      match !phase with
+      | `Ops ->
+        decr ops_pending;
+        if !ops_pending = 0 then submit_prepares ()
+      | `Votes ->
+        decr votes_pending;
+        if !votes_pending = 0 then finish ());
+  List.iter
+    (fun (s, op) ->
+      match M.submit_txn_op t cl ~shard:s ~tid op with
+      | `Submitted -> ()
+      | `Busy -> invalid_arg "Xstress.park_cross_txn: busy handle")
+    shard_ops
+
+let run_one ?(txns = 12) ?(singles_per_client = 15) ?(abandon_prob = 0.25)
+    ?(crash_prob = 0.3) ~seed () : outcome =
+  let rng = Rng.of_int (0x5eed + (seed * 7919)) in
+  let cfg =
+    Config.make ~n:replicas ~record_history:true ~suspicion_ms:60.0
+      ~stability_ms:20.0 ()
+  in
+  let t =
+    M.create ~seed ~cfg ~scenario:(Scenario.uniform ~n:replicas ()) ~route:Kv.route
+      ~shards ()
+  in
+  let violations = ref [] in
+  let violate fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  (match M.await_leaders t with
+  | Some _ -> ()
+  | None -> violate "no initial leaders");
+  let net = M.network t in
+  Network.set_duplicate_rate net 0.02;
+  Network.set_reorder_rate net 0.05;
+  let pool = Array.init shards (fun s -> keys_for (M.partition t) s) in
+  let gen_op s =
+    let key = Rng.pick rng pool.(s) in
+    if Rng.bool rng then Kv.Put { key; value = Printf.sprintf "s%d" (Rng.int rng 100) }
+    else Kv.Append { key; value = "+" }
+  in
+  (* Nemesis: at most one replica down at a time (any group still has a
+     quorum), recovered a few hundred simulated ms later. *)
+  let crashes = ref 0 in
+  let down = ref None in
+  let maybe_crash () =
+    if !down = None && Rng.float rng 1.0 < crash_prob then begin
+      let g = Rng.int rng shards and r = Rng.int rng replicas in
+      down := Some (g, r);
+      incr crashes;
+      M.crash_replica t ~shard:g r;
+      ignore
+        (Engine.schedule (M.engine t)
+           ~delay:(150.0 +. Rng.float rng 250.0)
+           (fun () ->
+             M.recover_replica t ~shard:g r;
+             down := None))
+    end
+  in
+  (* The coordinator chain: sequential cross-shard transactions, each
+     either driven to its decision or abandoned mid-protocol and handed
+     to a delayed recovery on a fresh logical client. *)
+  let committed = ref 0
+  and aborted = ref 0
+  and conflicted = ref 0
+  and abandoned = ref 0
+  and recovered = ref 0 in
+  let launched = ref 0 in
+  let pending_recoveries = ref 0 in
+  let next_client = ref 10 in
+  let cl = M.add_client t ~id:0 () in
+  let rec next_txn i =
+    if i < txns then begin
+      launched := i + 1;
+      maybe_crash ();
+      let order = [| 0; 1; 2 |] in
+      Rng.shuffle rng order;
+      let parts =
+        List.sort Int.compare
+          (Array.to_list (Array.sub order 0 (2 + Rng.int rng (shards - 1))))
+      in
+      let shard_ops = List.map (fun s -> (s, gen_op s)) parts in
+      if Rng.float rng 1.0 < abandon_prob then begin
+        incr abandoned;
+        let tid = M.alloc_cross_tid t in
+        let prepare = List.filter (fun _ -> Rng.bool rng) parts in
+        park_cross_txn t cl ~tid ~shard_ops ~prepare ~on_parked:(fun () ->
+            incr pending_recoveries;
+            ignore
+              (Engine.schedule (M.engine t)
+                 ~delay:(80.0 +. Rng.float rng 150.0)
+                 (fun () ->
+                   let rcl = M.add_client t ~id:!next_client () in
+                   incr next_client;
+                   M.recover_cross_txn t rcl ~tid ~shards:parts
+                     ~on_done:(fun (_ : M.xresult) ->
+                       incr recovered;
+                       decr pending_recoveries)));
+            next_txn (i + 1))
+      end
+      else
+        ignore
+          (M.submit_cross_txn t cl ~ops:(List.map snd shard_ops)
+             ~on_done:(fun res ->
+               (match res with
+               | M.X_committed -> incr committed
+               | M.X_aborted -> incr aborted
+               | M.X_conflict -> incr conflicted);
+               next_txn (i + 1)))
+    end
+  in
+  (* Concurrent single-shard traffic: two closed-loop clients hitting the
+     same small key pools, so plain writes race the prepared locks. *)
+  let singles_total = 2 * singles_per_client in
+  let single_done = ref 0 in
+  let start_single id =
+    let scl = M.add_client t ~id () in
+    let sent = ref 0 in
+    let submit_next () =
+      if !sent < singles_per_client then begin
+        incr sent;
+        let s = Rng.int rng shards in
+        let op =
+          if Rng.bool rng then gen_op s else Kv.Get (Rng.pick rng pool.(s))
+        in
+        match M.try_submit_op t scl op with
+        | Ok _ -> ()
+        | Error e ->
+          Format.kasprintf invalid_arg "Xstress: single-shard submit: %a"
+            M.pp_submit_error e
+      end
+    in
+    M.set_on_reply t scl (fun _ ->
+        incr single_done;
+        submit_next ());
+    submit_next ()
+  in
+  next_txn 0;
+  start_single 1;
+  start_single 2;
+  let finished () =
+    !launched = txns && !pending_recoveries = 0 && !single_done = singles_total
+  in
+  let horizon = M.now t +. 120_000.0 in
+  while (not (finished ())) && M.now t < horizon do
+    M.run_until t (M.now t +. 25.0)
+  done;
+  if not (finished ()) then
+    violate "stalled: %d/%d txns launched, %d recoveries pending, %d/%d singles"
+      !launched txns !pending_recoveries !single_done singles_total;
+  (* Drain: heal everything and let every replica learn every commit. *)
+  (match !down with
+  | Some (g, r) ->
+    M.recover_replica t ~shard:g r;
+    down := None
+  | None -> ());
+  Network.set_duplicate_rate net 0.0;
+  Network.set_reorder_rate net 0.0;
+  M.run_until t (M.now t +. 2_000.0);
+  (* Oracles. *)
+  let group_histories g =
+    Array.init replicas (fun i ->
+        M.Group.R.committed_updates (M.Group.replica (M.group t g) i))
+  in
+  let longest = Array.make shards [] in
+  for g = 0 to shards - 1 do
+    let hs = group_histories g in
+    Array.iter
+      (fun h -> if List.length h > List.length longest.(g) then longest.(g) <- h)
+      hs;
+    List.iter
+      (fun v -> violate "group %d agreement: %a" g Agreement.pp_violation v)
+      (Agreement.check hs);
+    match M.Group.leader (M.group t g) with
+    | Some l -> (
+      match M.Group.R.prepared_txns (M.Group.replica (M.group t g) l) with
+      | [] -> ()
+      | tids ->
+        violate "group %d leader still holds prepares [%s] after drain" g
+          (String.concat "," (List.map string_of_int tids)))
+    | None -> violate "group %d has no leader after drain" g
+  done;
+  let footprint_of payload =
+    match Kv.decode_op payload with
+    | op -> Kv.footprint op
+    | exception _ -> [ "*" ]
+  in
+  List.iter
+    (fun v -> violate "xshard: %a" Xshard.pp_violation v)
+    (Xshard.check ~require_resolved:true ~is_cross_tid:M.is_cross_tid ~footprint_of
+       longest);
+  if M.watchdog t |> Grid_obs.Watchdog.violations > 0 then
+    violate "watchdog: %d online-invariant violations"
+      (Grid_obs.Watchdog.violations (M.watchdog t));
+  {
+    o_seed = seed;
+    o_committed = !committed;
+    o_aborted = !aborted;
+    o_conflicted = !conflicted;
+    o_abandoned = !abandoned;
+    o_recovered = !recovered;
+    o_singles = !single_done;
+    o_crashes = !crashes;
+    o_violations = List.rev !violations;
+  }
+
+type summary = {
+  s_schedules : int;
+  s_committed : int;
+  s_aborted : int;
+  s_conflicted : int;
+  s_abandoned : int;
+  s_recovered : int;
+  s_crashes : int;
+  s_failures : outcome list;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d schedules: %d committed, %d aborted, %d conflicted, %d abandoned (%d \
+     recovered), %d crashes, %d failing"
+    s.s_schedules s.s_committed s.s_aborted s.s_conflicted s.s_abandoned
+    s.s_recovered s.s_crashes
+    (List.length s.s_failures)
+
+let run ?(schedules = 100) ?(base_seed = 1) ?txns ?singles_per_client
+    ?abandon_prob ?crash_prob ?progress () =
+  let acc =
+    ref
+      {
+        s_schedules = 0;
+        s_committed = 0;
+        s_aborted = 0;
+        s_conflicted = 0;
+        s_abandoned = 0;
+        s_recovered = 0;
+        s_crashes = 0;
+        s_failures = [];
+      }
+  in
+  for i = 0 to schedules - 1 do
+    let o =
+      run_one ?txns ?singles_per_client ?abandon_prob ?crash_prob
+        ~seed:(base_seed + i) ()
+    in
+    let s = !acc in
+    acc :=
+      {
+        s_schedules = s.s_schedules + 1;
+        s_committed = s.s_committed + o.o_committed;
+        s_aborted = s.s_aborted + o.o_aborted;
+        s_conflicted = s.s_conflicted + o.o_conflicted;
+        s_abandoned = s.s_abandoned + o.o_abandoned;
+        s_recovered = s.s_recovered + o.o_recovered;
+        s_crashes = s.s_crashes + o.o_crashes;
+        s_failures =
+          (if o.o_violations = [] then s.s_failures else o :: s.s_failures);
+      };
+    match progress with Some f -> f !acc | None -> ()
+  done;
+  { !acc with s_failures = List.rev !acc.s_failures }

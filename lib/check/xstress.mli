@@ -1,0 +1,63 @@
+(** Cross-shard nemesis tier: seeded schedules over the sharded KV
+    runtime driving 2PC transactions (DESIGN.md §16) against replica
+    crashes, message duplication/reordering, contending single-shard
+    traffic, and abandoned coordinators later resolved by presumed-abort
+    recovery on a fresh client. Each schedule ends with per-group
+    {!Agreement.check} plus the cross-shard atomicity/serializability
+    oracle {!Xshard.check} over the drained histories. *)
+
+type outcome = {
+  o_seed : int;
+  o_committed : int;  (** cross txns the live coordinator committed *)
+  o_aborted : int;
+  o_conflicted : int;
+  o_abandoned : int;  (** coordinators parked mid-protocol *)
+  o_recovered : int;  (** abandoned txns resolved by recovery *)
+  o_singles : int;  (** single-shard requests completed alongside *)
+  o_crashes : int;
+  o_violations : string list;  (** empty iff the schedule passed *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run_one :
+  ?txns:int ->
+  ?singles_per_client:int ->
+  ?abandon_prob:float ->
+  ?crash_prob:float ->
+  seed:int ->
+  unit ->
+  outcome
+(** One seeded schedule: 3 groups of 3 replicas, [txns] sequential
+    cross-shard transactions over 2–3 groups each (default 12), two
+    closed-loop single-shard clients ([singles_per_client] requests
+    each, default 15) racing the same small key pools, duplication and
+    reordering on every link, and at most one crashed replica at a time.
+    With probability [abandon_prob] (default 0.25) a transaction's
+    coordinator parks after its branch ops and a random subset of
+    prepares; a delayed {!Grid_shard.Multi.Make.recover_cross_txn} on a
+    fresh client resolves it. *)
+
+type summary = {
+  s_schedules : int;
+  s_committed : int;
+  s_aborted : int;
+  s_conflicted : int;
+  s_abandoned : int;
+  s_recovered : int;
+  s_crashes : int;
+  s_failures : outcome list;  (** schedules with nonempty violations *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  ?schedules:int ->
+  ?base_seed:int ->
+  ?txns:int ->
+  ?singles_per_client:int ->
+  ?abandon_prob:float ->
+  ?crash_prob:float ->
+  ?progress:(summary -> unit) ->
+  unit ->
+  summary

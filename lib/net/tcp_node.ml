@@ -459,20 +459,27 @@ let shutdown core =
    line in, one Content-Length response out, connection closed. *)
 
 let sniff_http fd =
+  let methods = [ "GET "; "HEAD"; "POST" ] in
   let buf = Bytes.create 4 in
   let rec peek attempts =
     match Unix.recv fd buf 0 4 [ Unix.MSG_PEEK ] with
-    | 4 ->
-      let s = Bytes.to_string buf in
-      s = "GET " || s = "HEAD" || s = "POST"
-    | n when n > 0 && attempts > 0 ->
-      (* A slow client may not have the whole method on the wire yet;
-         decide on the first byte once retries run out. *)
-      Thread.delay 0.002;
-      peek (attempts - 1)
-    | n when n > 0 -> (
-      match Bytes.get buf 0 with 'G' | 'H' | 'P' -> true | _ -> false)
-    | _ -> false
+    | 0 -> false
+    | n ->
+      (* Classify on whatever prefix has arrived: the moment the peeked
+         bytes diverge from every method we serve this is a protocol
+         peer (its hello starts with a tiny length byte, never a
+         printable method prefix) — don't stall it through the retry
+         budget, and never fall back to judging the first byte alone. A
+         true prefix is a dribbling HTTP client: retry, and if the wire
+         stays short past the budget, trust the prefix. *)
+      let s = Bytes.sub_string buf 0 n in
+      if not (List.exists (fun m -> String.sub m 0 n = s) methods) then false
+      else if n = 4 then true
+      else if attempts > 0 then begin
+        Thread.delay 0.002;
+        peek (attempts - 1)
+      end
+      else true
   in
   try peek 25 with Unix.Unix_error _ -> false
 

@@ -14,9 +14,17 @@ let rtype_label = function
   | Txn_op _ -> "txn_op"
   | Txn_commit _ -> "txn_commit"
   | Txn_abort _ -> "txn_abort"
+  | Txn_prepare _ -> "txn_prepare"
 
 module Make (S : Service_intf.S) = struct
-  type work = W_write of request | W_txn_commit of request
+  type work =
+    | W_write of request
+    | W_txn_commit of request
+        (* also carries the 2PC decision requests for a prepared
+           cross-shard transaction: [Txn_commit] replays the prepared
+           branch, [Txn_abort] discards it — both as consensus
+           instances, so the decision is as durable as the vote *)
+    | W_txn_prepare of request
 
   (* Work deferred behind the execution-cost timer (the paper's E). *)
   type exec_work =
@@ -47,6 +55,43 @@ module Make (S : Service_intf.S) = struct
     tx_footprint : (string, unit) Hashtbl.t;
   }
 
+  (* A cross-shard transaction branch locked in by a committed 2PC
+     prepare instance (DESIGN.md §16). Unlike the leader-local [txn] it
+     is replica-level state, reconstructed from the log on every replica:
+     a failover leader must honour votes its predecessor cast. The
+     footprint stays locked — conflicting writes wait, conflicting
+     transaction commits abort — until the commit/abort decision
+     instance releases it. *)
+  type prepared = {
+    p_ops : (request * string option) list;  (* in order, with witnesses *)
+    p_replies : reply list;  (* in order *)
+    p_footprint : string list;
+  }
+
+  let encode_prepared (p : prepared) =
+    Grid_codec.Wire.encode (fun e ->
+        let module E = Grid_codec.Wire.Encoder in
+        E.list e
+          (fun (r, w) ->
+            encode_request e r;
+            E.option e (E.string e) w)
+          p.p_ops;
+        E.list e (fun r -> encode_reply e r) p.p_replies;
+        E.list e (fun k -> E.string e k) p.p_footprint)
+
+  let decode_prepared s =
+    Grid_codec.Wire.decode s (fun d ->
+        let module D = Grid_codec.Wire.Decoder in
+        let p_ops =
+          D.list d (fun d ->
+              let r = decode_request d in
+              let w = D.option d D.string in
+              (r, w))
+        in
+        let p_replies = D.list d decode_reply in
+        let p_footprint = D.list d D.string in
+        { p_ops; p_replies; p_footprint })
+
   type inflight = {
     fl_instance : int;
     fl_proposal : proposal;
@@ -72,6 +117,9 @@ module Make (S : Service_intf.S) = struct
         (* reads received before recovery completed, newest first *)
     l_reads : (Ids.Request_id.t, pending_read) Hashtbl.t;
     l_txns : (int * int, txn) Hashtbl.t;  (* (client, txn id) *)
+    mutable l_blocked : work list;
+        (* writes held behind a prepared cross-shard lock (reversed);
+           re-queued whenever a decision instance releases a lock *)
     l_queued_ids : (Ids.Request_id.t, unit) Hashtbl.t;
     l_grants : float array;
         (* per-follower lease-grant expiry, on the leader's own clock:
@@ -120,6 +168,13 @@ module Make (S : Service_intf.S) = struct
     mutable exec_next : int;
     (* T-Paxos conflict window: footprints of recently committed instances *)
     recent_footprints : (int, string list) Hashtbl.t;
+    (* 2PC participant state, derived from committed instances only (so
+       it is exactly as durable as the log and survives crash recovery):
+       branches whose prepare committed but whose decision has not, and
+       the decision tombstones that make commit/abort idempotent under
+       duplicate delivery and coordinator failover. *)
+    prepared : (int, prepared) Hashtbl.t;  (* cross-txn tid -> branch *)
+    txn_outcomes : (int, bool) Hashtbl.t;  (* cross-txn tid -> committed? *)
     (* checker support *)
     mutable history : (int * request list * string) list;  (* reversed *)
     mutable commits_seen : int;
@@ -161,6 +216,8 @@ module Make (S : Service_intf.S) = struct
       exec_table = Hashtbl.create 16;
       exec_next = 0;
       recent_footprints = Hashtbl.create 64;
+      prepared = Hashtbl.create 8;
+      txn_outcomes = Hashtbl.create 32;
       history = [];
       commits_seen = 0;
       shed_reads = 0;
@@ -202,6 +259,11 @@ module Make (S : Service_intf.S) = struct
   let committed_updates t = List.rev t.history
   let stats_commits t = t.commits_seen
   let stats_shed t = (t.shed_reads, t.shed_writes)
+
+  let prepared_txns t =
+    Hashtbl.fold (fun tid _ acc -> tid :: acc) t.prepared [] |> List.sort Int.compare
+
+  let txn_outcome t tid = Hashtbl.find_opt t.txn_outcomes tid
 
   let queue_depth t =
     match t.role with Leader l -> Queue.length l.l_queue | _ -> 0
@@ -275,6 +337,9 @@ module Make (S : Service_intf.S) = struct
       Snapshot.commit_point = Plog.commit_point t.log;
       state = S.encode_state t.app_state;
       dedup = Hashtbl.fold (fun c r acc -> (c, r) :: acc) t.dedup [];
+      prepared =
+        Hashtbl.fold (fun tid p acc -> (tid, encode_prepared p) :: acc) t.prepared [];
+      outcomes = Hashtbl.fold (fun tid o acc -> (tid, o) :: acc) t.txn_outcomes [];
     }
 
   let dedup_update t (r : reply) =
@@ -291,8 +356,41 @@ module Make (S : Service_intf.S) = struct
     | Some prev when prev.req.seq > req.id.seq -> `Stale
     | _ -> `Fresh
 
+  (* 2PC participant tracking, applied to every committed instance (live
+     commits, catch-up replay, and crash-recovery replay alike): a
+     committed [Txn_prepare] locks the branch in; the committed decision
+     releases it and leaves a tombstone so duplicate decisions — and
+     racing commit-vs-abort from a coordinator and its recovery — resolve
+     identically on every replica. *)
+  let track_2pc t (p : proposal) =
+    List.iter
+      (fun (r : request) ->
+        match r.rtype with
+        | Txn_prepare tid ->
+          if not (Hashtbl.mem t.txn_outcomes tid) then
+            Hashtbl.replace t.prepared tid (decode_prepared r.payload)
+        | Txn_commit tid when Hashtbl.mem t.prepared tid ->
+          Hashtbl.remove t.prepared tid;
+          Hashtbl.replace t.txn_outcomes tid true
+        | Txn_abort tid when Hashtbl.mem t.prepared tid ->
+          Hashtbl.remove t.prepared tid;
+          Hashtbl.replace t.txn_outcomes tid false
+        | _ -> ())
+      p.requests;
+    (* Bound the tombstone table. Cross-txn tids are allocated from a
+       monotone counter, so pruning far-below-max is safe: a decision for
+       a pruned tid can only be a very stale duplicate, and its prepare
+       can no longer be live (it was tombstoned, hence decided). *)
+    if Hashtbl.length t.txn_outcomes > 8192 then begin
+      let mx = Hashtbl.fold (fun tid _ m -> max tid m) t.txn_outcomes 0 in
+      Hashtbl.filter_map_inplace
+        (fun tid v -> if tid < mx - 4096 then None else Some v)
+        t.txn_outcomes
+    end
+
   let record_commit_bookkeeping t ~instance (p : proposal) =
     List.iter (dedup_update t) p.replies;
+    track_2pc t p;
     (* Dup-commit watchdog: a (client, seq) must never commit at two
        different instances — that is exactly the bug the dedup table
        prevents and [disable_dedup] plants. *)
@@ -307,7 +405,7 @@ module Make (S : Service_intf.S) = struct
       List.concat_map
         (fun (r : request) ->
           match r.rtype with
-          | Read | Txn_commit _ | Txn_abort _ -> []
+          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _ -> []
           | Write | Original | Txn_op _ -> (
             try S.footprint (S.decode_op r.payload) with _ -> [ "*" ]))
         p.requests
@@ -332,6 +430,11 @@ module Make (S : Service_intf.S) = struct
     if snap.commit_point > Plog.commit_point t.log then begin
       t.app_state <- S.decode_state snap.state;
       List.iter (fun (_, r) -> dedup_update t r) snap.dedup;
+      Hashtbl.reset t.prepared;
+      Hashtbl.reset t.txn_outcomes;
+      List.iter (fun (tid, b) -> Hashtbl.replace t.prepared tid (decode_prepared b))
+        snap.prepared;
+      List.iter (fun (tid, o) -> Hashtbl.replace t.txn_outcomes tid o) snap.outcomes;
       Plog.install_commit_point t.log snap.commit_point;
       t.storage.persist_commit snap.commit_point;
       t.storage.persist_snapshot (Snapshot.encode snap)
@@ -365,8 +468,14 @@ module Make (S : Service_intf.S) = struct
       List.iter
         (fun (r : request) ->
           match r.rtype with
-          | Read -> ()
-          | _ ->
+          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _ ->
+            (* Protocol markers: their payloads are not service ops (the
+               2PC markers carry op counts and prepared-branch blobs).
+               The ops of a committed cross-shard branch appear in the
+               decision instance as ordinary [Txn_op] requests and
+               re-execute below. *)
+            ()
+          | Write | Original | Txn_op _ ->
             let op = S.decode_op r.payload in
             t.app_state <- (S.apply ~rng:t.rng ~now:t.now t.app_state op).state)
         p.requests
@@ -459,7 +568,15 @@ module Make (S : Service_intf.S) = struct
     ignore (Plog.commit t.log ~instance:fl.fl_instance);
     t.storage.persist_commit (Plog.commit_point t.log);
     t.app_state <- fl.fl_post_state;
+    let prepared_before = Hashtbl.length t.prepared in
     record_commit_bookkeeping t ~instance:fl.fl_instance fl.fl_proposal;
+    (* A decision instance just released a prepared cross-shard lock:
+       writes stashed behind it become eligible again. Re-queue the lot —
+       pump re-checks each against the remaining locks. *)
+    if Hashtbl.length t.prepared < prepared_before && l.l_blocked <> [] then begin
+      List.iter (fun w -> Queue.add w l.l_queue) (List.rev l.l_blocked);
+      l.l_blocked <- []
+    end;
     List.iter
       (fun (r : request) -> Hashtbl.remove l.l_queued_ids r.id)
       fl.fl_proposal.requests;
@@ -561,7 +678,9 @@ module Make (S : Service_intf.S) = struct
           let fresh =
             List.filter
               (fun w ->
-                let r = match w with W_write r | W_txn_commit r -> r in
+                let r =
+                  match w with W_write r | W_txn_commit r | W_txn_prepare r -> r
+                in
                 match dedup_lookup t r with
                 | `Fresh -> true
                 | `Resend reply ->
@@ -677,70 +796,220 @@ module Make (S : Service_intf.S) = struct
         in
         scan (txn.tx_base + 1)
       in
+      (* Prepared cross-shard locks: branches whose 2PC prepare committed
+         (or votes YES earlier in this very batch) and whose decision is
+         still pending. Conflicting writes wait behind the decision;
+         conflicting transaction commits and prepares lose
+         (first-prepared-wins, mirroring first-committer-wins). *)
+      let batch_prep_fps : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+      (* 2PC decisions taken earlier in this batch: [t.prepared] and
+         [t.txn_outcomes] only flip when the instance commits, so without
+         this a commit and a racing abort for the same tid batched
+         together would both claim the branch. *)
+      let batch_decided : (int, bool) Hashtbl.t = Hashtbl.create 4 in
+      let keys_of tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+      let locked_by_prepared fps =
+        fps <> []
+        && ((Hashtbl.length batch_prep_fps > 0
+            && (List.mem "*" fps
+               || Hashtbl.mem batch_prep_fps "*"
+               || List.exists (Hashtbl.mem batch_prep_fps) fps))
+           || Hashtbl.fold
+                (fun _ (p : prepared) acc ->
+                  acc
+                  || p.p_footprint <> []
+                     && (List.mem "*" fps
+                        || List.mem "*" p.p_footprint
+                        || List.exists (fun k -> List.mem k p.p_footprint) fps))
+                t.prepared false)
+      in
       List.iter
         (function
-          | W_write r ->
+          | W_write r -> (
             let op = S.decode_op r.payload in
-            let outcome = S.apply ~rng:t.rng ~now:t.now !batch_state op in
-            batch_state := outcome.state;
-            last_witness := outcome.witness;
-            let reply =
-              { req = r.id; status = Ok; payload = S.encode_result outcome.result }
-            in
-            requests := r :: !requests;
-            replies := reply :: !replies;
-            to_send := reply :: !to_send;
-            List.iter (fun k -> Hashtbl.replace batch_fps k ()) (S.footprint op)
-          | W_txn_commit r -> (
-            let tid = match r.rtype with Txn_commit tid -> tid | _ -> -1 in
-            let key = (Ids.Client_id.to_int r.id.client, tid) in
-            let abort () =
-              Hashtbl.remove l.l_queued_ids r.id;
-              instant := { req = r.id; status = Txn_aborted; payload = "" } :: !instant
-            in
-            match Hashtbl.find_opt l.l_txns key with
-            | None ->
-              (* Unknown transaction: ops lost to a leader switch (§3.6). *)
-              abort ()
-            | Some txn ->
-              Hashtbl.remove l.l_txns key;
-              let expected_ops =
-                (* The commit payload carries the client's op count so a
-                   leader that missed early ops cannot commit a partial
-                   batch. *)
-                try Grid_codec.Wire.decode r.payload Grid_codec.Wire.Decoder.uint
-                with _ -> List.length txn.tx_ops
+            let fps = S.footprint op in
+            if locked_by_prepared fps then
+              (* Held behind a prepared cross-shard branch: the write
+                 waits for that branch's decision instance instead of
+                 racing the 2PC outcome. It keeps its [l_queued_ids] slot
+                 so retransmissions stay deduplicated while it waits. *)
+              l.l_blocked <- W_write r :: l.l_blocked
+            else begin
+              let outcome = S.apply ~rng:t.rng ~now:t.now !batch_state op in
+              batch_state := outcome.state;
+              last_witness := outcome.witness;
+              let reply =
+                { req = r.id; status = Ok; payload = S.encode_result outcome.result }
               in
-              if List.length txn.tx_ops <> expected_ops then abort ()
-              else if conflicts_with_window txn || conflicts_with_batch txn then begin
-                Hashtbl.remove l.l_queued_ids r.id;
-                instant :=
-                  { req = r.id; status = Txn_conflict; payload = "" } :: !instant
-              end
-              else begin
-                (* Rebase: replay the recorded ops (with their witnesses)
-                   on top of the running batch state. *)
-                let ops = List.rev txn.tx_ops in
+              requests := r :: !requests;
+              replies := reply :: !replies;
+              to_send := reply :: !to_send;
+              List.iter (fun k -> Hashtbl.replace batch_fps k ()) fps
+            end)
+          | W_txn_commit r -> (
+            let tid =
+              match r.rtype with Txn_commit tid | Txn_abort tid -> tid | _ -> -1
+            in
+            let key = (Ids.Client_id.to_int r.id.client, tid) in
+            let instant_status status =
+              Hashtbl.remove l.l_queued_ids r.id;
+              instant := { req = r.id; status; payload = "" } :: !instant
+            in
+            let decided =
+              match Hashtbl.find_opt batch_decided tid with
+              | Some _ as d -> d
+              | None -> Hashtbl.find_opt t.txn_outcomes tid
+            in
+            match decided with
+            | Some committed ->
+              (* Decision tombstone: a duplicate decision, or a
+                 coordinator racing its own recovery. Nothing re-executes;
+                 the reply reports the recorded outcome — [Ok] to an abort
+                 of a committed transaction tells recovery the decision
+                 was COMMIT. *)
+              instant_status (if committed then Ok else Txn_aborted)
+            | None -> (
+              match (Hashtbl.find_opt t.prepared tid, r.rtype) with
+              | Some p, Txn_commit _ ->
+                (* 2PC COMMIT decision for a branch this group voted YES
+                   on: replay the frozen ops (with their recorded
+                   witnesses) onto the running batch state. The ops, their
+                   replies and the decision marker all commit in this one
+                   instance; [track_2pc] releases the lock when it does. *)
                 batch_state :=
                   List.fold_left
                     (fun st ((opr : request), witness) ->
                       let op = S.decode_op opr.payload in
                       match witness with
                       | Some w -> fst (S.replay st op ~witness:w)
-                      | None ->
-                        (* No witness: the op was deterministic. *)
-                        (S.apply ~rng:t.rng ~now:t.now st op).state)
-                    !batch_state ops;
+                      | None -> (S.apply ~rng:t.rng ~now:t.now st op).state)
+                    !batch_state p.p_ops;
                 let commit_reply = { req = r.id; status = Ok; payload = "" } in
-                List.iter (fun (opr, _) -> requests := opr :: !requests) ops;
+                List.iter (fun (opr, _) -> requests := opr :: !requests) p.p_ops;
                 requests := r :: !requests;
-                List.iter
-                  (fun reply -> replies := reply :: !replies)
-                  (List.rev txn.tx_replies);
+                List.iter (fun reply -> replies := reply :: !replies) p.p_replies;
                 replies := commit_reply :: !replies;
                 to_send := commit_reply :: !to_send;
-                Hashtbl.iter (fun k () -> Hashtbl.replace batch_fps k ()) txn.tx_footprint
-              end))
+                List.iter (fun k -> Hashtbl.replace batch_fps k ()) p.p_footprint;
+                Hashtbl.replace batch_decided tid true
+              | Some _, _ ->
+                (* 2PC ABORT decision for a prepared branch: the marker
+                   alone is decided; committing it discards the branch
+                   and releases its locks. *)
+                let reply = { req = r.id; status = Txn_aborted; payload = "" } in
+                requests := r :: !requests;
+                replies := reply :: !replies;
+                to_send := reply :: !to_send;
+                Hashtbl.replace batch_decided tid false
+              | None, Txn_abort _ ->
+                (* Presumed abort: no vote on record, nothing to undo. *)
+                instant_status Txn_aborted
+              | None, _ -> (
+                (* Single-shard T-Paxos commit of a leader-local branch. *)
+                let abort () = instant_status Txn_aborted in
+                match Hashtbl.find_opt l.l_txns key with
+                | None ->
+                  (* Unknown transaction: ops lost to a leader switch
+                     (§3.6). *)
+                  abort ()
+                | Some txn ->
+                  Hashtbl.remove l.l_txns key;
+                  let expected_ops =
+                    (* The commit payload carries the client's op count so
+                       a leader that missed early ops cannot commit a
+                       partial batch. *)
+                    try Grid_codec.Wire.decode r.payload Grid_codec.Wire.Decoder.uint
+                    with _ -> List.length txn.tx_ops
+                  in
+                  if List.length txn.tx_ops <> expected_ops then abort ()
+                  else if
+                    conflicts_with_window txn || conflicts_with_batch txn
+                    || locked_by_prepared (keys_of txn.tx_footprint)
+                  then instant_status Txn_conflict
+                  else begin
+                    (* Rebase: replay the recorded ops (with their
+                       witnesses) on top of the running batch state. *)
+                    let ops = List.rev txn.tx_ops in
+                    batch_state :=
+                      List.fold_left
+                        (fun st ((opr : request), witness) ->
+                          let op = S.decode_op opr.payload in
+                          match witness with
+                          | Some w -> fst (S.replay st op ~witness:w)
+                          | None ->
+                            (* No witness: the op was deterministic. *)
+                            (S.apply ~rng:t.rng ~now:t.now st op).state)
+                        !batch_state ops;
+                    let commit_reply = { req = r.id; status = Ok; payload = "" } in
+                    List.iter (fun (opr, _) -> requests := opr :: !requests) ops;
+                    requests := r :: !requests;
+                    List.iter
+                      (fun reply -> replies := reply :: !replies)
+                      (List.rev txn.tx_replies);
+                    replies := commit_reply :: !replies;
+                    to_send := commit_reply :: !to_send;
+                    Hashtbl.iter
+                      (fun k () -> Hashtbl.replace batch_fps k ())
+                      txn.tx_footprint
+                  end)))
+          | W_txn_prepare r -> (
+            let tid = match r.rtype with Txn_prepare tid -> tid | _ -> -1 in
+            let key = (Ids.Client_id.to_int r.id.client, tid) in
+            let instant_status status =
+              Hashtbl.remove l.l_queued_ids r.id;
+              instant := { req = r.id; status; payload = "" } :: !instant
+            in
+            match Hashtbl.find_opt t.txn_outcomes tid with
+            | Some true -> instant_status Ok
+            | Some false -> instant_status Txn_aborted
+            | None ->
+              if Hashtbl.mem t.prepared tid then
+                (* A prior prepare for this tid already committed: the
+                   YES vote is idempotent. *)
+                instant_status Ok
+              else (
+                match Hashtbl.find_opt l.l_txns key with
+                | None ->
+                  (* Ops lost (leader switch) or never seen: vote NO.
+                     A NO vote needs no durability — recovery presumes
+                     abort for any transaction without a committed COMMIT
+                     decision. *)
+                  instant_status Txn_aborted
+                | Some txn ->
+                  Hashtbl.remove l.l_txns key;
+                  let expected_ops =
+                    try Grid_codec.Wire.decode r.payload Grid_codec.Wire.Decoder.uint
+                    with _ -> List.length txn.tx_ops
+                  in
+                  if List.length txn.tx_ops <> expected_ops then
+                    instant_status Txn_aborted
+                  else if
+                    conflicts_with_window txn || conflicts_with_batch txn
+                    || locked_by_prepared (keys_of txn.tx_footprint)
+                  then instant_status Txn_conflict
+                  else begin
+                    (* YES: freeze the branch into the prepare request
+                       itself, so the committed instance carries
+                       everything a failover leader needs to finish the
+                       transaction, and lock its footprint until the
+                       decision arrives. Nothing applies to the batch
+                       state yet; the vote reply releases at commit time,
+                       which is what makes it a crash-safe promise. *)
+                    let p =
+                      {
+                        p_ops = List.rev txn.tx_ops;
+                        p_replies = List.rev txn.tx_replies;
+                        p_footprint = keys_of txn.tx_footprint;
+                      }
+                    in
+                    let vote = { req = r.id; status = Ok; payload = "" } in
+                    requests := { r with payload = encode_prepared p } :: !requests;
+                    replies := vote :: !replies;
+                    to_send := vote :: !to_send;
+                    List.iter
+                      (fun k -> Hashtbl.replace batch_prep_fps k ())
+                      p.p_footprint
+                  end)))
         batch;
       let instant_actions = reply_actions (List.rev !instant) in
       if !requests = [] then instant_actions @ pump t
@@ -931,7 +1200,7 @@ module Make (S : Service_intf.S) = struct
       end
       else admit_read t l r
     | Original -> begin_execution t l (Exec_original r)
-    | Write | Txn_commit _ -> (
+    | Write | Txn_commit _ | Txn_prepare _ -> (
       match dedup_lookup t r with
       | `Resend reply -> reply_actions [ reply ]
       | `Stale -> []
@@ -945,15 +1214,45 @@ module Make (S : Service_intf.S) = struct
         else begin
           Hashtbl.replace l.l_queued_ids r.id ();
           Queue.add
-            (match r.rtype with Write -> W_write r | _ -> W_txn_commit r)
+            (match r.rtype with
+            | Write -> W_write r
+            | Txn_prepare _ -> W_txn_prepare r
+            | _ -> W_txn_commit r)
             l.l_queue;
           pump t
         end)
     | Txn_op _ -> begin_execution t l (Exec_txn_op r)
     | Txn_abort tid ->
-      let key = (Ids.Client_id.to_int r.id.client, tid) in
-      Hashtbl.remove l.l_txns key;
-      reply_actions [ { req = r.id; status = Txn_aborted; payload = "" } ]
+      if Hashtbl.mem t.prepared tid then (
+        (* Aborting a prepared cross-shard branch is itself a 2PC
+           decision: it must be replicated through the log (same path as
+           a commit decision) so every replica releases the lock and
+           records the tombstone. *)
+        match dedup_lookup t r with
+        | `Resend reply -> reply_actions [ reply ]
+        | `Stale -> []
+        | `Fresh ->
+          if Hashtbl.mem l.l_queued_ids r.id then []
+          else if write_window_full t l then shed t r ~backlog:(Queue.length l.l_queue)
+          else begin
+            Hashtbl.replace l.l_queued_ids r.id ();
+            Queue.add (W_txn_commit r) l.l_queue;
+            pump t
+          end)
+      else (
+        match Hashtbl.find_opt t.txn_outcomes tid with
+        | Some true ->
+          (* Cannot abort: the commit decision already committed. [Ok]
+             tells a recovering coordinator the outcome was COMMIT. *)
+          reply_actions [ { req = r.id; status = Ok; payload = "" } ]
+        | Some false ->
+          reply_actions [ { req = r.id; status = Txn_aborted; payload = "" } ]
+        | None ->
+          (* Leader-local branch (or nothing at all): discard instantly,
+             no consensus needed — the branch never escaped this leader. *)
+          let key = (Ids.Client_id.to_int r.id.client, tid) in
+          Hashtbl.remove l.l_txns key;
+          reply_actions [ { req = r.id; status = Txn_aborted; payload = "" } ])
 
   let follower_handle_client t (r : request) =
     match r.rtype with
@@ -967,7 +1266,7 @@ module Make (S : Service_intf.S) = struct
                { ballot = t.promised; req = r.id; lease_anchor = lease_echo t });
         ]
       | _ -> [])
-    | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ -> []
+    | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ | Txn_prepare _ -> []
 
   (* ------------------------------------------------------------------ *)
   (* Election                                                            *)
@@ -1014,6 +1313,7 @@ module Make (S : Service_intf.S) = struct
           l_deferred_reads = [];
           l_reads = Hashtbl.create 16;
           l_txns = Hashtbl.create 8;
+          l_blocked = [];
           l_queued_ids;
           l_grants = Array.make t.cfg.n neg_infinity;
         };
@@ -1466,6 +1766,10 @@ module Make (S : Service_intf.S) = struct
              snapshot carries dedup state only up to its own commit
              point; the replayed suffix must contribute its share. *)
           List.iter (dedup_update t) entry.proposal.replies;
+          (* The committed suffix also replays its share of the 2PC
+             participant tables (the snapshot carried them only up to its
+             own commit point). *)
+          track_2pc t entry.proposal;
           (* Seed (not check) the watchdog: these commits were validated
              by the previous incarnation, and the re-seeded table is what
              lets a later re-delivery of the same instance pass. *)

@@ -128,6 +128,17 @@ module Make (S : Service_intf.S) : sig
       queue ([0] on followers). The admission window compares this
       against [Config.max_queue]. *)
 
+  val prepared_txns : t -> int list
+  (** Cross-shard transaction ids whose 2PC prepare committed in this
+      group's log but whose commit/abort decision has not, ascending.
+      Replica-level (followers track it too): a failover leader honours
+      the votes of its predecessor. *)
+
+  val txn_outcome : t -> int -> bool option
+  (** Decision tombstone for a cross-shard transaction id: [Some true] if
+      the commit decision committed here, [Some false] for an abort,
+      [None] if undecided (or pruned long after deciding). *)
+
   val reads_inflight : t -> int
   (** Leader only: reads held awaiting confirmation or execution ([0] on
       followers). Compared against [Config.max_inflight]. *)

@@ -1,7 +1,10 @@
 (** Replica snapshots: everything a lagging or recovering replica needs to
     join the group at a given commit point — the encoded service state,
-    the committed prefix length, and the client deduplication table (so
-    duplicate requests keep getting their original replies). *)
+    the committed prefix length, the client deduplication table (so
+    duplicate requests keep getting their original replies), and the 2PC
+    participant tables (prepared cross-shard branches awaiting their
+    decision, plus decision tombstones), since log pruning may have
+    dropped the instances they were derived from. *)
 
 module Wire = Grid_codec.Wire
 module Ids = Grid_util.Ids
@@ -11,6 +14,11 @@ type t = {
   state : string;  (** service state, encoded by the service codec *)
   dedup : (int * Types.reply) list;
       (** per client-id: highest committed sequence's reply *)
+  prepared : (int * string) list;
+      (** per cross-txn tid: the encoded prepared branch (opaque here;
+          {!Replica.Make} owns the codec) *)
+  outcomes : (int * bool) list;
+      (** per decided cross-txn tid: [true] = committed *)
 }
 
 let encode t =
@@ -21,7 +29,17 @@ let encode t =
         (fun (client, reply) ->
           Wire.Encoder.uint e client;
           Types.encode_reply e reply)
-        t.dedup)
+        t.dedup;
+      Wire.Encoder.list e
+        (fun (tid, branch) ->
+          Wire.Encoder.uint e tid;
+          Wire.Encoder.string e branch)
+        t.prepared;
+      Wire.Encoder.list e
+        (fun (tid, committed) ->
+          Wire.Encoder.uint e tid;
+          Wire.Encoder.bool e committed)
+        t.outcomes)
 
 let decode s =
   Wire.decode s (fun d ->
@@ -33,4 +51,21 @@ let decode s =
             let reply = Types.decode_reply d in
             (client, reply))
       in
-      { commit_point; state; dedup })
+      (* Snapshots persisted before the 2PC tables existed end here. *)
+      let prepared =
+        if Wire.Decoder.at_end d then []
+        else
+          Wire.Decoder.list d (fun d ->
+              let tid = Wire.Decoder.uint d in
+              let branch = Wire.Decoder.string d in
+              (tid, branch))
+      in
+      let outcomes =
+        if Wire.Decoder.at_end d then []
+        else
+          Wire.Decoder.list d (fun d ->
+              let tid = Wire.Decoder.uint d in
+              let committed = Wire.Decoder.bool d in
+              (tid, committed))
+      in
+      { commit_point; state; dedup; prepared; outcomes })

@@ -54,7 +54,10 @@ end
     the basic protocol, [Original] no coordination at all (the paper's
     unreplicated baseline). Transactional requests carry a per-client
     transaction number; their coordination is deferred to the commit
-    (T-Paxos). *)
+    (T-Paxos). [Txn_prepare] is the 2PC prepare for a cross-shard
+    transaction: the participant group votes by committing the request
+    (with its branch re-encoded into the payload) as a consensus
+    instance, so the YES vote survives any minority of crashes. *)
 type rtype =
   | Read
   | Write
@@ -62,6 +65,7 @@ type rtype =
   | Txn_op of int
   | Txn_commit of int
   | Txn_abort of int
+  | Txn_prepare of int
 
 let rtype_tag = function
   | Read -> 0
@@ -70,6 +74,7 @@ let rtype_tag = function
   | Txn_op _ -> 3
   | Txn_commit _ -> 4
   | Txn_abort _ -> 5
+  | Txn_prepare _ -> 6
 
 let pp_rtype ppf = function
   | Read -> Format.pp_print_string ppf "read"
@@ -78,12 +83,13 @@ let pp_rtype ppf = function
   | Txn_op t -> Format.fprintf ppf "txn_op(%d)" t
   | Txn_commit t -> Format.fprintf ppf "txn_commit(%d)" t
   | Txn_abort t -> Format.fprintf ppf "txn_abort(%d)" t
+  | Txn_prepare t -> Format.fprintf ppf "txn_prepare(%d)" t
 
 let encode_rtype e rt =
   Wire.Encoder.uint e (rtype_tag rt);
   match rt with
   | Read | Write | Original -> ()
-  | Txn_op t | Txn_commit t | Txn_abort t -> Wire.Encoder.uint e t
+  | Txn_op t | Txn_commit t | Txn_abort t | Txn_prepare t -> Wire.Encoder.uint e t
 
 let decode_rtype d =
   match Wire.Decoder.uint d with
@@ -93,6 +99,7 @@ let decode_rtype d =
   | 3 -> Txn_op (Wire.Decoder.uint d)
   | 4 -> Txn_commit (Wire.Decoder.uint d)
   | 5 -> Txn_abort (Wire.Decoder.uint d)
+  | 6 -> Txn_prepare (Wire.Decoder.uint d)
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad rtype %d" n })
 
 (** Causal trace context carried inside the request as it crosses

@@ -34,7 +34,10 @@ end
     the basic protocol, [Original] no coordination at all (the paper's
     unreplicated baseline). Transactional requests carry a per-client
     transaction number; their coordination is deferred to the commit
-    (T-Paxos). *)
+    (T-Paxos). [Txn_prepare] is the 2PC prepare vote for a cross-shard
+    transaction (DESIGN.md §16): the participant group commits it as a
+    consensus instance with the transaction branch re-encoded into the
+    payload, making the YES vote crash-safe. *)
 type rtype =
   | Read
   | Write
@@ -42,6 +45,7 @@ type rtype =
   | Txn_op of int
   | Txn_commit of int
   | Txn_abort of int
+  | Txn_prepare of int
 
 val rtype_tag : rtype -> int
 val pp_rtype : Format.formatter -> rtype -> unit

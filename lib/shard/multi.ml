@@ -28,6 +28,9 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     mutable lseq : int;
         (* logical submissions so far: the deterministic trace-id source
            (id * 1e6 + lseq), advanced only on successful submits *)
+    mutable base_on_reply : (reply -> unit) option;
+        (* the caller's reply callback, so the 2PC coordinator can
+           borrow the per-shard handles and hand them back afterwards *)
   }
 
   type t = {
@@ -41,7 +44,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     watchdog : Grid_obs.Watchdog.t;
     sid_route : string;  (* precomputed router span id *)
     mutable next_client_id : int;
+    mutable next_cross_tid : int;
+        (* cross-shard transaction ids: a namespace disjoint from every
+           per-client single-shard tid, monotone so participant
+           tombstone pruning stays safe *)
   }
+
+  let cross_tid_base = 1_000_000_000
 
   let create ?(seed = 42) ?(trace = false) ?trace_capacity ?spec
       ?(route = S.footprint) ?watchdog ~cfg ~scenario:(sc : Scenario.t) ~shards () =
@@ -74,6 +83,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       watchdog;
       sid_route = Span.span_id ~actor:"rtr" Span.Route;
       next_client_id = 0;
+      next_cross_tid = cross_tid_base;
     }
 
   let engine t = t.eng
@@ -98,10 +108,13 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           Group.add_client group ~id:((id * k) + g) ?machine_share ?on_reply ())
         t.groups
     in
-    { id; handles; txns = Hashtbl.create 4; lseq = 0 }
+    { id; handles; txns = Hashtbl.create 4; lseq = 0; base_on_reply = on_reply }
 
   let set_on_reply t cl f =
+    cl.base_on_reply <- Some f;
     Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
+
+  let pinned_txns cl = Hashtbl.length cl.txns
 
   (* Resolve an item to its owning shard. Empty footprints route to
      shard 0 (a documented deviation: the op conflicts with nothing, so
@@ -139,9 +152,12 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           Ok 0)
       | Error e -> Error e)
     | Runtime.Commit_txn { tid; _ } | Runtime.Abort_txn tid ->
-      let s = Option.value ~default:0 (Hashtbl.find_opt cl.txns tid) in
-      Hashtbl.remove cl.txns tid;
-      Ok s
+      (* The pin is read here but only released after a successful
+         submit (see [try_submit_item]): releasing on a `Busy submit
+         used to unpin the transaction, so the retried commit routed to
+         shard 0 instead of the pinned shard, and pins for transactions
+         whose commit never got in leaked forever. *)
+      Ok (Option.value ~default:0 (Hashtbl.find_opt cl.txns tid))
 
   type submit_error = [ Partition.error | `Busy ]
 
@@ -168,6 +184,14 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       in
       (match Group.try_submit_item t.groups.(s) cl.handles.(s) ?trace it with
       | `Submitted ->
+        (* Commit/abort are in the pipe: the pin has served its routing
+           purpose. The client engine retransmits the request itself
+           (including across leader switches, where the commit aborts),
+           so the pin is never consulted again for this tid. *)
+        (match it with
+        | Runtime.Commit_txn { tid; _ } | Runtime.Abort_txn tid ->
+          Hashtbl.remove cl.txns tid
+        | _ -> ());
         (match trace with
         | Some (tid, _) ->
           cl.lseq <- cl.lseq + 1;
@@ -188,6 +212,238 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
 
   let try_submit_op t cl op = try_submit_item t cl (Runtime.Do op)
   let submit_op t cl op = submit_item t cl (Runtime.Do op)
+
+  (* ---------------------------------------------------------------- *)
+  (* Cross-shard transactions: 2PC over per-group T-Paxos (DESIGN §16).
+
+     The coordinator is client-side and unreplicated; what makes the
+     protocol crash-safe is that both the prepare votes and the final
+     decision are consensus instances in each participant group's log.
+     The home group (lowest participant shard) is the commit point: the
+     transaction is committed iff the COMMIT decision committed there.
+     An abandoned coordinator is resolved by [recover_cross_txn], which
+     probes the home group with an abort — presumed abort — and learns
+     the real outcome from the group's decision tombstones. *)
+
+  type xresult = X_committed | X_aborted | X_conflict
+
+  let pp_xresult ppf = function
+    | X_committed -> Format.pp_print_string ppf "committed"
+    | X_aborted -> Format.pp_print_string ppf "aborted"
+    | X_conflict -> Format.pp_print_string ppf "conflict"
+
+  let alloc_cross_tid t =
+    let tid = t.next_cross_tid in
+    t.next_cross_tid <- tid + 1;
+    tid
+
+  let is_cross_tid tid = tid >= cross_tid_base
+
+  let enc_count n =
+    Grid_codec.Wire.encode (fun e -> Grid_codec.Wire.Encoder.uint e n)
+
+  (* Raw per-shard submissions, bypassing the router: the coordinator
+     (and the deterministic engine tests) place ops itself. *)
+  let submit_txn_op t cl ~shard ~tid op =
+    Group.submit t.groups.(shard) cl.handles.(shard) (Txn_op tid)
+      ~payload:(S.encode_op op)
+
+  let submit_prepare t cl ~shard ~tid ~ops =
+    Group.submit t.groups.(shard) cl.handles.(shard) (Txn_prepare tid)
+      ~payload:(enc_count ops)
+
+  let submit_decision t cl ~shard ~tid ~commit =
+    if commit then
+      Group.submit t.groups.(shard) cl.handles.(shard) (Txn_commit tid)
+        ~payload:(enc_count 0)
+    else
+      Group.submit t.groups.(shard) cl.handles.(shard) (Txn_abort tid) ~payload:""
+
+  (* Route each reply arriving on the client's per-shard handles to a
+     phase handler; the caller's callback is restored when the protocol
+     finishes (or is abandoned by swapping in a new dispatcher). *)
+  let borrow_handles t cl dispatch =
+    Array.iteri
+      (fun g h -> Group.set_on_reply t.groups.(g) h (fun reply -> dispatch g reply))
+      cl.handles
+
+  let release_handles t cl =
+    let f = match cl.base_on_reply with Some f -> f | None -> fun _ -> () in
+    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
+
+  let must_submit ~what = function
+    | `Submitted -> ()
+    | `Busy -> invalid_arg ("Multi: cross-txn handle busy at " ^ what)
+
+  (* Drive the decision phase: COMMIT goes to the home group first and
+     alone — its commit is the transaction's commit point — then fans
+     out to the remaining participants; ABORT fans out to everyone at
+     once (presumed abort makes ordering irrelevant). [on_done] fires
+     after every participant acknowledged its decision, so locks are
+     released cluster-wide before the caller proceeds. *)
+  let drive_decision t cl ~tid ~home ~rest ~commit ~on_done =
+    let pending = ref 0 in
+    let result = ref (if commit then X_committed else X_aborted) in
+    let fan_out shards ~commit =
+      pending := List.length shards;
+      if !pending = 0 then begin
+        release_handles t cl;
+        on_done !result
+      end
+      else
+        List.iter
+          (fun s -> must_submit ~what:"decision" (submit_decision t cl ~shard:s ~tid ~commit))
+          shards
+    in
+    let rec dispatch_rest _g (_ : reply) =
+      decr pending;
+      if !pending = 0 then begin
+        release_handles t cl;
+        on_done !result
+      end
+    and dispatch_home _g (reply : reply) =
+      (* The home group's answer is authoritative: [Ok] means the COMMIT
+         decision committed; [Txn_aborted] means a racing recovery got an
+         abort decision in first, so the others must abort too. *)
+      let committed = reply.status = Ok in
+      if not committed then result := X_aborted;
+      borrow_handles t cl dispatch_rest;
+      fan_out rest ~commit:committed
+    in
+    if commit then begin
+      borrow_handles t cl dispatch_home;
+      pending := 1;
+      must_submit ~what:"commit(home)" (submit_decision t cl ~shard:home ~tid ~commit:true)
+    end
+    else begin
+      borrow_handles t cl dispatch_rest;
+      fan_out (home :: rest) ~commit:false
+    end
+
+  let submit_cross_txn ?tid t cl ~(ops : S.op list) ~on_done =
+    if ops = [] then invalid_arg "Multi.submit_cross_txn: empty transaction";
+    let tid = match tid with Some tid -> tid | None -> alloc_cross_tid t in
+    let k = Array.length t.groups in
+    let by_shard = Array.make k [] in
+    List.iter
+      (fun op ->
+        let s =
+          match Partition.place t.part (t.route op) with
+          | Ok (Partition.Single s) -> s
+          | Ok Partition.Any -> 0
+          | Error e ->
+            invalid_arg
+              (Format.asprintf "Multi.submit_cross_txn: unroutable op: %a"
+                 Partition.pp_error e)
+        in
+        by_shard.(s) <- op :: by_shard.(s))
+      ops;
+    Array.iteri (fun s l -> by_shard.(s) <- List.rev l) by_shard;
+    let shards = List.filter (fun s -> by_shard.(s) <> []) (List.init k Fun.id) in
+    let home = List.hd shards and rest = List.tl shards in
+    (* Phase 1 — ops: each participant executes its slice on a
+       leader-local branch (ordinary T-Paxos [Txn_op]s, sequential per
+       shard, shards progressing concurrently). *)
+    let queues = Array.map (fun l -> ref l) by_shard in
+    let ops_pending = ref (List.length shards) in
+    (* Phase 2 — prepare: every participant votes by committing (or
+       instantly refusing) a [Txn_prepare] instance. *)
+    let votes_pending = ref 0 in
+    let saw_conflict = ref false in
+    let all_yes = ref true in
+    let rec start_prepare () =
+      borrow_handles t cl dispatch_vote;
+      votes_pending := List.length shards;
+      List.iter
+        (fun s ->
+          must_submit ~what:"prepare"
+            (submit_prepare t cl ~shard:s ~tid ~ops:(List.length by_shard.(s))))
+        shards
+    and dispatch_vote _g (reply : reply) =
+      (match reply.status with
+      | Ok -> ()
+      | Txn_conflict ->
+        all_yes := false;
+        saw_conflict := true
+      | _ -> all_yes := false);
+      decr votes_pending;
+      if !votes_pending = 0 then
+        if !all_yes then drive_decision t cl ~tid ~home ~rest ~commit:true ~on_done
+        else
+          (* Phase 3b — abort: at least one NO. Conflicts surface as
+             [X_conflict] so callers can distinguish livelock from
+             failure. NO-voters hold no lock, but the abort is still sent
+             everywhere: on YES-voters it is the decision instance, on
+             NO-voters an instant presumed-abort reply. *)
+          drive_decision t cl ~tid ~home ~rest ~commit:false
+            ~on_done:(fun _ ->
+              on_done (if !saw_conflict then X_conflict else X_aborted))
+    and dispatch_op g (reply : reply) =
+      match reply.status with
+      | Ok -> (
+        match !(queues.(g)) with
+        | op :: more ->
+          queues.(g) := more;
+          must_submit ~what:"txn_op" (submit_txn_op t cl ~shard:g ~tid op)
+        | [] ->
+          decr ops_pending;
+          if !ops_pending = 0 then start_prepare ())
+      | _ ->
+        (* A branch op only fails terminally if its group is wedged;
+           votes would refuse anyway, so skip straight to prepare. *)
+        queues.(g) := [];
+        decr ops_pending;
+        if !ops_pending = 0 then start_prepare ()
+    in
+    borrow_handles t cl dispatch_op;
+    List.iter
+      (fun s ->
+        match !(queues.(s)) with
+        | op :: more ->
+          queues.(s) := more;
+          must_submit ~what:"txn_op" (submit_txn_op t cl ~shard:s ~tid op)
+        | [] -> assert false)
+      shards;
+    tid
+
+  (* Presumed-abort recovery for an abandoned coordinator: try to abort
+     at the home group. If the home answers [Ok], the COMMIT decision had
+     already committed there — finish the commit at the remaining
+     participants; any other answer means the abort decision won (or no
+     vote ever committed) and the remaining participants abort. Safe to
+     run concurrently with the original coordinator: both race through
+     the home group's log, and decision tombstones make the loser's
+     requests harmless. Must use a fresh logical client (request ids of
+     the abandoned coordinator may still be in flight). *)
+  let recover_cross_txn t cl ~tid ~shards ~on_done =
+    let shards = List.sort_uniq Int.compare shards in
+    match shards with
+    | [] -> invalid_arg "Multi.recover_cross_txn: no participants"
+    | home :: rest ->
+      let dispatch_probe _g (reply : reply) =
+        let committed = reply.status = Ok in
+        let pending = ref (List.length rest) in
+        if !pending = 0 then begin
+          release_handles t cl;
+          on_done (if committed then X_committed else X_aborted)
+        end
+        else begin
+          borrow_handles t cl (fun _g (_ : reply) ->
+              decr pending;
+              if !pending = 0 then begin
+                release_handles t cl;
+                on_done (if committed then X_committed else X_aborted)
+              end);
+          List.iter
+            (fun s ->
+              must_submit ~what:"recover-decision"
+                (submit_decision t cl ~shard:s ~tid ~commit:committed))
+            rest
+        end
+      in
+      borrow_handles t cl dispatch_probe;
+      must_submit ~what:"recover-probe"
+        (submit_decision t cl ~shard:home ~tid ~commit:false)
 
   (* ---------------------------------------------------------------- *)
   (* Failure control: per-group delegation. *)

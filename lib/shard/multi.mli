@@ -101,6 +101,71 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val try_submit_op : t -> client -> S.op -> (int, submit_error) result
   val submit_op : t -> client -> S.op -> int
 
+  val pinned_txns : client -> int
+  (** Open-transaction pins held by the router for this logical client.
+      Bounded by the number of genuinely open transactions: commits and
+      aborts release their pin once submitted. *)
+
+  (** {1 Cross-shard transactions (2PC over per-group T-Paxos)}
+
+      The coordinator is client-side and unreplicated; crash safety
+      comes from both the prepare votes and the final decision being
+      consensus instances in each participant group's log (DESIGN.md
+      §16). The home group — lowest participant shard — is the commit
+      point: the transaction committed iff the COMMIT decision committed
+      there. *)
+
+  type xresult = X_committed | X_aborted | X_conflict
+
+  val pp_xresult : Format.formatter -> xresult -> unit
+
+  val cross_tid_base : int
+  (** Cross-shard transaction ids live at and above this value — a
+      namespace disjoint from per-client single-shard tids, allocated
+      from a monotone per-runtime counter. *)
+
+  val is_cross_tid : int -> bool
+
+  val alloc_cross_tid : t -> int
+
+  val submit_cross_txn :
+    ?tid:int ->
+    t ->
+    client ->
+    ops:S.op list ->
+    on_done:(xresult -> unit) ->
+    int
+  (** Run one cross-shard transaction over [ops] (routed per op by
+      footprint; at least one op required) and return its tid. Phases:
+      per-shard branch execution, prepare fan-out, then the decision
+      ([drive_decision] order: home first on commit). [on_done] fires
+      once every participant has acknowledged the decision. The client's
+      per-shard handles must all be idle; its [on_reply] callback is
+      borrowed for the duration and restored before [on_done]. Raises
+      [Invalid_argument] on an unroutable op, an empty [ops], or a busy
+      handle. *)
+
+  val recover_cross_txn :
+    t -> client -> tid:int -> shards:int list -> on_done:(xresult -> unit) -> unit
+  (** Presumed-abort recovery for an abandoned coordinator: probe the
+      home (lowest) shard with an abort; [Ok] back means the COMMIT
+      decision had already committed there, so the commit is completed
+      at the remaining participants — anything else aborts them. Safe to
+      race with the original coordinator (decision tombstones resolve
+      the loser); use a fresh logical client. *)
+
+  (** Raw per-shard submissions for deterministic engine-level tests:
+      the caller places ops and drives phases itself. *)
+
+  val submit_txn_op :
+    t -> client -> shard:int -> tid:int -> S.op -> [ `Busy | `Submitted ]
+
+  val submit_prepare :
+    t -> client -> shard:int -> tid:int -> ops:int -> [ `Busy | `Submitted ]
+
+  val submit_decision :
+    t -> client -> shard:int -> tid:int -> commit:bool -> [ `Busy | `Submitted ]
+
   (** {1 Failure control (per group)} *)
 
   val crash_replica : t -> shard:int -> int -> unit

@@ -25,5 +25,6 @@ let () =
          Test_workload.suite;
          Test_scenario.suite;
          Test_shard.suite;
+         Test_xshard.suite;
          Test_overload.suite;
        ])

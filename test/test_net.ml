@@ -418,6 +418,59 @@ let test_admin_endpoint () =
                 (Grid_obs.Watchdog.violations (Tcp.replica_watchdog r)))
             replicas))
 
+(* The admin sniff must classify a peer by whatever prefix has arrived,
+   not stall or guess from the first byte: an HTTP client and a protocol
+   peer both dribbling one byte at a time must land on their own path. *)
+let test_sniff_dribbling_clients () =
+  let port = free_port () in
+  let cfg = Config.make ~n:1 ~hb_period_ms:10.0 ~suspicion_ms:60.0 () in
+  let r = Tcp.start_replica ~cfg ~id:0 ~port ~peers:[] () in
+  Fun.protect
+    ~finally:(fun () -> Tcp.stop_replica r)
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      let dribble fd s ~head =
+        String.iteri
+          (fun i c ->
+            ignore (Unix.write_substring fd (String.make 1 c) 0 1);
+            if i < head then Thread.delay 0.004)
+          s
+      in
+      (* HTTP client, one byte at a time through the whole method. *)
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd addr;
+          dribble fd "GET /health HTTP/1.0\r\n\r\n" ~head:6;
+          let buf = Bytes.create 4096 in
+          let n = try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0 in
+          let raw = Bytes.sub_string buf 0 (max n 0) in
+          Alcotest.(check bool) "dribbled GET answered with HTTP 200" true
+            (contains raw "200"));
+      (* Protocol peer: capture a real hello frame via a socketpair, then
+         dribble its first bytes; the replica must still answer with its
+         own hello instead of handing the socket to the HTTP responder. *)
+      let sp_a, sp_b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+      Framing.write_hello sp_a ~node_id:9 ~max_version:Wire_codec.latest_version;
+      let hbuf = Bytes.create 256 in
+      let hn = Unix.read sp_b hbuf 0 256 in
+      Unix.close sp_a;
+      Unix.close sp_b;
+      let hello_raw = Bytes.sub_string hbuf 0 hn in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd addr;
+          dribble fd hello_raw ~head:3;
+          match Framing.read_hello fd with
+          | Stdlib.Ok (peer, _) ->
+            Alcotest.(check int) "dribbled hello negotiated with replica" 0 peer
+          | Stdlib.Error e ->
+            Alcotest.failf "dribbled protocol peer misclassified: %a"
+              Framing.pp_read_error e))
+
 let test_loopback_duplicate_request () =
   (* A client retransmission arriving after the commit must hit the dedup
      table: the leader resends the cached reply and the op is not applied
@@ -532,5 +585,7 @@ let suite =
           test_admin_endpoint;
         Alcotest.test_case "duplicate request hits the dedup table" `Slow
           test_loopback_duplicate_request;
+        Alcotest.test_case "sniff classifies dribbling clients" `Slow
+          test_sniff_dribbling_clients;
       ] );
   ]

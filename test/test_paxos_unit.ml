@@ -475,12 +475,18 @@ let test_snapshot_roundtrip () =
           (2, { Types.req = Ids.Request_id.make ~client:(Ids.Client_id.of_int 2) ~seq:9;
                 status = Types.Txn_aborted; payload = "" });
         ];
+      prepared = [ (1_000_000_007, "opaque-branch") ];
+      outcomes = [ (1_000_000_001, true); (1_000_000_002, false) ];
     }
   in
   let snap' = Snapshot.decode (Snapshot.encode snap) in
   Alcotest.(check int) "cp" 12 snap'.commit_point;
   Alcotest.(check string) "state" "opaque-state" snap'.state;
-  Alcotest.(check int) "dedup size" 2 (List.length snap'.dedup)
+  Alcotest.(check int) "dedup size" 2 (List.length snap'.dedup);
+  Alcotest.(check int) "prepared size" 1 (List.length snap'.prepared);
+  Alcotest.(check bool) "outcomes roundtrip"
+    true
+    (snap'.outcomes = [ (1_000_000_001, true); (1_000_000_002, false) ])
 
 (* ------------------------------------------------------------------ *)
 (* Config *)

@@ -293,6 +293,89 @@ let test_single_replica () =
   Alcotest.(check int) "state" 10 (RT_counter.R.state (RT_counter.replica t 0))
 
 (* ------------------------------------------------------------------ *)
+(* Fallback accounting: when the service can produce neither a delta nor
+   a witness, ship = `Delta and ship = `Witness proposals must carry a
+   Full update — attributed (and sized) as the full state, never an
+   empty under-counted Delta/Witness. The persisted log is the ground
+   truth for what went on the wire. *)
+
+module Diffless = struct
+  include Noop
+
+  let name = "noop-diffless"
+  let diff ~old_state:_ _ = None
+
+  let apply ~rng ~now state op =
+    { (Noop.apply ~rng ~now state op) with witness = None }
+end
+
+module R_diffless = Grid_paxos.Replica.Make (Diffless)
+
+let test_ship_fallback_accounted_as_full () =
+  List.iter
+    (fun ship ->
+      let cfg = Config.make ~n:1 ~record_history:true ~ship () in
+      let storage, persisted = Grid_paxos.Storage.memory () in
+      let r = R_diffless.create ~cfg ~id:0 ~storage () in
+      (* Minimal event loop for the solo replica: fire armed timers in
+         virtual-time order until it elects itself. *)
+      let now = ref 0.0 in
+      let timers = ref [] in
+      let absorb acts =
+        List.iter
+          (function
+            | After { timer; delay } -> timers := (!now +. delay, timer) :: !timers
+            | Send _ | Note _ -> ())
+          acts
+      in
+      absorb (R_diffless.bootstrap r);
+      let steps = ref 0 in
+      while (not (R_diffless.is_leader r)) && !steps < 500 do
+        incr steps;
+        match List.sort compare !timers with
+        | [] -> Alcotest.fail "solo replica ran out of timers"
+        | (at, tm) :: rest ->
+          timers := rest;
+          now := Float.max !now at;
+          absorb (R_diffless.handle r ~now:!now (Timer tm))
+      done;
+      Alcotest.(check bool) "solo replica leads" true (R_diffless.is_leader r);
+      for seq = 1 to 3 do
+        let req =
+          {
+            id =
+              Grid_util.Ids.Request_id.make
+                ~client:(Grid_util.Ids.Client_id.of_int 1) ~seq;
+            rtype = Write;
+            payload = Noop.encode_op Noop.Noop_write;
+            trace = no_trace;
+          }
+        in
+        absorb
+          (R_diffless.handle r ~now:!now
+             (Receive { src = client_node req.id.client; msg = Client_req req }))
+      done;
+      Alcotest.(check int) "three instances committed" 3
+        (R_diffless.commit_point r);
+      let entries = (persisted ()).entries in
+      Alcotest.(check int) "three proposals persisted" 3 (List.length entries);
+      List.iter
+        (fun (e : recovery_entry) ->
+          match e.proposal.update with
+          | Full s ->
+            Alcotest.(check bool) "full payload decodes to a real state" true
+              ((Diffless.decode_state s).Noop.writes >= 1);
+            Alcotest.(check int) "state_update_size counts the full bytes"
+              (String.length s)
+              (state_update_size e.proposal.update);
+            Alcotest.(check bool) "proposal_size includes the full bytes" true
+              (proposal_size e.proposal >= String.length s)
+          | Delta _ | Witness _ ->
+            Alcotest.fail "diffless service must fall back to Full shipping")
+        entries)
+    [ `Delta; `Witness ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end property: for ANY random op sequence, the replicated KV
    equals a sequential reference execution, on every replica. *)
 
@@ -433,6 +516,8 @@ let suite =
         Alcotest.test_case "duplicate suppression under loss" `Quick
           test_duplicate_suppression;
         Alcotest.test_case "ship modes agree" `Quick test_ship_modes_agree;
+        Alcotest.test_case "delta/witness fallback ships (and counts) Full" `Quick
+          test_ship_fallback_accounted_as_full;
         Alcotest.test_case "five replicas" `Quick test_five_replicas;
         Alcotest.test_case "single replica" `Quick test_single_replica;
       ] );

@@ -62,6 +62,8 @@ let sample_msgs : (string * Types.msg) list =
     ("client_req", Client_req (req 1));
     ("client_req traced", Client_req (req ~trace:traced 2));
     ("client_req txn", Client_req (req ~rtype:(Types.Txn_op 5) 3));
+    ("client_req txn_prepare",
+     Client_req (req ~rtype:(Types.Txn_prepare 1_000_000_042) 4));
     ("reply", Reply_msg (reply 1));
     ("reply overloaded",
      Reply_msg (reply ~status:(Types.Overloaded { retry_after_ms = 12.5 }) 2));
@@ -228,7 +230,8 @@ let gen_trace =
 let gen_rtype =
   Gen.oneofl
     [ Types.Read; Types.Write; Types.Original; Types.Txn_op 3;
-      Types.Txn_commit 9; Types.Txn_abort 9 ]
+      Types.Txn_commit 9; Types.Txn_abort 9;
+      Types.Txn_prepare 1_000_000_007 ]
 
 let gen_status =
   Gen.oneofl
