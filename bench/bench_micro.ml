@@ -79,6 +79,7 @@ let test_snapshot =
                       payload = "ok" } ));
             prepared = [];
             outcomes = [];
+            reshard = "";
           }
         in
         fun () ->

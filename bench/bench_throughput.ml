@@ -2,11 +2,17 @@
      Figure 5 — Sysnet, 1..16 clients;
      Figure 6 — Sysnet, 8..128 clients (peak at 32–64);
      Figure 7 — Berkeley→Princeton, 1..16 clients (all curves close);
-     Figure 8 — WAN, 1..16 clients (X-Paxos beats basic for reads). *)
+     Figure 8 — WAN, 1..16 clients (X-Paxos beats basic for reads).
+   Plus, behind [--sweep batch,state]: a batch-size × state-size sweep
+   locating the delta-vs-full shipping crossover per service. *)
 
 module Scenario = Grid_runtime.Scenario
 module Stats = Grid_util.Stats
 module T = Grid_util.Text_table
+module Network = Grid_sim.Network
+module Runtime = Grid_runtime.Runtime
+module Noop = Grid_services.Noop
+module Kv = Grid_services.Kv_store
 open Grid_paxos.Types
 
 let run_figure ~quick ~id ~scenario ~client_counts ~total () =
@@ -35,7 +41,121 @@ let run_figure ~quick ~id ~scenario ~client_counts ~total () =
     client_counts;
   print_string (T.render table)
 
-let run ~quick ~only =
+(* ------------------------------------------------------------------ *)
+(* Batch × state sweep (ROADMAP item 1 down payment): closed-loop write
+   throughput at each (max_batch, state size) point under `Full and
+   `Delta shipping, on a 1 Gb/s Sysnet LAN with sized messages so the
+   shipped state actually occupies the wire. Larger batches amortize one
+   state ship over the whole folded batch, so the state size at which
+   delta shipping starts to win moves right as the batch grows. *)
+
+module RTK = Grid_runtime.Runtime.Make (Kv)
+
+let sweep_clients = 16
+
+let sweep_trial_noop ~ship ~max_batch ~size ~total ~seed =
+  let cfg = Grid_paxos.Config.make ~n:3 ~ship ~max_batch () in
+  let t = Experiment.RT.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  Network.set_sizer (Experiment.RT.network t) msg_size;
+  Network.set_bandwidth (Experiment.RT.network t) 125_000.0 (* 1 Gb/s *);
+  let results =
+    Experiment.RT.run_closed_loop_ops t ~max_sim_ms:3_600_000.0
+      ~clients:sweep_clients
+      ~requests_per_client:(Stdlib.max 1 (total / sweep_clients))
+      ~gen:(fun ~client:_ () -> Some (Runtime.Do (Noop.Noop_sized_write size)))
+  in
+  Experiment.RT.throughput_rps results
+
+(* The KV variant grows the store once (a padding key written by client
+   0's first request) and then measures small puts: full shipping pays
+   for the whole store on every commit, delta ships just the put. *)
+let sweep_trial_kv ~ship ~max_batch ~size ~total ~seed =
+  let cfg = Grid_paxos.Config.make ~n:3 ~ship ~max_batch () in
+  let t = RTK.create ~cfg ~scenario:Scenario.sysnet ~seed () in
+  Network.set_sizer (RTK.network t) msg_size;
+  Network.set_bandwidth (RTK.network t) 125_000.0;
+  let results =
+    RTK.run_closed_loop_ops t ~max_sim_ms:3_600_000.0 ~clients:sweep_clients
+      ~requests_per_client:(Stdlib.max 1 (total / sweep_clients))
+      ~gen:(fun ~client ->
+        let n = ref 0 in
+        fun () ->
+          incr n;
+          if client = 0 && !n = 1 then
+            Some
+              (Runtime.Do (Kv.Put { key = "pad"; value = String.make size 'p' }))
+          else
+            Some
+              (Runtime.Do
+                 (Kv.Put { key = Printf.sprintf "k%d" client; value = "v" })))
+  in
+  RTK.throughput_rps results
+
+let run_sweep ~quick ~axes () =
+  let batches = if List.mem "batch" axes then [ 1; 4; 16 ] else [ 4 ] in
+  let sizes =
+    if List.mem "state" axes then [ 16; 1_024; 16_384; 131_072 ] else [ 1_024 ]
+  in
+  let trials = if quick then 2 else 5 in
+  let total = if quick then 192 else 480 in
+  let services =
+    [ ("noop", sweep_trial_noop); ("kv", sweep_trial_kv) ]
+  in
+  List.iter
+    (fun (svc, trial) ->
+      let table =
+        T.create
+          ~columns:
+            [ ("Batch", T.Right); ("State (B)", T.Right);
+              ("Full (req/s)", T.Right); ("Delta (req/s)", T.Right);
+              ("Delta/Full", T.Right) ]
+      in
+      let crossovers = ref [] in
+      List.iter
+        (fun max_batch ->
+          let cross = ref None in
+          List.iter
+            (fun size ->
+              let mean ship =
+                let acc = Stats.create () in
+                for seed = 1 to trials do
+                  let v = trial ~ship ~max_batch ~size ~total ~seed in
+                  Stats.add acc v;
+                  Report.sample ~experiment:"throughput"
+                    ~config:
+                      (Format.asprintf "sweep %s %s batch=%d state=%d" svc
+                         (match ship with `Full -> "full" | _ -> "delta")
+                         max_batch size)
+                    v
+                done;
+                Stats.mean acc
+              in
+              let full = mean `Full and delta = mean `Delta in
+              (* 2% margin so trial noise at tiny states doesn't count. *)
+              if delta > 1.02 *. full && !cross = None then cross := Some size;
+              T.add_row table
+                [ string_of_int max_batch; string_of_int size;
+                  Printf.sprintf "%.0f" full; Printf.sprintf "%.0f" delta;
+                  Printf.sprintf "%.2fx" (delta /. full) ])
+            sizes;
+          crossovers := (max_batch, !cross) :: !crossovers)
+        batches;
+      Printf.printf "service %s:\n" svc;
+      print_string (T.render table);
+      List.iter
+        (fun (b, c) ->
+          Printf.printf "  batch=%-2d delta overtakes full at state ≥ %s\n" b
+            (match c with
+            | Some s -> Printf.sprintf "%d B" s
+            | None -> "(never in range)"))
+        (List.rev !crossovers))
+    services;
+  print_endline
+    "Expected shape: delta shipping wins once the state outgrows the wire\n\
+     budget per commit; batching amortizes one full-state ship across the\n\
+     folded batch, pushing the crossover toward larger states."
+
+let run ~sweep ~quick ~only =
   (* [--only throughput] runs the whole figure family in one process, so
      BENCH_throughput.json holds every figure's samples. *)
   let only = if only = Some "throughput" then None else only in
@@ -67,4 +187,7 @@ let run ~quick ~only =
         ~client_counts:[ 1; 2; 4; 8; 16 ] ~total:(if quick then 200 else 1000) ();
       print_endline
         "Paper shape: original > read > write, with X-Paxos clearly beating the\n\
-         basic protocol when replicas are spread across sites.")
+         basic protocol when replicas are spread across sites.");
+  if sweep <> [] then
+    maybe "sweep" "batch-size × state-size sweep, delta vs full shipping (ours)"
+      (run_sweep ~quick ~axes:sweep)

@@ -31,12 +31,13 @@ let experiments =
     ("overload", "Goodput vs offered load under admission control (ours)");
     ("shard", "Aggregate throughput vs shard count (ours)");
     ("xshard", "Cross-shard 2PC commit vs single-shard transactions (ours)");
+    ("reshard", "Client-visible latency across a live shard split (ours)");
     ("semi-passive", "Semi-passive replication baseline (§5, ours)");
     ("obs", "Introspection plane overhead: tracing off vs on (ours)");
     ("micro", "Data-structure microbenchmarks");
   ]
 
-let run_all ~quick ~only =
+let run_all ~quick ~only ~sweep =
   (match only with
   | Some id when not (List.mem_assoc id experiments) ->
     Printf.eprintf "unknown experiment %S; try --list\n" id;
@@ -49,7 +50,7 @@ let run_all ~quick ~only =
     (match only with Some id -> Printf.sprintf ", experiment %s" id | None -> "");
   Bench_rrt.run ~quick ~only;
   Bench_reads.run ~quick ~only;
-  Bench_throughput.run ~quick ~only;
+  Bench_throughput.run ~sweep ~quick ~only;
   Bench_txn.run ~quick ~only;
   Bench_ablation.run ~quick ~only;
   Bench_messages.run ~quick ~only;
@@ -58,6 +59,7 @@ let run_all ~quick ~only =
   Bench_overload.run ~quick ~only;
   Bench_shard.run ~quick ~only;
   Bench_xshard.run ~quick ~only;
+  Bench_reshard.run ~quick ~only;
   Bench_semi_passive.run ~quick ~only;
   Bench_obs.run ~quick ~only;
   Bench_micro.run ~quick ~only;
@@ -78,6 +80,14 @@ let list_flag =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
 
+let sweep =
+  let doc =
+    "Extra sweep axes for the throughput family (comma-separated from: \
+     batch, state), e.g. --sweep batch,state. Runs with the throughput \
+     experiments and lands in BENCH_throughput.json."
+  in
+  Arg.(value & opt (list string) [] & info [ "sweep" ] ~docv:"AXES" ~doc)
+
 let json_dir =
   let doc =
     "Also write machine-readable BENCH_<id>.json telemetry (n/mean/ci99/p50/p99 \
@@ -85,17 +95,17 @@ let json_dir =
   in
   Arg.(value & opt (some dir) None & info [ "json-dir" ] ~docv:"DIR" ~doc)
 
-let main quick only list_flag json_dir =
+let main quick only sweep list_flag json_dir =
   if list_flag then
     List.iter (fun (id, d) -> Printf.printf "%-18s %s\n" id d) experiments
   else begin
     (match json_dir with Some dir -> Report.enable ~dir | None -> ());
-    run_all ~quick ~only
+    run_all ~quick ~only ~sweep
   end
 
 let cmd =
   let doc = "Regenerate the tables and figures of the paper's evaluation" in
   let info = Cmd.info "grid-replication-bench" ~doc in
-  Cmd.v info Term.(const main $ quick $ only $ list_flag $ json_dir)
+  Cmd.v info Term.(const main $ quick $ only $ sweep $ list_flag $ json_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -226,9 +226,39 @@ let run_xshard ~schedules ~base_seed ~quiet =
   else if summary.s_failures = [] then 0
   else 1
 
+(* The elastic-resharding tier: live shard splits/merges with snapshot
+   handoff racing tagged appends, leader crashes in the migrating groups
+   and parked coordinators, with the exactly-once acked-write oracle on
+   every schedule (see Grid_check.Xstress). *)
+let run_reshard ~schedules ~base_seed ~quiet =
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun (s : Grid_check.Xstress.reshard_summary) ->
+          if s.rs_schedules mod 50 = 0 then
+            Format.printf "  ... %d schedules, %d failing@." s.rs_schedules
+              (List.length s.rs_failures))
+  in
+  let summary = Grid_check.Xstress.run_reshard ~schedules ~base_seed ?progress () in
+  Format.printf "%a@." Grid_check.Xstress.pp_reshard_summary summary;
+  List.iter
+    (fun (o : Grid_check.Xstress.reshard_outcome) ->
+      Format.printf "FAIL %a@." Grid_check.Xstress.pp_reshard_outcome o;
+      List.iter (fun v -> Format.printf "  %s@." v) o.r_violations)
+    summary.rs_failures;
+  if summary.rs_splits = 0 || summary.rs_acked = 0 || summary.rs_xcommitted = 0
+  then begin
+    Format.printf
+      "no live split, acked write, or committed cross txn exercised — FAIL@.";
+    1
+  end
+  else if summary.rs_failures = [] then 0
+  else 1
+
 let main schedules seed base_seed steps service crash torn dup reorder meta_drop
-    drift drift_max lease_ms plant_dedup overload xshard max_inflight max_queue
-    disable_dedup no_shrink quiet trace_dump =
+    drift drift_max lease_ms plant_dedup overload xshard reshard max_inflight
+    max_queue disable_dedup no_shrink quiet trace_dump =
   let nem = nemesis ~crash ~torn ~dup ~reorder ~meta_drop ~drift ~drift_max in
   let cfg_tweak =
     if lease_ms > 0.0 then fun c -> Grid_paxos.Config.make ~base:c ~lease_ms ()
@@ -237,6 +267,7 @@ let main schedules seed base_seed steps service crash torn dup reorder meta_drop
   let services = services_of service in
   if plant_dedup then run_plant ~seed:base_seed ~steps ~nem ~attempts:40
   else if xshard then run_xshard ~schedules ~base_seed ~quiet
+  else if reshard then run_reshard ~schedules ~base_seed ~quiet
   else if overload then
     run_overload ~schedules ~base_seed ~steps ~max_inflight ~max_queue
       ~shrink:(not no_shrink) ~quiet
@@ -329,6 +360,20 @@ let xshard_arg =
            cross-shard atomicity/serializability oracles on every schedule. \
            Honours --schedules, --base-seed and --quiet.")
 
+let reshard_arg =
+  Arg.(
+    value & flag
+    & info [ "reshard" ]
+        ~doc:
+          "Run the elastic-resharding tier instead of the default batch: a \
+           live key range splits and merges between groups (snapshot handoff, \
+           FREEZE/INSTALL/COMMIT) while closed-loop clients append tagged \
+           tokens across the moving keyspace, leaders of the migrating groups \
+           crash mid-protocol and some coordinators park after FREEZE for \
+           presumed-abort recovery. Every schedule checks per-group agreement \
+           and that each acked append appears exactly once at the final \
+           owner. Honours --schedules, --base-seed and --quiet.")
+
 let max_inflight_arg =
   Arg.(
     value & opt int 2
@@ -368,8 +413,8 @@ let cmd =
       const main $ schedules_arg $ seed_arg $ base_seed_arg $ steps_arg
       $ service_arg $ crash_arg $ torn_arg $ dup_arg $ reorder_arg
       $ meta_drop_arg $ drift_arg $ drift_max_arg $ lease_ms_arg $ plant_arg
-      $ overload_arg $ xshard_arg $ max_inflight_arg $ max_queue_arg
-      $ disable_dedup_arg
+      $ overload_arg $ xshard_arg $ reshard_arg $ max_inflight_arg
+      $ max_queue_arg $ disable_dedup_arg
       $ no_shrink_arg $ quiet_arg $ trace_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -623,7 +623,38 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     (* Engine access is confined to the loop thread; bootstrap through an
        injected thunk. *)
     inject core (fun () -> run_actions core (R.bootstrap replica));
-    let handle ~now input = R.handle replica ~now input in
+    (* Resharding visibility (DESIGN.md §17): gauges track the replica's
+       partition-map epoch and migration progress; refreshed after every
+       handled input (four stores, no lookup). *)
+    let reshard_epoch_g =
+      Metrics.gauge core.meters.registry "grid_reshard_epoch"
+        ~help:"Partition-map epoch this replica has committed"
+    in
+    let reshard_migrating_g =
+      Metrics.gauge core.meters.registry "grid_reshard_migrating"
+        ~help:"1 while a split/merge holds this replica frozen or installing"
+    in
+    let reshard_moved_g =
+      Metrics.gauge core.meters.registry "grid_reshard_moved_ranges"
+        ~help:"Key ranges handed to another group and not yet received back"
+    in
+    let reshard_imported_g =
+      Metrics.gauge core.meters.registry "grid_reshard_imported_items"
+        ~help:"Items adopted from shipped migration snapshots"
+    in
+    let refresh_reshard () =
+      Metrics.set reshard_epoch_g (Float.of_int (R.reshard_epoch replica));
+      Metrics.set reshard_migrating_g
+        (if R.reshard_phase replica = "idle" then 0.0 else 1.0);
+      Metrics.set reshard_moved_g (Float.of_int (R.moved_ranges replica));
+      Metrics.set reshard_imported_g (Float.of_int (R.imported_items replica))
+    in
+    refresh_reshard ();
+    let handle ~now input =
+      let acts = R.handle replica ~now input in
+      refresh_reshard ();
+      acts
+    in
     let health () =
       let peer_json =
         peer_versions core
@@ -636,7 +667,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           let b = R.ballot replica in
           let shed_reads, shed_writes = R.stats_shed replica in
           Printf.sprintf
-            {|{"node":%d,"role":"%s","ballot":{"round":%d,"holder":%d},"commit_point":%d,"holds_lease":%b,"queue_depth":%d,"reads_inflight":%d,"shed_reads":%d,"shed_writes":%d,"watchdog_violations":%d,"wire_version":%d,"peer_wire_versions":{%s}}|}
+            {|{"node":%d,"role":"%s","ballot":{"round":%d,"holder":%d},"commit_point":%d,"holds_lease":%b,"queue_depth":%d,"reads_inflight":%d,"shed_reads":%d,"shed_writes":%d,"watchdog_violations":%d,"reshard":{"epoch":%d,"phase":"%s","moved_ranges":%d,"imported_items":%d},"wire_version":%d,"peer_wire_versions":{%s}}|}
             id
             (if R.is_leader replica then "leader" else "follower")
             b.Grid_paxos.Types.Ballot.round b.Grid_paxos.Types.Ballot.holder
@@ -645,6 +676,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
             (R.queue_depth replica) (R.reads_inflight replica) shed_reads
             shed_writes
             (Grid_obs.Watchdog.violations watchdog)
+            (R.reshard_epoch replica) (R.reshard_phase replica)
+            (R.moved_ranges replica) (R.imported_items replica)
             core.max_wire_version peer_json)
     in
     let routes path =

@@ -147,7 +147,7 @@ let handle t ~now input =
           ~actor:t.actor ~req:reply.req ~instance:(-1) ~detail:"overloaded"
           Span.Reply;
         ([ after ~delay (Client_retry r.id.seq) ], None)
-      | Ok | Txn_aborted | Txn_conflict ->
+      | Ok | Txn_aborted | Txn_conflict | Wrong_epoch _ ->
         t.pending <- None;
         t.backoff_attempts <- 0;
         t.backoff_until <- neg_infinity;

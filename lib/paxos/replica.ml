@@ -15,6 +15,10 @@ let rtype_label = function
   | Txn_commit _ -> "txn_commit"
   | Txn_abort _ -> "txn_abort"
   | Txn_prepare _ -> "txn_prepare"
+  | Reshard_freeze _ -> "reshard_freeze"
+  | Reshard_install _ -> "reshard_install"
+  | Reshard_commit _ -> "reshard_commit"
+  | Reshard_abort _ -> "reshard_abort"
 
 module Make (S : Service_intf.S) = struct
   type work =
@@ -25,6 +29,10 @@ module Make (S : Service_intf.S) = struct
            branch, [Txn_abort] discards it — both as consensus
            instances, so the decision is as durable as the vote *)
     | W_txn_prepare of request
+    | W_reshard of request
+        (* reshard control-plane markers (FREEZE / INSTALL / COMMIT /
+           ABORT): each commits as a consensus instance so the migration
+           state machine is exactly as durable as the log *)
 
   (* Work deferred behind the execution-cost timer (the paper's E). *)
   type exec_work =
@@ -175,6 +183,21 @@ module Make (S : Service_intf.S) = struct
        duplicate delivery and coordinator failover. *)
     prepared : (int, prepared) Hashtbl.t;  (* cross-txn tid -> branch *)
     txn_outcomes : (int, bool) Hashtbl.t;  (* cross-txn tid -> committed? *)
+    (* Elastic-resharding participant state (DESIGN.md §17), derived —
+       like the 2PC tables — from committed instances only, so every
+       replica of the group reconstructs the same migration view from
+       the log (or adopts it from a snapshot). *)
+    mutable reshard_epoch : int;  (* highest committed map epoch *)
+    mutable reshard_map : string;  (* encoded map at that epoch; "" = seed *)
+    mutable frozen : (int * string * string option * int) option;
+        (* (epoch, lo, hi, target): committed FREEZE awaiting decision —
+           writes into [lo, hi) park in [l_blocked] until it resolves *)
+    mutable installed : (int * string * string option * int) option;
+        (* (epoch, lo, hi, count): committed INSTALL awaiting decision *)
+    mutable moved : (string * string option) list;
+        (* ranges handed away: requests touching them get [Wrong_epoch] *)
+    reshard_aborted : (int, unit) Hashtbl.t;  (* abort tombstones, by epoch *)
+    mutable imported_items : int;  (* items absorbed via INSTALL commits *)
     (* checker support *)
     mutable history : (int * request list * string) list;  (* reversed *)
     mutable commits_seen : int;
@@ -218,6 +241,13 @@ module Make (S : Service_intf.S) = struct
       recent_footprints = Hashtbl.create 64;
       prepared = Hashtbl.create 8;
       txn_outcomes = Hashtbl.create 32;
+      reshard_epoch = 0;
+      reshard_map = "";
+      frozen = None;
+      installed = None;
+      moved = [];
+      reshard_aborted = Hashtbl.create 8;
+      imported_items = 0;
       history = [];
       commits_seen = 0;
       shed_reads = 0;
@@ -264,6 +294,17 @@ module Make (S : Service_intf.S) = struct
     Hashtbl.fold (fun tid _ acc -> tid :: acc) t.prepared [] |> List.sort Int.compare
 
   let txn_outcome t tid = Hashtbl.find_opt t.txn_outcomes tid
+  let reshard_epoch t = t.reshard_epoch
+  let reshard_map t = t.reshard_map
+
+  let reshard_phase t =
+    match (t.frozen, t.installed) with
+    | Some _, _ -> "frozen"
+    | None, Some _ -> "installing"
+    | None, None -> "idle"
+
+  let moved_ranges t = List.length t.moved
+  let imported_items t = t.imported_items
 
   let queue_depth t =
     match t.role with Leader l -> Queue.length l.l_queue | _ -> 0
@@ -340,6 +381,17 @@ module Make (S : Service_intf.S) = struct
       prepared =
         Hashtbl.fold (fun tid p acc -> (tid, encode_prepared p) :: acc) t.prepared [];
       outcomes = Hashtbl.fold (fun tid o acc -> (tid, o) :: acc) t.txn_outcomes [];
+      reshard =
+        Reshard_wire.encode_participant
+          {
+            p_epoch = t.reshard_epoch;
+            p_map = t.reshard_map;
+            p_frozen = t.frozen;
+            p_installed = t.installed;
+            p_moved = t.moved;
+            p_aborted = Hashtbl.fold (fun e () acc -> e :: acc) t.reshard_aborted [];
+            p_imported = t.imported_items;
+          };
     }
 
   let dedup_update t (r : reply) =
@@ -388,9 +440,89 @@ module Make (S : Service_intf.S) = struct
         t.txn_outcomes
     end
 
+  (* Reshard participant tracking, applied — like [track_2pc] — to every
+     committed instance on every path (live commit, catch-up replay,
+     crash-recovery replay). The committed FREEZE locks the moving range;
+     the committed COMMIT activates the successor map, converting the
+     source's frozen range into a moved one and dissolving the target's
+     pending install; a committed ABORT tombstones the epoch so a racing
+     late COMMIT for it loses identically everywhere. *)
+  let track_reshard t (p : proposal) =
+    List.iter
+      (fun (r : request) ->
+        match r.rtype with
+        | Reshard_freeze e -> (
+          if
+            e > t.reshard_epoch
+            && (not (Hashtbl.mem t.reshard_aborted e))
+            && t.frozen = None
+          then
+            match Reshard_wire.decode_freeze r.payload with
+            | { f_lo; f_hi; f_target } -> t.frozen <- Some (e, f_lo, f_hi, f_target)
+            | exception _ -> ())
+        | Reshard_install e -> (
+          if e > t.reshard_epoch && not (Hashtbl.mem t.reshard_aborted e) then
+            match Reshard_wire.decode_install r.payload with
+            | { i_lo; i_hi; i_count; _ } ->
+              t.installed <- Some (e, i_lo, i_hi, i_count)
+            | exception _ -> ())
+        | Reshard_commit e when e > t.reshard_epoch ->
+          (match t.frozen with
+          | Some (e', lo, hi, _) when e' = e ->
+            (* Source side: the handed-away range only becomes
+               unroutable here, at the commit point — not at freeze
+               time, so an aborted migration simply thaws. *)
+            t.moved <- (lo, hi) :: t.moved;
+            t.frozen <- None
+          | _ -> ());
+          (match t.installed with
+          | Some (e', lo, hi, count) when e' = e ->
+            (* Target side: only now may the imported range be served.
+               If an earlier split had moved any part of this range out,
+               the commit restores ownership — by interval subtraction,
+               since the two transitions need not share cut points (a
+               merge can bring back a wider range than the split that
+               left). *)
+            t.moved <- Reshard_wire.range_subtract t.moved ~lo ~hi;
+            t.imported_items <- t.imported_items + count;
+            t.installed <- None
+          | _ -> ());
+          t.reshard_epoch <- e;
+          t.reshard_map <- r.payload
+        | Reshard_abort e ->
+          Hashtbl.replace t.reshard_aborted e ();
+          (match t.frozen with
+          | Some (e', _, _, _) when e' = e -> t.frozen <- None
+          | _ -> ());
+          (match t.installed with
+          | Some (e', _, _, _) when e' = e -> t.installed <- None
+          | _ -> ())
+        | _ -> ())
+      p.requests;
+    (* Bound the tombstone table: epochs are monotone, so far-below-max
+       entries can only be hit by very stale duplicates whose freeze can
+       no longer be live. *)
+    if Hashtbl.length t.reshard_aborted > 8192 then begin
+      let mx = Hashtbl.fold (fun e () m -> max e m) t.reshard_aborted 0 in
+      Hashtbl.filter_map_inplace
+        (fun e v -> if e < mx - 4096 then None else Some v)
+        t.reshard_aborted
+    end
+
+  let install_reshard_participant t (p : Reshard_wire.participant) =
+    t.reshard_epoch <- p.p_epoch;
+    t.reshard_map <- p.p_map;
+    t.frozen <- p.p_frozen;
+    t.installed <- p.p_installed;
+    t.moved <- p.p_moved;
+    Hashtbl.reset t.reshard_aborted;
+    List.iter (fun e -> Hashtbl.replace t.reshard_aborted e ()) p.p_aborted;
+    t.imported_items <- p.p_imported
+
   let record_commit_bookkeeping t ~instance (p : proposal) =
     List.iter (dedup_update t) p.replies;
     track_2pc t p;
+    track_reshard t p;
     (* Dup-commit watchdog: a (client, seq) must never commit at two
        different instances — that is exactly the bug the dedup table
        prevents and [disable_dedup] plants. *)
@@ -405,7 +537,10 @@ module Make (S : Service_intf.S) = struct
       List.concat_map
         (fun (r : request) ->
           match r.rtype with
-          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _ -> []
+          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _
+          | Reshard_freeze _ | Reshard_install _ | Reshard_commit _
+          | Reshard_abort _ ->
+            []
           | Write | Original | Txn_op _ -> (
             try S.footprint (S.decode_op r.payload) with _ -> [ "*" ]))
         p.requests
@@ -435,6 +570,12 @@ module Make (S : Service_intf.S) = struct
       List.iter (fun (tid, b) -> Hashtbl.replace t.prepared tid (decode_prepared b))
         snap.prepared;
       List.iter (fun (tid, o) -> Hashtbl.replace t.txn_outcomes tid o) snap.outcomes;
+      (match snap.reshard with
+      | "" -> ()  (* pre-reshard image: keep the derived view we have *)
+      | s -> (
+        match Reshard_wire.decode_participant s with
+        | p -> install_reshard_participant t p
+        | exception _ -> ()));
       Plog.install_commit_point t.log snap.commit_point;
       t.storage.persist_commit snap.commit_point;
       t.storage.persist_snapshot (Snapshot.encode snap)
@@ -468,13 +609,23 @@ module Make (S : Service_intf.S) = struct
       List.iter
         (fun (r : request) ->
           match r.rtype with
-          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _ ->
+          | Read | Txn_commit _ | Txn_abort _ | Txn_prepare _
+          | Reshard_freeze _ | Reshard_commit _ | Reshard_abort _ ->
             (* Protocol markers: their payloads are not service ops (the
-               2PC markers carry op counts and prepared-branch blobs).
-               The ops of a committed cross-shard branch appear in the
-               decision instance as ordinary [Txn_op] requests and
-               re-execute below. *)
+               2PC markers carry op counts and prepared-branch blobs,
+               the reshard markers carry envelopes and maps). The ops of
+               a committed cross-shard branch appear in the decision
+               instance as ordinary [Txn_op] requests and re-execute
+               below. *)
             ()
+          | Reshard_install _ -> (
+            (* Snapshot handoff under request shipping: there is no
+               shipped state to adopt, so the imported slice re-applies
+               from the committed envelope ([import_range] is
+               idempotent, so replay paths are harmless). *)
+            match Reshard_wire.decode_install r.payload with
+            | env -> t.app_state <- S.import_range t.app_state env.i_blob
+            | exception _ -> ())
           | Write | Original | Txn_op _ ->
             let op = S.decode_op r.payload in
             t.app_state <- (S.apply ~rng:t.rng ~now:t.now t.app_state op).state)
@@ -569,11 +720,19 @@ module Make (S : Service_intf.S) = struct
     t.storage.persist_commit (Plog.commit_point t.log);
     t.app_state <- fl.fl_post_state;
     let prepared_before = Hashtbl.length t.prepared in
+    let frozen_before = t.frozen in
     record_commit_bookkeeping t ~instance:fl.fl_instance fl.fl_proposal;
-    (* A decision instance just released a prepared cross-shard lock:
-       writes stashed behind it become eligible again. Re-queue the lot —
-       pump re-checks each against the remaining locks. *)
-    if Hashtbl.length t.prepared < prepared_before && l.l_blocked <> [] then begin
+    (* A decision instance just released a prepared cross-shard lock, or
+       a reshard decision resolved the frozen range (COMMIT turns it
+       into a moved range, ABORT thaws it): writes stashed behind either
+       become eligible again. Re-queue the lot — pump re-checks each
+       against the remaining locks, answering [Wrong_epoch] for writes
+       whose range moved away. *)
+    if
+      (Hashtbl.length t.prepared < prepared_before
+      || (frozen_before <> None && t.frozen = None))
+      && l.l_blocked <> []
+    then begin
       List.iter (fun w -> Queue.add w l.l_queue) (List.rev l.l_blocked);
       l.l_blocked <- []
     end;
@@ -679,7 +838,8 @@ module Make (S : Service_intf.S) = struct
             List.filter
               (fun w ->
                 let r =
-                  match w with W_write r | W_txn_commit r | W_txn_prepare r -> r
+                  match w with
+                  | W_write r | W_txn_commit r | W_txn_prepare r | W_reshard r -> r
                 in
                 match dedup_lookup t r with
                 | `Fresh -> true
@@ -808,6 +968,26 @@ module Make (S : Service_intf.S) = struct
          together would both claim the branch. *)
       let batch_decided : (int, bool) Hashtbl.t = Hashtbl.create 4 in
       let keys_of tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+      (* Reshard gate: ranges this group handed away answer [Wrong_epoch]
+         — the client adopts the attached map and re-routes — while the
+         range a committed FREEZE is moving parks writers in [l_blocked]
+         until the decision instance resolves it (reads of a frozen
+         range still serve: its content is immutable by construction). *)
+      let moved_ranges = t.moved in
+      let frozen_ranges =
+        match t.frozen with Some (_, lo, hi, _) -> [ (lo, hi) ] | None -> []
+      in
+      (* Ranges frozen by a FREEZE decided *earlier in this very batch*:
+         [t.frozen] only flips when the instance commits, so a prepare
+         batched after the freeze marker would otherwise vote YES on
+         keys whose slice is about to ship without its ops. Plain writes
+         and single-shard commits need no such tracking — their effects
+         land in this instance's state update, which the export sees. *)
+      let batch_frozen = ref frozen_ranges in
+      let hits = Reshard_wire.footprint_hits in
+      let wrong_epoch () =
+        Wrong_epoch { epoch = t.reshard_epoch; map = t.reshard_map }
+      in
       let locked_by_prepared fps =
         fps <> []
         && ((Hashtbl.length batch_prep_fps > 0
@@ -828,7 +1008,17 @@ module Make (S : Service_intf.S) = struct
           | W_write r -> (
             let op = S.decode_op r.payload in
             let fps = S.footprint op in
-            if locked_by_prepared fps then
+            if hits moved_ranges fps then begin
+              Hashtbl.remove l.l_queued_ids r.id;
+              instant :=
+                { req = r.id; status = wrong_epoch (); payload = "" } :: !instant
+            end
+            else if hits frozen_ranges fps then
+              (* The moving range is write-frozen until the migration
+                 decides; the blocked writer re-queues on COMMIT (and
+                 then redirects) or ABORT (and then executes). *)
+              l.l_blocked <- W_write r :: l.l_blocked
+            else if locked_by_prepared fps then
               (* Held behind a prepared cross-shard branch: the write
                  waits for that branch's decision instance instead of
                  racing the 2PC outcome. It keeps its [l_queued_ids] slot
@@ -922,6 +1112,19 @@ module Make (S : Service_intf.S) = struct
                     with _ -> List.length txn.tx_ops
                   in
                   if List.length txn.tx_ops <> expected_ops then abort ()
+                  else if hits moved_ranges (keys_of txn.tx_footprint) then
+                    (* The branch is pinned to a shard that handed away
+                       (part of) its footprint mid-transaction: a typed
+                       redirect, never a commit of half the keys under
+                       the successor map. *)
+                    instant_status (wrong_epoch ())
+                  else if hits frozen_ranges (keys_of txn.tx_footprint) then begin
+                    (* Migration in flight over the branch's keys: park
+                       the commit (and keep the branch) until the
+                       decision, then re-check. *)
+                    Hashtbl.replace l.l_txns key txn;
+                    l.l_blocked <- W_txn_commit r :: l.l_blocked
+                  end
                   else if
                     conflicts_with_window txn || conflicts_with_batch txn
                     || locked_by_prepared (keys_of txn.tx_footprint)
@@ -983,6 +1186,14 @@ module Make (S : Service_intf.S) = struct
                   in
                   if List.length txn.tx_ops <> expected_ops then
                     instant_status Txn_aborted
+                  else if hits moved_ranges (keys_of txn.tx_footprint) then
+                    (* Voting YES would promise keys this group no longer
+                       owns: redirect the coordinator instead. *)
+                    instant_status (wrong_epoch ())
+                  else if hits !batch_frozen (keys_of txn.tx_footprint) then begin
+                    Hashtbl.replace l.l_txns key txn;
+                    l.l_blocked <- W_txn_prepare r :: l.l_blocked
+                  end
                   else if
                     conflicts_with_window txn || conflicts_with_batch txn
                     || locked_by_prepared (keys_of txn.tx_footprint)
@@ -1009,7 +1220,100 @@ module Make (S : Service_intf.S) = struct
                     List.iter
                       (fun k -> Hashtbl.replace batch_prep_fps k ())
                       p.p_footprint
-                  end)))
+                  end))
+          | W_reshard r -> (
+            let instant_reply status payload =
+              Hashtbl.remove l.l_queued_ids r.id;
+              instant := { req = r.id; status; payload } :: !instant
+            in
+            let instant_status status = instant_reply status "" in
+            (* Decide the marker through consensus: the reply releases at
+               commit time, so a phase transition is as durable as the
+               log before the coordinator may advance past it.
+               [track_reshard] performs the transition when the instance
+               commits — on this leader and every other replica alike. *)
+            let decide status =
+              let reply = { req = r.id; status; payload = "" } in
+              requests := r :: !requests;
+              replies := reply :: !replies;
+              to_send := reply :: !to_send
+            in
+            match r.rtype with
+            | Reshard_freeze e -> (
+              if Hashtbl.mem t.reshard_aborted e then instant_status Txn_aborted
+              else if e <= t.reshard_epoch then
+                (* Stale coordinator: the map already moved past this
+                   epoch — hand it the current map. *)
+                instant_status (wrong_epoch ())
+              else
+                match t.frozen with
+                | Some (e', _, _, _) when e' = e -> instant_status Ok
+                | Some _ ->
+                  (* One migration at a time per group. *)
+                  instant_status Txn_aborted
+                | None -> (
+                  match Reshard_wire.decode_freeze r.payload with
+                  | { Reshard_wire.f_lo; f_hi; _ } ->
+                    (* A prepared cross-shard branch over the moving
+                       range is a promise whose effect lands only at its
+                       COMMIT decision — *after* the slice would ship.
+                       Freezing under it would silently drop those
+                       writes at the new owner, so refuse: the
+                       coordinator burns the epoch and retries once the
+                       branch's decision drains. *)
+                    let range = [ (f_lo, f_hi) ] in
+                    let prep_locked =
+                      Hashtbl.fold
+                        (fun k () acc -> acc || hits range [ k ])
+                        batch_prep_fps false
+                      || Hashtbl.fold
+                           (fun _ (p : prepared) acc ->
+                             acc || hits range p.p_footprint)
+                           t.prepared false
+                    in
+                    if prep_locked then instant_status Txn_aborted
+                    else begin
+                      batch_frozen := (f_lo, f_hi) :: !batch_frozen;
+                      decide Ok
+                    end
+                  | exception _ -> instant_status Txn_aborted))
+            | Reshard_install e -> (
+              if Hashtbl.mem t.reshard_aborted e then instant_status Txn_aborted
+              else if e <= t.reshard_epoch then
+                (* The install (and its commit) already went through. *)
+                instant_status Ok
+              else
+                match t.installed with
+                | Some (e', _, _, _) when e' = e -> instant_status Ok
+                | _ -> (
+                  match Reshard_wire.decode_install r.payload with
+                  | env ->
+                    (* Import into the running batch state so the shipped
+                       Full/Delta update carries the slice: followers get
+                       the handoff through the ordinary ship path and
+                       lagging replicas through Catchup snapshots — no
+                       new transfer machinery. [import_range] is
+                       idempotent, so replay-path re-imports are
+                       harmless. *)
+                    batch_state := S.import_range !batch_state env.i_blob;
+                    decide Ok
+                  | exception _ -> instant_status Txn_aborted))
+            | Reshard_commit e ->
+              if e <= t.reshard_epoch then instant_status Ok  (* duplicate *)
+              else if Hashtbl.mem t.reshard_aborted e then
+                instant_status Txn_aborted
+              else decide Ok
+            | Reshard_abort e ->
+              if t.reshard_epoch >= e then
+                (* The commit decision won the race: [Ok] carrying the
+                   committed map tells a recovering coordinator the
+                   outcome was COMMIT — mirroring the 2PC "Ok to an
+                   abort of a committed transaction" convention. *)
+                instant_reply Ok t.reshard_map
+              else if Hashtbl.mem t.reshard_aborted e then
+                instant_status Txn_aborted
+              else decide Txn_aborted
+            | _ -> instant_status Txn_aborted))
         batch;
       let instant_actions = reply_actions (List.rev !instant) in
       if !requests = [] then instant_actions @ pump t
@@ -1176,6 +1480,22 @@ module Make (S : Service_intf.S) = struct
       else { r with trace = { r.trace with parent = t.sid_receive } }
     in
     match r.rtype with
+    | Read
+      when t.moved <> []
+           && Reshard_wire.footprint_hits t.moved
+                (try S.footprint (S.decode_op r.payload) with _ -> [ "*" ]) ->
+      (* The key range moved to another group: answer with the current
+         map so the client re-routes. Reads of a *frozen* range still
+         serve below — a frozen range is immutable, so its content here
+         stays correct until the commit flips ownership. *)
+      reply_actions
+        [
+          {
+            req = r.id;
+            status = Wrong_epoch { epoch = t.reshard_epoch; map = t.reshard_map };
+            payload = "";
+          };
+        ]
     | Read ->
       (* A retransmission of a read we already hold is not re-admitted
          (it is already in the window). *)
@@ -1200,7 +1520,8 @@ module Make (S : Service_intf.S) = struct
       end
       else admit_read t l r
     | Original -> begin_execution t l (Exec_original r)
-    | Write | Txn_commit _ | Txn_prepare _ -> (
+    | Write | Txn_commit _ | Txn_prepare _ | Reshard_freeze _ | Reshard_install _
+    | Reshard_commit _ | Reshard_abort _ -> (
       match dedup_lookup t r with
       | `Resend reply -> reply_actions [ reply ]
       | `Stale -> []
@@ -1217,6 +1538,9 @@ module Make (S : Service_intf.S) = struct
             (match r.rtype with
             | Write -> W_write r
             | Txn_prepare _ -> W_txn_prepare r
+            | Reshard_freeze _ | Reshard_install _ | Reshard_commit _
+            | Reshard_abort _ ->
+              W_reshard r
             | _ -> W_txn_commit r)
             l.l_queue;
           pump t
@@ -1266,7 +1590,9 @@ module Make (S : Service_intf.S) = struct
                { ballot = t.promised; req = r.id; lease_anchor = lease_echo t });
         ]
       | _ -> [])
-    | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ | Txn_prepare _ -> []
+    | Write | Original | Txn_op _ | Txn_commit _ | Txn_abort _ | Txn_prepare _
+    | Reshard_freeze _ | Reshard_install _ | Reshard_commit _ | Reshard_abort _ ->
+      []
 
   (* ------------------------------------------------------------------ *)
   (* Election                                                            *)
@@ -1574,11 +1900,23 @@ module Make (S : Service_intf.S) = struct
         t.candidate_since <- None;
         []
       end
-      else if List.fold_left Stdlib.min max_int alive_set = t.rid then
-        start_prepare t ~now
       else begin
-        t.candidate_since <- None;
-        []
+        (* Same candidate rule as the suspicion tick: the incumbent (the
+           holder of the highest promise) wins as long as it is alive.
+           Checking only for the lowest live id here would deadlock a
+           leader that restarted faster than the suspicion timeout — it
+           is the holder, so nobody else arms candidacy, yet as a
+           restarted follower it would refuse to prepare. *)
+        let candidate =
+          match leader_view t with
+          | Some holder when List.mem holder alive_set -> holder
+          | _ -> List.fold_left Stdlib.min max_int alive_set
+        in
+        if candidate = t.rid then start_prepare t ~now
+        else begin
+          t.candidate_since <- None;
+          []
+        end
       end
     | _ ->
       t.candidate_since <- None;
@@ -1766,10 +2104,11 @@ module Make (S : Service_intf.S) = struct
              snapshot carries dedup state only up to its own commit
              point; the replayed suffix must contribute its share. *)
           List.iter (dedup_update t) entry.proposal.replies;
-          (* The committed suffix also replays its share of the 2PC
-             participant tables (the snapshot carried them only up to its
-             own commit point). *)
+          (* The committed suffix also replays its share of the 2PC and
+             reshard participant tables (the snapshot carried them only
+             up to its own commit point). *)
           track_2pc t entry.proposal;
+          track_reshard t entry.proposal;
           (* Seed (not check) the watchdog: these commits were validated
              by the previous incarnation, and the re-seeded table is what
              lets a later re-delivery of the same instance pass. *)

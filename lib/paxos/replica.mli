@@ -142,4 +142,26 @@ module Make (S : Service_intf.S) : sig
   val reads_inflight : t -> int
   (** Leader only: reads held awaiting confirmation or execution ([0] on
       followers). Compared against [Config.max_inflight]. *)
+
+  (** {2 Elastic resharding (DESIGN.md §17)} *)
+
+  val reshard_epoch : t -> int
+  (** Highest committed partition-map epoch ([0] before any reshard). *)
+
+  val reshard_map : t -> string
+  (** Encoded partition map at {!reshard_epoch}; [""] before any reshard
+      commit. This is the map [Wrong_epoch] redirects carry. *)
+
+  val reshard_phase : t -> string
+  (** Migration phase as derived from committed instances: ["idle"],
+      ["frozen"] (a committed FREEZE awaits its decision) or
+      ["installing"] (a committed INSTALL awaits its decision). *)
+
+  val moved_ranges : t -> int
+  (** Key ranges this group handed away — requests touching them are
+      answered with [Wrong_epoch]. *)
+
+  val imported_items : t -> int
+  (** Total service items absorbed through committed INSTALLs (the
+      [export_range] counts), for admin/metrics. *)
 end

@@ -67,4 +67,24 @@ module type S = sig
 
   val patch : state -> string -> state
   (** Apply a diff produced by {!diff}. *)
+
+  (** {1 Optional range handoff (elastic resharding, DESIGN.md §17)}
+
+      Services whose footprint keys form an ordered keyspace can export
+      the slice of their state owned by a key range and absorb such a
+      slice shipped from another group. The range bounds are {e
+      footprint} keys ([lo] inclusive, [hi] exclusive, [None] = top of
+      the keyspace) — the same vocabulary {!footprint} speaks, so the
+      reshard coordinator never learns service internals. *)
+
+  val export_range : state -> lo:string -> hi:string option -> (int * string) option
+  (** [(count, blob)]: how many items the slice covers (admin counters)
+      and the encoded slice of the state owned by [\[lo, hi)]; [None] if
+      this service does not support range handoff (the reshard
+      coordinator then refuses to move its shards). *)
+
+  val import_range : state -> string -> state
+  (** Absorb a slice produced by {!export_range} on another replica's
+      state. Must be idempotent: installing the same slice twice yields
+      the same state (duplicate INSTALL delivery is legal). *)
 end

@@ -19,6 +19,10 @@ type t = {
           {!Replica.Make} owns the codec) *)
   outcomes : (int * bool) list;
       (** per decided cross-txn tid: [true] = committed *)
+  reshard : string;
+      (** encoded {!Reshard_wire.participant} — the migration state the
+          replica derived from committed [Reshard_*] instances; [""] on
+          images persisted before resharding existed *)
 }
 
 let encode t =
@@ -39,7 +43,8 @@ let encode t =
         (fun (tid, committed) ->
           Wire.Encoder.uint e tid;
           Wire.Encoder.bool e committed)
-        t.outcomes)
+        t.outcomes;
+      Wire.Encoder.string e t.reshard)
 
 let decode s =
   Wire.decode s (fun d ->
@@ -68,4 +73,5 @@ let decode s =
               let committed = Wire.Decoder.bool d in
               (tid, committed))
       in
-      { commit_point; state; dedup; prepared; outcomes })
+      let reshard = if Wire.Decoder.at_end d then "" else Wire.Decoder.string d in
+      { commit_point; state; dedup; prepared; outcomes; reshard })

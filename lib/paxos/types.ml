@@ -57,7 +57,15 @@ end
     (T-Paxos). [Txn_prepare] is the 2PC prepare for a cross-shard
     transaction: the participant group votes by committing the request
     (with its branch re-encoded into the payload) as a consensus
-    instance, so the YES vote survives any minority of crashes. *)
+    instance, so the YES vote survives any minority of crashes.
+
+    The [Reshard_*] requests are the elastic-resharding control plane
+    (DESIGN.md §17), each carrying the epoch of the map transition it
+    belongs to: FREEZE locks the moving key range at the source group,
+    INSTALL delivers the shipped range snapshot at the target, COMMIT
+    activates the successor partition map, ABORT cancels an in-flight
+    transition. All four are consensus instances, so the migration state
+    machine survives any minority of crashes in either group. *)
 type rtype =
   | Read
   | Write
@@ -66,6 +74,10 @@ type rtype =
   | Txn_commit of int
   | Txn_abort of int
   | Txn_prepare of int
+  | Reshard_freeze of int
+  | Reshard_install of int
+  | Reshard_commit of int
+  | Reshard_abort of int
 
 let rtype_tag = function
   | Read -> 0
@@ -75,6 +87,10 @@ let rtype_tag = function
   | Txn_commit _ -> 4
   | Txn_abort _ -> 5
   | Txn_prepare _ -> 6
+  | Reshard_freeze _ -> 7
+  | Reshard_install _ -> 8
+  | Reshard_commit _ -> 9
+  | Reshard_abort _ -> 10
 
 let pp_rtype ppf = function
   | Read -> Format.pp_print_string ppf "read"
@@ -84,12 +100,18 @@ let pp_rtype ppf = function
   | Txn_commit t -> Format.fprintf ppf "txn_commit(%d)" t
   | Txn_abort t -> Format.fprintf ppf "txn_abort(%d)" t
   | Txn_prepare t -> Format.fprintf ppf "txn_prepare(%d)" t
+  | Reshard_freeze e -> Format.fprintf ppf "reshard_freeze(%d)" e
+  | Reshard_install e -> Format.fprintf ppf "reshard_install(%d)" e
+  | Reshard_commit e -> Format.fprintf ppf "reshard_commit(%d)" e
+  | Reshard_abort e -> Format.fprintf ppf "reshard_abort(%d)" e
 
 let encode_rtype e rt =
   Wire.Encoder.uint e (rtype_tag rt);
   match rt with
   | Read | Write | Original -> ()
   | Txn_op t | Txn_commit t | Txn_abort t | Txn_prepare t -> Wire.Encoder.uint e t
+  | Reshard_freeze t | Reshard_install t | Reshard_commit t | Reshard_abort t ->
+    Wire.Encoder.uint e t
 
 let decode_rtype d =
   match Wire.Decoder.uint d with
@@ -100,6 +122,10 @@ let decode_rtype d =
   | 4 -> Txn_commit (Wire.Decoder.uint d)
   | 5 -> Txn_abort (Wire.Decoder.uint d)
   | 6 -> Txn_prepare (Wire.Decoder.uint d)
+  | 7 -> Reshard_freeze (Wire.Decoder.uint d)
+  | 8 -> Reshard_install (Wire.Decoder.uint d)
+  | 9 -> Reshard_commit (Wire.Decoder.uint d)
+  | 10 -> Reshard_abort (Wire.Decoder.uint d)
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad rtype %d" n })
 
 (** Causal trace context carried inside the request as it crosses
@@ -153,6 +179,11 @@ type status =
       (** the leader's admission window is full and the request was shed
           before entering the queue; the client should back off for at
           least [retry_after_ms] before retransmitting *)
+  | Wrong_epoch of { epoch : int; map : string }
+      (** the request touched a key this group no longer (or does not
+          yet) own: the partition map moved under the client. [map] is
+          the group's current encoded {!Grid_shard.Partition} map at
+          [epoch]; the client adopts it and re-routes (DESIGN.md §17) *)
 
 let pp_status ppf = function
   | Ok -> Format.pp_print_string ppf "ok"
@@ -161,12 +192,16 @@ let pp_status ppf = function
   | Retry -> Format.pp_print_string ppf "retry"
   | Overloaded { retry_after_ms } ->
     Format.fprintf ppf "overloaded(retry_after=%.1fms)" retry_after_ms
+  | Wrong_epoch { epoch; map } ->
+    Format.fprintf ppf "wrong_epoch(e=%d,map=%dB)" epoch (String.length map)
 
 (* A final status completes the request at the client; [Retry] and
    [Overloaded] are pushback — the request is still pending and will be
-   retransmitted. Checkers use this to decide which replies count. *)
+   retransmitted. Checkers use this to decide which replies count.
+   [Wrong_epoch] is final: retransmitting to the same group can never
+   succeed — the router must re-route under the carried map. *)
 let status_is_final = function
-  | Ok | Txn_aborted | Txn_conflict -> true
+  | Ok | Txn_aborted | Txn_conflict | Wrong_epoch _ -> true
   | Retry | Overloaded _ -> false
 
 type reply = { req : Ids.Request_id.t; status : status; payload : string }
@@ -181,12 +216,16 @@ let status_tag = function
   | Txn_conflict -> 2
   | Retry -> 3
   | Overloaded _ -> 4
+  | Wrong_epoch _ -> 5
 
 let encode_status e s =
   Wire.Encoder.uint e (status_tag s);
   match s with
   | Ok | Txn_aborted | Txn_conflict | Retry -> ()
   | Overloaded { retry_after_ms } -> Wire.Encoder.float e retry_after_ms
+  | Wrong_epoch { epoch; map } ->
+    Wire.Encoder.uint e epoch;
+    Wire.Encoder.string e map
 
 let decode_status d =
   match Wire.Decoder.uint d with
@@ -195,6 +234,10 @@ let decode_status d =
   | 2 -> Txn_conflict
   | 3 -> Retry
   | 4 -> Overloaded { retry_after_ms = Wire.Decoder.float d }
+  | 5 ->
+    let epoch = Wire.Decoder.uint d in
+    let map = Wire.Decoder.string d in
+    Wrong_epoch { epoch; map }
   | n -> raise (Wire.Decode_error { pos = 0; msg = Printf.sprintf "bad status %d" n })
 
 let encode_reply e (r : reply) =

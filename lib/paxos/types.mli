@@ -37,7 +37,15 @@ end
     (T-Paxos). [Txn_prepare] is the 2PC prepare vote for a cross-shard
     transaction (DESIGN.md §16): the participant group commits it as a
     consensus instance with the transaction branch re-encoded into the
-    payload, making the YES vote crash-safe. *)
+    payload, making the YES vote crash-safe.
+
+    The [Reshard_*] requests are the elastic-resharding control plane
+    (DESIGN.md §17), each carrying the epoch of the map transition it
+    belongs to: FREEZE locks the moving key range at the source group,
+    INSTALL delivers the shipped range snapshot at the target, COMMIT
+    activates the successor partition map, ABORT cancels an in-flight
+    transition. All four commit as consensus instances, so the migration
+    state machine survives any minority of crashes in either group. *)
 type rtype =
   | Read
   | Write
@@ -46,6 +54,10 @@ type rtype =
   | Txn_commit of int
   | Txn_abort of int
   | Txn_prepare of int
+  | Reshard_freeze of int
+  | Reshard_install of int
+  | Reshard_commit of int
+  | Reshard_abort of int
 
 val rtype_tag : rtype -> int
 val pp_rtype : Format.formatter -> rtype -> unit
@@ -86,6 +98,12 @@ type status =
       (** the leader's admission window is full and the request was shed
           before entering the queue; the client should back off for at
           least [retry_after_ms] before retransmitting *)
+  | Wrong_epoch of { epoch : int; map : string }
+      (** the request touched a key this group no longer (or does not
+          yet) own: the partition map moved under the client. [map] is
+          the group's current encoded partition map at [epoch]; the
+          router adopts it and re-routes (DESIGN.md §17). Final — a
+          retransmission to the same group can never succeed *)
 
 val pp_status : Format.formatter -> status -> unit
 val status_tag : status -> int

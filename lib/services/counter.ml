@@ -46,3 +46,8 @@ let encode_state = encode_result
 let decode_state = decode_result
 let diff ~old_state:_ st = Some (encode_state st)
 let patch _ s = decode_state s
+
+(* Range handoff (elastic resharding) is not meaningful for this
+   service's keyspace; the reshard coordinator refuses to move it. *)
+let export_range _ ~lo:_ ~hi:_ = None
+let import_range st _ = st

@@ -198,6 +198,51 @@ let patch st s =
       let entries = List.fold_left (fun m k -> Smap.remove k m) entries removed in
       { version; entries })
 
+(* Range handoff for elastic resharding: the bounds are *footprint*
+   keys ("kv/" ^ entry key), since cut points live in the partition
+   map's key vocabulary; entries are stored under the raw key. *)
+
+let in_range ~lo ~hi fk =
+  String.compare fk lo >= 0
+  && match hi with None -> true | Some h -> String.compare fk h < 0
+
+let export_range st ~lo ~hi =
+  let slice =
+    Smap.fold
+      (fun k v acc -> if in_range ~lo ~hi ("kv/" ^ k) then (k, v) :: acc else acc)
+      st.entries []
+  in
+  let slice = List.rev slice in
+  Some
+    ( List.length slice,
+      Wire.encode (fun e ->
+          Wire.Encoder.list e
+            (fun (k, v) ->
+              Wire.Encoder.string e k;
+              Wire.Encoder.string e v)
+            slice) )
+
+(* Idempotent: re-importing a slice that is already present leaves the
+   state (version included) untouched, so duplicate INSTALL delivery is
+   harmless. *)
+let import_range st s =
+  let bindings =
+    Wire.decode s (fun d ->
+        Wire.Decoder.list d (fun d ->
+            let k = Wire.Decoder.string d in
+            let v = Wire.Decoder.string d in
+            (k, v)))
+  in
+  let entries, changed =
+    List.fold_left
+      (fun (m, changed) (k, v) ->
+        match Smap.find_opt k m with
+        | Some v' when String.equal v v' -> (m, changed)
+        | _ -> (Smap.add k v m, true))
+      (st.entries, false) bindings
+  in
+  if changed then { entries; version = st.version + 1 } else st
+
 (** Test helpers. *)
 
 let find st key = Smap.find_opt key st.entries

@@ -293,3 +293,8 @@ let patch st s =
 
 let lease_of st resource = Smap.find_opt resource st.leases
 let lease_count st = Smap.cardinal st.leases
+
+(* Range handoff (elastic resharding) is not meaningful for this
+   service's keyspace; the reshard coordinator refuses to move it. *)
+let export_range _ ~lo:_ ~hi:_ = None
+let import_range st _ = st

@@ -91,3 +91,8 @@ let patch st s =
         | None -> st.padding
       in
       { writes; padding })
+
+(* Range handoff (elastic resharding) is not meaningful for this
+   service's keyspace; the reshard coordinator refuses to move it. *)
+let export_range _ ~lo:_ ~hi:_ = None
+let import_range st _ = st

@@ -24,19 +24,36 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   type client = {
     id : int;
     handles : Grid_paxos.Client.t array;  (* indexed by shard *)
-    txns : (int, int) Hashtbl.t;  (* open transaction -> pinned shard *)
+    txns : (int, int * int) Hashtbl.t;
+        (* open transaction -> (pinned shard, map epoch at pin time):
+           the epoch distinguishes a genuine cross-shard op (error)
+           from a map that moved under the pin (route to the pin; the
+           group answers [Wrong_epoch] if the keys left it) *)
     mutable lseq : int;
         (* logical submissions so far: the deterministic trace-id source
            (id * 1e6 + lseq), advanced only on successful submits *)
     mutable base_on_reply : (reply -> unit) option;
         (* the caller's reply callback, so the 2PC coordinator can
            borrow the per-shard handles and hand them back afterwards *)
+    mutable last_item : S.op Runtime.item option;
+        (* what the outstanding request was, so a [Wrong_epoch] redirect
+           can transparently resubmit it under the adopted map *)
+    mutable redirect_budget : int;
+        (* transparent resubmits left for the outstanding request;
+           exhausted budgets surface the [Wrong_epoch] to the caller *)
+    mutable redirects : int;  (* total transparent redirects, for stats *)
+    mutable wrapped_cb : reply -> unit;
+        (* the redirect-intercepting callback installed on every
+           per-shard handle; [set_on_reply]/[release_handles] reinstall
+           it (never the raw caller callback) *)
   }
 
   type t = {
     eng : Engine.t;
     net : msg Network.t;
-    part : Partition.t;
+    mutable part : Partition.t;
+        (* the router's current partition map; [split_shard]/
+           [merge_shards] and adopted [Wrong_epoch] redirects advance it *)
     route : S.op -> string list;
     groups : Group.t array;
     scenario : Scenario.t;
@@ -48,6 +65,11 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
         (* cross-shard transaction ids: a namespace disjoint from every
            per-client single-shard tid, monotone so participant
            tombstone pruning stays safe *)
+    mutable reshard_floor : int;
+        (* lowest epoch the next reshard attempt may use: an ABORT
+           decision burns its epoch at the source (the tombstone refuses
+           later instances of it) without advancing the map, so retries
+           must skip past every epoch already attempted *)
   }
 
   let cross_tid_base = 1_000_000_000
@@ -84,6 +106,7 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       sid_route = Span.span_id ~actor:"rtr" Span.Route;
       next_client_id = 0;
       next_cross_tid = cross_tid_base;
+      reshard_floor = 1;
     }
 
   let engine t = t.eng
@@ -99,22 +122,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
   (* ---------------------------------------------------------------- *)
   (* Clients and routing *)
 
-  let add_client t ~id ?machine_share ?on_reply () =
-    if id >= t.next_client_id then t.next_client_id <- id + 1;
-    let k = Array.length t.groups in
-    let handles =
-      Array.mapi
-        (fun g group ->
-          Group.add_client group ~id:((id * k) + g) ?machine_share ?on_reply ())
-        t.groups
-    in
-    { id; handles; txns = Hashtbl.create 4; lseq = 0; base_on_reply = on_reply }
-
-  let set_on_reply t cl f =
-    cl.base_on_reply <- Some f;
-    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
-
   let pinned_txns cl = Hashtbl.length cl.txns
+  let redirect_count cl = cl.redirects
 
   (* Resolve an item to its owning shard. Empty footprints route to
      shard 0 (a documented deviation: the op conflicts with nothing, so
@@ -130,34 +139,44 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       | Ok Partition.Any -> Ok 0
       | Error e -> Error e)
     | Runtime.In_txn (tid, op) -> (
-      match place op with
-      | Ok (Partition.Single s) -> (
-        match Hashtbl.find_opt cl.txns tid with
-        | None ->
-          Hashtbl.replace cl.txns tid s;
-          Ok s
-        | Some s' when s' = s -> Ok s
-        | Some s' ->
-          Error
-            (`Cross_shard
-               ((Printf.sprintf "txn/%d" tid, s')
-               :: List.map
-                    (fun k -> (k, Partition.owner_of_key t.part k))
-                    (t.route op))))
-      | Ok Partition.Any -> (
-        match Hashtbl.find_opt cl.txns tid with
-        | Some s -> Ok s
-        | None ->
-          Hashtbl.replace cl.txns tid 0;
-          Ok 0)
-      | Error e -> Error e)
+      match Hashtbl.find_opt cl.txns tid with
+      | Some (s', pinned_epoch) when pinned_epoch <> Partition.epoch t.part ->
+        (* The map moved under an open transaction. The branch must not
+           straddle epochs, so every further op follows the pin: the
+           pinned group completes the transaction against the old epoch
+           if it still owns the keys, or answers the commit with a typed
+           [Wrong_epoch] if they moved away — never half under each
+           map. *)
+        Ok s'
+      | pin -> (
+        match place op with
+        | Ok (Partition.Single s) -> (
+          match pin with
+          | None ->
+            Hashtbl.replace cl.txns tid (s, Partition.epoch t.part);
+            Ok s
+          | Some (s', _) when s' = s -> Ok s
+          | Some (s', _) ->
+            Error
+              (`Cross_shard
+                 ((Printf.sprintf "txn/%d" tid, s')
+                 :: List.map
+                      (fun k -> (k, Partition.owner_of_key t.part k))
+                      (t.route op))))
+        | Ok Partition.Any -> (
+          match pin with
+          | Some (s, _) -> Ok s
+          | None ->
+            Hashtbl.replace cl.txns tid (0, Partition.epoch t.part);
+            Ok 0)
+        | Error e -> Error e))
     | Runtime.Commit_txn { tid; _ } | Runtime.Abort_txn tid ->
       (* The pin is read here but only released after a successful
          submit (see [try_submit_item]): releasing on a `Busy submit
          used to unpin the transaction, so the retried commit routed to
          shard 0 instead of the pinned shard, and pins for transactions
          whose commit never got in leaked forever. *)
-      Ok (Option.value ~default:0 (Hashtbl.find_opt cl.txns tid))
+      Ok (match Hashtbl.find_opt cl.txns tid with Some (s, _) -> s | None -> 0)
 
   type submit_error = [ Partition.error | `Busy ]
 
@@ -166,7 +185,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
     | #Partition.error as e -> Partition.pp_error ppf e
     | `Busy -> Format.pp_print_string ppf "client has a request outstanding"
 
-  let try_submit_item t cl it : (int, submit_error) result =
+  (* [fresh] distinguishes a caller submission from a transparent
+     redirect resubmission: only the former re-arms the redirect budget
+     (a redirect chain must converge, not re-fund itself). *)
+  let submit_routed ~fresh t cl it : (int, submit_error) result =
     match route_item t cl it with
     | Error e -> Error (e :> submit_error)
     | Ok s ->
@@ -184,6 +206,8 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       in
       (match Group.try_submit_item t.groups.(s) cl.handles.(s) ?trace it with
       | `Submitted ->
+        cl.last_item <- Some it;
+        if fresh then cl.redirect_budget <- 8;
         (* Commit/abort are in the pipe: the pin has served its routing
            purpose. The client engine retransmits the request itself
            (including across leader switches, where the commit aborts),
@@ -197,12 +221,22 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
           cl.lseq <- cl.lseq + 1;
           (match Grid_paxos.Client.outstanding cl.handles.(s) with
           | Some r ->
+            (* Tag the routing epoch — migration traffic shows up in
+               [tracestat --tree] as the epoch flips, and transparent
+               Wrong_epoch resubmissions are marked explicitly. *)
             Span.Recorder.span ~tid t.obs ~time:(now t) ~actor:"rtr" ~req:r.id
-              ~instance:s ~detail:"" Span.Route
+              ~instance:s
+              ~detail:
+                (Printf.sprintf "%sepoch=%d"
+                   (if fresh then "" else "redirect ")
+                   (Partition.epoch t.part))
+              Span.Route
           | None -> ())
         | None -> ());
         Ok s
       | `Busy -> Error `Busy)
+
+  let try_submit_item t cl it = submit_routed ~fresh:true t cl it
 
   let submit_item t cl it =
     match try_submit_item t cl it with
@@ -212,6 +246,84 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
 
   let try_submit_op t cl op = try_submit_item t cl (Runtime.Do op)
   let submit_op t cl op = submit_item t cl (Runtime.Do op)
+
+  (* ---------------------------------------------------------------- *)
+  (* The redirect wrapper: every per-shard handle reports replies here,
+     not to the caller. A [Wrong_epoch] reply carries the responding
+     group's committed partition map; the wrapper adopts it if newer and
+     — for plain ops, within budget — resubmits the request under the
+     new map so the caller never sees the migration. Transactions are
+     not replayed (their branch executed against the old epoch and is
+     gone); the typed status surfaces so the caller can retry the whole
+     transaction. *)
+
+  let deliver cl (reply : reply) =
+    match cl.base_on_reply with Some f -> f reply | None -> ()
+
+  let handle_reply t cl (reply : reply) =
+    match reply.status with
+    | Wrong_epoch { epoch = _; map } -> (
+      (match Partition.decode map with
+      | m ->
+        if Partition.epoch m > Partition.epoch t.part then begin
+          t.part <- m;
+          if Partition.epoch m >= t.reshard_floor then
+            t.reshard_floor <- Partition.epoch m + 1
+        end
+      | exception _ -> ());
+      match cl.last_item with
+      | Some ((Runtime.Do _ | Runtime.Unreplicated _) as it)
+        when cl.redirect_budget > 0 -> (
+        cl.redirect_budget <- cl.redirect_budget - 1;
+        cl.redirects <- cl.redirects + 1;
+        match submit_routed ~fresh:false t cl it with
+        | Ok _ -> ()
+        | Error _ -> deliver cl reply)
+      | _ ->
+        (* Transaction item, exhausted budget, or nothing recorded:
+           surface the redirect. Any pin this tid held is already gone
+           (removed when the commit/abort entered the pipe). *)
+        deliver cl reply)
+    | _ -> deliver cl reply
+
+  let add_client t ~id ?machine_share ?on_reply () =
+    if id >= t.next_client_id then t.next_client_id <- id + 1;
+    let k = Array.length t.groups in
+    (* The wrapper closes over the client record it serves, but the
+       record holds the handles the wrapper is installed on — tie the
+       knot through a ref. *)
+    let cl_ref = ref None in
+    let wrapped reply =
+      match !cl_ref with None -> () | Some cl -> handle_reply t cl reply
+    in
+    let handles =
+      Array.mapi
+        (fun g group ->
+          Group.add_client group ~id:((id * k) + g) ?machine_share
+            ~on_reply:wrapped ())
+        t.groups
+    in
+    let cl =
+      {
+        id;
+        handles;
+        txns = Hashtbl.create 4;
+        lseq = 0;
+        base_on_reply = on_reply;
+        last_item = None;
+        redirect_budget = 0;
+        redirects = 0;
+        wrapped_cb = wrapped;
+      }
+    in
+    cl_ref := Some cl;
+    cl
+
+  let set_on_reply t cl f =
+    cl.base_on_reply <- Some f;
+    (* Reinstall the wrapper, not [f]: replies must keep flowing through
+       the redirect logic (this also ends any coordinator borrow). *)
+    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h cl.wrapped_cb) cl.handles
 
   (* ---------------------------------------------------------------- *)
   (* Cross-shard transactions: 2PC over per-group T-Paxos (DESIGN §16).
@@ -268,8 +380,10 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       cl.handles
 
   let release_handles t cl =
-    let f = match cl.base_on_reply with Some f -> f | None -> fun _ -> () in
-    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h f) cl.handles
+    (* Back to the redirect wrapper (which forwards to [base_on_reply]),
+       never the raw callback: a [Wrong_epoch] arriving right after a
+       coordinator hands the handles back must still be intercepted. *)
+    Array.iteri (fun g h -> Group.set_on_reply t.groups.(g) h cl.wrapped_cb) cl.handles
 
   let must_submit ~what = function
     | `Submitted -> ()
@@ -444,6 +558,197 @@ module Make (S : Grid_paxos.Service_intf.S) = struct
       borrow_handles t cl dispatch_probe;
       must_submit ~what:"recover-probe"
         (submit_decision t cl ~shard:home ~tid ~commit:false)
+
+  (* ---------------------------------------------------------------- *)
+  (* Elastic resharding: the migration coordinator (DESIGN.md §17).
+
+     Like the 2PC coordinator above, this is client-side and
+     unreplicated; crash safety comes from every protocol step being a
+     consensus instance in a participant group's log. The SOURCE group
+     is the commit point: the reshard is committed iff the COMMIT
+     decision committed in the source's log. The phases run strictly in
+     sequence over one borrowed client:
+
+       FREEZE(source) → export slice → INSTALL(target) →
+       COMMIT(source) → COMMIT(target) → adopt map
+
+     and an abandoned coordinator is resolved by [recover_reshard] —
+     presumed abort, mirroring [recover_cross_txn]. *)
+
+  type rresult = R_committed | R_aborted of string
+
+  let pp_rresult ppf = function
+    | R_committed -> Format.pp_print_string ppf "committed"
+    | R_aborted r -> Format.fprintf ppf "aborted: %s" r
+
+  let submit_reshard t cl ~shard rt ~payload =
+    let trace =
+      if Span.Recorder.enabled t.obs then
+        Some ((cl.id * 1_000_000) + cl.lseq + 1, t.sid_route)
+      else None
+    in
+    match Group.submit t.groups.(shard) cl.handles.(shard) ?trace rt ~payload with
+    | `Submitted ->
+      (match trace with
+      | Some (tid, _) ->
+        cl.lseq <- cl.lseq + 1;
+        (match Grid_paxos.Client.outstanding cl.handles.(shard) with
+        | Some r ->
+          Span.Recorder.span ~tid t.obs ~time:(now t) ~actor:"rtr" ~req:r.id
+            ~instance:shard
+            ~detail:(Format.asprintf "reshard %a" pp_rtype rt)
+            Span.Route
+        | None -> ())
+      | None -> ());
+      `Submitted
+    | `Busy -> `Busy
+
+  (* Pick the source replica to export the moving slice from: any live
+     replica whose committed prefix includes the FREEZE, preferring the
+     longest prefix. The frozen range is immutable from the FREEZE
+     instance on, so every such replica's slice content is identical and
+     definitive — the choice only affects availability, not safety. *)
+  let export_slice t ~source ~lo ~hi =
+    let g = t.groups.(source) in
+    let best = ref None in
+    for i = 0 to t.scenario.n - 1 do
+      if Group.replica_up g i then begin
+        let r = Group.replica g i in
+        if Group.R.reshard_phase r = "frozen" then
+          match !best with
+          | Some (cp, _) when cp >= Group.R.commit_point r -> ()
+          | _ -> best := Some (Group.R.commit_point r, r)
+      end
+    done;
+    match !best with
+    | None -> None
+    | Some (_, r) -> S.export_range (Group.R.state r) ~lo ~hi
+
+  let run_plan t cl (p : Reshard.plan) ~on_done =
+    let epoch = p.Reshard.pl_epoch in
+    let source = p.Reshard.pl_move.Partition.source in
+    let target = p.Reshard.pl_move.Partition.target in
+    let lo = p.Reshard.pl_move.Partition.mv_lo in
+    let hi = p.Reshard.pl_move.Partition.mv_hi in
+    let finish r =
+      release_handles t cl;
+      on_done r
+    in
+    (* Roll back an uncommitted migration: the ABORT instance clears the
+       freeze at the source (and tombstones the epoch), unblocking held
+       writers. Nothing was committed, so this is purely availability. *)
+    let abort_at_source reason =
+      borrow_handles t cl (fun _g (_ : reply) -> finish (R_aborted reason));
+      must_submit ~what:"reshard-abort"
+        (submit_reshard t cl ~shard:source (Reshard_abort epoch) ~payload:"")
+    in
+    let commit_target () =
+      (* The source committed: the reshard IS committed. The target's
+         COMMIT activates the imported slice there; its answer cannot
+         change the outcome (a duplicate arriving later via
+         [recover_reshard] would be answered [Ok] idempotently). *)
+      borrow_handles t cl (fun _g (_ : reply) -> finish R_committed);
+      must_submit ~what:"reshard-commit(target)"
+        (submit_reshard t cl ~shard:target (Reshard_commit epoch)
+           ~payload:p.Reshard.pl_commit)
+    in
+    let commit_source () =
+      borrow_handles t cl (fun _g (reply : reply) ->
+          if reply.status = Ok then begin
+            t.part <- p.Reshard.pl_map;
+            commit_target ()
+          end
+          else
+            (* A racing [recover_reshard] got its abort in first. *)
+            finish (R_aborted "source refused COMMIT"));
+      must_submit ~what:"reshard-commit(source)"
+        (submit_reshard t cl ~shard:source (Reshard_commit epoch)
+           ~payload:p.Reshard.pl_commit)
+    in
+    let install () =
+      match export_slice t ~source ~lo ~hi with
+      | None -> abort_at_source "no frozen source replica to export from"
+      | Some (count, blob) ->
+        borrow_handles t cl (fun _g (reply : reply) ->
+            if reply.status = Ok then commit_source ()
+            else abort_at_source "target refused INSTALL");
+        must_submit ~what:"reshard-install"
+          (submit_reshard t cl ~shard:target (Reshard_install epoch)
+             ~payload:(Reshard.install_payload p ~count ~blob))
+    in
+    borrow_handles t cl (fun _g (reply : reply) ->
+        if reply.status = Ok then install ()
+        else finish (R_aborted "source refused FREEZE"));
+    must_submit ~what:"reshard-freeze"
+      (submit_reshard t cl ~shard:source (Reshard_freeze epoch)
+         ~payload:p.Reshard.pl_freeze)
+
+  let run_outcome t cl outcome ~on_done :
+      (unit, Partition.reshard_error) result =
+    (* Skip epochs burned by earlier aborted attempts, and burn this
+       one up front: whatever happens next, no later attempt may reuse
+       its epoch. *)
+    let outcome =
+      let e =
+        match outcome with
+        | Reshard.Trivial m -> Partition.epoch m
+        | Reshard.Move p -> p.Reshard.pl_epoch
+      in
+      if e < t.reshard_floor then Reshard.at_epoch outcome ~epoch:t.reshard_floor
+      else outcome
+    in
+    (match outcome with
+    | Reshard.Trivial m ->
+      t.reshard_floor <- Partition.epoch m + 1;
+      (* Epoch advances but no range changes owner: the router adopts
+         the map directly, no protocol round. *)
+      t.part <- m;
+      on_done R_committed
+    | Reshard.Move p ->
+      t.reshard_floor <- p.Reshard.pl_epoch + 1;
+      run_plan t cl p ~on_done);
+    Ok ()
+
+  let split_shard t cl ~cut ~target ~on_done =
+    match Reshard.split t.part ~cut ~target with
+    | Error e -> Error e
+    | Ok o -> run_outcome t cl o ~on_done
+
+  let merge_shards t cl ~cut ~on_done =
+    match Reshard.merge t.part ~cut with
+    | Error e -> Error e
+    | Ok o -> run_outcome t cl o ~on_done
+
+  (* Presumed-abort recovery for an abandoned reshard coordinator: send
+     ABORT for [epoch] to the source (the commit point). If the source
+     already committed the epoch it answers [Ok] with the committed map
+     as payload — the reshard committed, so finish the COMMIT at the
+     target and adopt the map. Any other answer means the abort won (or
+     the migration never started) and the freeze is rolled back. Safe to
+     race with the original coordinator: both run through the source's
+     log, and the epoch tombstones make the loser's requests
+     idempotent. *)
+  let recover_reshard t cl ~epoch ~source ~target ~on_done =
+    if epoch >= t.reshard_floor then t.reshard_floor <- epoch + 1;
+    let finish r =
+      release_handles t cl;
+      on_done r
+    in
+    let dispatch_probe _g (reply : reply) =
+      if reply.status = Ok && reply.payload <> "" then begin
+        (match Partition.decode reply.payload with
+        | m -> if Partition.epoch m > Partition.epoch t.part then t.part <- m
+        | exception _ -> ());
+        borrow_handles t cl (fun _g (_ : reply) -> finish R_committed);
+        must_submit ~what:"reshard-recover-commit"
+          (submit_reshard t cl ~shard:target (Reshard_commit epoch)
+             ~payload:reply.payload)
+      end
+      else finish (R_aborted "abort won")
+    in
+    borrow_handles t cl dispatch_probe;
+    must_submit ~what:"reshard-recover-probe"
+      (submit_reshard t cl ~shard:source (Reshard_abort epoch) ~payload:"")
 
   (* ---------------------------------------------------------------- *)
   (* Failure control: per-group delegation. *)

@@ -104,7 +104,16 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
   val pinned_txns : client -> int
   (** Open-transaction pins held by the router for this logical client.
       Bounded by the number of genuinely open transactions: commits and
-      aborts release their pin once submitted. *)
+      aborts release their pin once submitted. Each pin also records the
+      partition-map epoch at pin time: if the map moves while the
+      transaction is open, further ops follow the pin (the pinned group
+      completes the transaction against the old epoch or answers
+      [Wrong_epoch] at commit) rather than straddling epochs. *)
+
+  val redirect_count : client -> int
+  (** Transparent [Wrong_epoch] resubmissions performed on this client's
+      behalf. A redirected request counts once per hop; the caller saw
+      none of them. *)
 
   (** {1 Cross-shard transactions (2PC over per-group T-Paxos)}
 
@@ -165,6 +174,80 @@ module Make (S : Grid_paxos.Service_intf.S) : sig
 
   val submit_decision :
     t -> client -> shard:int -> tid:int -> commit:bool -> [ `Busy | `Submitted ]
+
+  (** {1 Elastic resharding (DESIGN.md §17)}
+
+      Online shard split/merge with snapshot handoff. The migration
+      coordinator is client-side and unreplicated, like the 2PC
+      coordinator above; crash safety comes from every protocol step
+      being a consensus instance in a participant group's log. The
+      {e source} group is the commit point: the reshard committed iff
+      the COMMIT decision committed in the source's log. Clients that
+      hit a moved range receive a typed [Wrong_epoch] redirect carrying
+      the committed map; the router adopts it and transparently
+      resubmits plain operations (see {!redirect_count}). *)
+
+  type rresult = R_committed | R_aborted of string
+
+  val pp_rresult : Format.formatter -> rresult -> unit
+
+  val split_shard :
+    t ->
+    client ->
+    cut:string ->
+    target:int ->
+    on_done:(rresult -> unit) ->
+    (unit, Partition.reshard_error) result
+  (** Insert [cut] into the owning interval and migrate the right half
+      [[cut, hi)] to group [target]: FREEZE at the source, export the
+      committed slice, INSTALL at the target, COMMIT at the source (the
+      commit point — the router adopts the successor map here), COMMIT
+      at the target. [on_done] fires when the target acknowledged its
+      COMMIT (commit path) or the source acknowledged the rollback ABORT
+      (abort path). [Error] means the plan itself is invalid (hash map,
+      bad cut, bad target) and nothing was submitted. The client's
+      handles must all be idle; they are borrowed for the duration.
+      Raises [Invalid_argument] on a busy handle. *)
+
+  val merge_shards :
+    t ->
+    client ->
+    cut:string ->
+    on_done:(rresult -> unit) ->
+    (unit, Partition.reshard_error) result
+  (** Remove the cut point [cut]; the left interval's owner absorbs the
+      right interval via the same FREEZE/INSTALL/COMMIT protocol. When
+      both sides already share an owner the epoch still advances but no
+      data moves: the map is adopted directly and [on_done R_committed]
+      fires synchronously. *)
+
+  val recover_reshard :
+    t ->
+    client ->
+    epoch:int ->
+    source:int ->
+    target:int ->
+    on_done:(rresult -> unit) ->
+    unit
+  (** Presumed-abort recovery for an abandoned reshard coordinator:
+      probe the source with an ABORT for [epoch]. If the source already
+      committed the epoch it answers [Ok] carrying the committed map —
+      the reshard committed, so the COMMIT is completed at the target
+      and the router adopts the map. Anything else rolls the freeze
+      back. Safe to race with the original coordinator (epoch
+      tombstones make the loser's requests idempotent); use a fresh
+      logical client. *)
+
+  val submit_reshard :
+    t ->
+    client ->
+    shard:int ->
+    Grid_paxos.Types.rtype ->
+    payload:string ->
+    [ `Busy | `Submitted ]
+  (** Raw reshard-instance submission for deterministic engine-level
+      tests: the caller drives FREEZE/INSTALL/COMMIT/ABORT itself (and
+      the router's map is not touched). *)
 
   (** {1 Failure control (per group)} *)
 

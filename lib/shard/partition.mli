@@ -1,25 +1,88 @@
 (** The partition map: abstract footprint keys (see
     {!Grid_paxos.Service_intf.S.footprint}) to shard ids.
 
-    Ownership depends only on the key and the shard count — never on a
+    Ownership depends only on the key and the map itself — never on a
     group's replica count or timeouts — so reconfiguring a group cannot
     silently migrate keys. The default hash is 64-bit FNV-1a, stable
-    across OCaml versions and architectures. *)
+    across OCaml versions and architectures.
+
+    Maps are {e versioned}: every map carries a monotone {!epoch}, and
+    range maps carry an explicit interval→owner assignment so
+    {!split}/{!merge} can move a key range to an existing group without
+    renumbering anything (DESIGN.md §17). Epoch-0 maps assign interval
+    [i] to group [i] — the seed behaviour. *)
 
 type spec =
   | Hash  (** FNV-1a over the key bytes, modulo the shard count *)
   | Range of string list
-      (** [k-1] strictly increasing cut points; shard [i] owns keys in
+      (** strictly increasing cut points; interval [i] spans
           [\[cut_(i-1), cut_i)] under [String.compare] *)
 
 type t
 
 val create : ?spec:spec -> shards:int -> unit -> t
-(** Raises [Invalid_argument] if [shards < 1] or the range cuts are
+(** Epoch-0 map: interval [i] owned by group [i]. Raises
+    [Invalid_argument] if [shards < 1] or the range cuts are
     malformed. *)
 
 val shards : t -> int
+(** The group count — fixed for the lifetime of the cluster; resharding
+    moves ranges between existing groups. *)
+
+val epoch : t -> int
 val owner_of_key : t -> string -> int
+
+val restamp : t -> epoch:int -> t
+(** The same assignment at a later epoch. An epoch is consumed at the
+    source group the moment an ABORT decision commits — its tombstone
+    refuses every later instance of that epoch — so a retried
+    split/merge must skip past burned epochs ({!Multi.Make.split_shard}
+    does this automatically). Raises [Invalid_argument] unless [epoch]
+    exceeds the current one. *)
+
+val intervals : t -> (string option * string option * int) list
+(** Range maps: [(lo, hi, owner)] per interval, [None] bounds open.
+    Empty for hash maps. *)
+
+(** {1 Reshard transitions}
+
+    Both are realizations of one primitive — a contiguous key range
+    changes owner and the epoch advances — differing only in how the
+    successor cut list is computed. *)
+
+type move = {
+  mv_lo : string;
+  mv_hi : string option;  (** exclusive; [None] = top of keyspace *)
+  source : int;  (** group the range leaves *)
+  target : int;  (** group the range joins *)
+}
+
+type reshard_error =
+  [ `Hash_map  (** hash maps have no contiguous ranges to move *)
+  | `Bad_cut of string
+  | `Bad_target of string ]
+
+val pp_reshard_error : Format.formatter -> reshard_error -> unit
+
+val split : t -> cut:string -> target:int -> (t * move, reshard_error) result
+(** Insert [cut] into the interval that contains it and hand the right
+    half [\[cut, hi)] to [target]. Fails if the map is hash-partitioned,
+    [cut] is already a cut point, [target] is out of range, or [target]
+    already owns the range. *)
+
+val merge : t -> cut:string -> (t * move option, reshard_error) result
+(** Remove the existing cut point [cut]; the left interval's owner
+    absorbs the right interval. The move is [None] when both sides
+    already share an owner (epoch still advances). *)
+
+(** {1 Map codec}
+
+    The encoded map is the payload of the reshard COMMIT consensus
+    instance and of [Wrong_epoch] client redirects. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Grid_codec.Wire.Decode_error] on malformed input. *)
 
 type placement =
   | Single of int  (** every key owned by this shard *)

@@ -1,0 +1,57 @@
+(** Reshard planning: turn a split/merge intent against the current
+    partition map into the concrete artefacts the migration protocol
+    needs — the successor map, the range move, and the encoded payloads
+    of the FREEZE and COMMIT consensus instances (DESIGN.md §17).
+
+    Planning is pure; {!Multi.Make.split_shard} and
+    {!Multi.Make.merge_shards} drive the resulting plan through the
+    groups' logs. Keeping the two apart lets tests exercise plan
+    validation without a cluster, and the coordinator stays a thin
+    submission loop. *)
+
+module Rw = Grid_paxos.Reshard_wire
+
+type plan = {
+  pl_epoch : int;  (** the epoch the transition commits *)
+  pl_map : Partition.t;  (** successor map at [pl_epoch] *)
+  pl_move : Partition.move;
+  pl_freeze : string;  (** FREEZE payload: the moving range and target *)
+  pl_commit : string;  (** COMMIT payload: the encoded successor map *)
+}
+
+(** A merge whose two intervals already share an owner advances the
+    epoch without moving data: no freeze/ship/commit cycle, the router
+    adopts the successor map directly. *)
+type outcome = Move of plan | Trivial of Partition.t
+
+let of_move map (mv : Partition.move) =
+  {
+    pl_epoch = Partition.epoch map;
+    pl_map = map;
+    pl_move = mv;
+    pl_freeze = Rw.encode_freeze ~lo:mv.Partition.mv_lo ~hi:mv.Partition.mv_hi
+        ~target:mv.Partition.target;
+    pl_commit = Partition.encode map;
+  }
+
+let split part ~cut ~target : (outcome, Partition.reshard_error) result =
+  Result.map (fun (m, mv) -> Move (of_move m mv)) (Partition.split part ~cut ~target)
+
+let merge part ~cut : (outcome, Partition.reshard_error) result =
+  match Partition.merge part ~cut with
+  | Error e -> Error e
+  | Ok (m, None) -> Ok (Trivial m)
+  | Ok (m, Some mv) -> Ok (Move (of_move m mv))
+
+(** Re-stamp an outcome to a later epoch — the coordinator skips epochs
+    burned by aborted attempts (see {!Partition.restamp}). *)
+let at_epoch outcome ~epoch =
+  match outcome with
+  | Trivial m -> Trivial (Partition.restamp m ~epoch)
+  | Move p -> Move (of_move (Partition.restamp p.pl_map ~epoch) p.pl_move)
+
+(** INSTALL payload for a planned move, once the source's committed
+    slice is in hand. *)
+let install_payload (p : plan) ~count ~blob =
+  Rw.encode_install ~lo:p.pl_move.Partition.mv_lo ~hi:p.pl_move.Partition.mv_hi
+    ~count ~blob

@@ -1,0 +1,32 @@
+(** Reshard planning (DESIGN.md §17): pure computation of the successor
+    partition map, the range move, and the encoded FREEZE/COMMIT
+    payloads for a split or merge. {!Multi.Make.split_shard} and
+    {!Multi.Make.merge_shards} drive the plan through the groups'
+    consensus logs. *)
+
+type plan = {
+  pl_epoch : int;  (** the epoch the transition commits *)
+  pl_map : Partition.t;  (** successor map at [pl_epoch] *)
+  pl_move : Partition.move;
+  pl_freeze : string;  (** FREEZE consensus payload *)
+  pl_commit : string;  (** COMMIT consensus payload (encoded map) *)
+}
+
+type outcome =
+  | Move of plan
+  | Trivial of Partition.t
+      (** epoch advances but no range changes owner (merge of two
+          intervals with one owner): adopt the map, skip the protocol *)
+
+val split :
+  Partition.t -> cut:string -> target:int -> (outcome, Partition.reshard_error) result
+
+val merge : Partition.t -> cut:string -> (outcome, Partition.reshard_error) result
+
+val at_epoch : outcome -> epoch:int -> outcome
+(** Re-stamp to a later epoch, skipping epochs burned by aborted
+    attempts (see {!Partition.restamp}). Payloads are recomputed. *)
+
+val install_payload : plan -> count:int -> blob:string -> string
+(** INSTALL consensus payload once the source's exported slice is in
+    hand. *)

@@ -26,5 +26,6 @@ let () =
          Test_scenario.suite;
          Test_shard.suite;
          Test_xshard.suite;
+         Test_reshard.suite;
          Test_overload.suite;
        ])

@@ -383,6 +383,10 @@ let test_admin_endpoint () =
                (Printf.sprintf {|"wire_version":%d|} Wire_codec.latest_version));
           Alcotest.(check bool) "health reports peer wire versions" true
             (contains body {|"peer_wire_versions":{|});
+          (* No migration has run: epoch 0, idle, nothing moved. *)
+          Alcotest.(check bool) "health reports reshard state" true
+            (contains body
+               {|"reshard":{"epoch":0,"phase":"idle","moved_ranges":0,"imported_items":0}|});
           (* /metrics: Prometheus exposition with transport and watchdog
              series. *)
           let status, body = http_get ports.(leader_id) "/metrics" in
@@ -399,6 +403,10 @@ let test_admin_endpoint () =
             (contains body "grid_net_decode_errors_total 0");
           Alcotest.(check bool) "metrics watchdog silent" true
             (contains body "grid_watchdog_violations_total 0");
+          Alcotest.(check bool) "metrics reshard epoch gauge" true
+            (contains body "grid_reshard_epoch 0");
+          Alcotest.(check bool) "metrics reshard migrating gauge" true
+            (contains body "grid_reshard_migrating 0");
           (* /flightrec: the always-on recorder dumps parseable JSONL. *)
           let status, body = http_get ports.(leader_id) "/flightrec" in
           Alcotest.(check bool) "flightrec 200" true (contains status "200");

@@ -477,6 +477,7 @@ let test_snapshot_roundtrip () =
         ];
       prepared = [ (1_000_000_007, "opaque-branch") ];
       outcomes = [ (1_000_000_001, true); (1_000_000_002, false) ];
+      reshard = "";
     }
   in
   let snap' = Snapshot.decode (Snapshot.encode snap) in

@@ -64,9 +64,19 @@ let sample_msgs : (string * Types.msg) list =
     ("client_req txn", Client_req (req ~rtype:(Types.Txn_op 5) 3));
     ("client_req txn_prepare",
      Client_req (req ~rtype:(Types.Txn_prepare 1_000_000_042) 4));
+    ("client_req reshard_freeze",
+     Client_req (req ~rtype:(Types.Reshard_freeze 3) 5));
+    ("client_req reshard_install",
+     Client_req (req ~rtype:(Types.Reshard_install 3) 6));
+    ("client_req reshard_commit",
+     Client_req (req ~rtype:(Types.Reshard_commit 3) 7));
+    ("client_req reshard_abort",
+     Client_req (req ~rtype:(Types.Reshard_abort 3) 8));
     ("reply", Reply_msg (reply 1));
     ("reply overloaded",
      Reply_msg (reply ~status:(Types.Overloaded { retry_after_ms = 12.5 }) 2));
+    ("reply wrong_epoch",
+     Reply_msg (reply ~status:(Types.Wrong_epoch { epoch = 4; map = "map!" }) 3));
     ("prepare", Prepare { ballot; commit_point = 41 });
     ("prepare_ack empty",
      Prepare_ack { ballot; commit_point = 41; snapshot = None; accepted = [] });
@@ -231,12 +241,16 @@ let gen_rtype =
   Gen.oneofl
     [ Types.Read; Types.Write; Types.Original; Types.Txn_op 3;
       Types.Txn_commit 9; Types.Txn_abort 9;
-      Types.Txn_prepare 1_000_000_007 ]
+      Types.Txn_prepare 1_000_000_007;
+      Types.Reshard_freeze 1; Types.Reshard_install 2;
+      Types.Reshard_commit 3; Types.Reshard_abort 4 ]
 
 let gen_status =
   Gen.oneofl
     [ Types.Ok; Types.Txn_aborted; Types.Txn_conflict; Types.Retry;
-      Types.Overloaded { retry_after_ms = 40.0 } ]
+      Types.Overloaded { retry_after_ms = 40.0 };
+      Types.Wrong_epoch { epoch = 7; map = "m" };
+      Types.Wrong_epoch { epoch = 1; map = "" } ]
 
 let gen_ballot =
   Gen.map2
